@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+paper-vs-measured comparison.  Set ``REPRO_QUICK=1`` to run reduced
+sizes (CI smoke); the default is the paper's full configuration
+(1001 exports, six runs per Figure-4 sub-figure).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether to run the paper's full experiment sizes."""
+    return os.environ.get("REPRO_QUICK", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scale knobs derived from REPRO_QUICK."""
+    if full_scale():
+        return {"exports": 1001, "runs": 6}
+    return {"exports": 201, "runs": 2}
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled report block (visible with ``-s`` / in CI logs)."""
+    bar = "=" * max(20, len(title) + 8)
+    print(f"\n{bar}\n==  {title}\n{bar}\n{body}\n")

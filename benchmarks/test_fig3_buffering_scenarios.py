@@ -1,0 +1,66 @@
+"""Figure 3: the two buffering scenarios.
+
+(a) importer slower — every exported object must be buffered, but the
+exporter is off the critical path, so this costs little overall;
+(b) exporter slower — buffering sits on the critical path, and this is
+where buddy-help pays.
+"""
+
+from conftest import emit
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import run_exporter_slower, run_importer_slower
+
+
+def test_fig3a_importer_slower(benchmark, scale):
+    res = benchmark.pedantic(
+        run_importer_slower,
+        kwargs={"exports": min(scale["exports"], 400)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 3(a): importer slower",
+        format_table(
+            ["exports", "requests", "buffered%", "skip%", "T_ub (s)"],
+            [[
+                res.exports,
+                res.requests,
+                f"{res.buffered_fraction:.2f}",
+                f"{res.skip_fraction:.2f}",
+                f"{res.buffer_stats.t_ub:.4g}",
+            ]],
+        ),
+    )
+    assert res.buffered_fraction == 1.0
+    benchmark.extra_info["paper"] = "every export buffered; exporter unaffected"
+
+
+def test_fig3b_exporter_slower(benchmark, scale):
+    exports = min(scale["exports"], 400)
+
+    def run_both():
+        return (
+            run_exporter_slower(exports=exports, buddy_help=True),
+            run_exporter_slower(exports=exports, buddy_help=False),
+        )
+
+    with_buddy, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "Figure 3(b): exporter slower — buddy-help on vs off",
+        format_table(
+            ["buddy", "skip%", "buffered%", "T_ub (s)", "total export time (s)"],
+            [
+                ["on", f"{with_buddy.skip_fraction:.2f}",
+                 f"{with_buddy.buffered_fraction:.2f}",
+                 f"{with_buddy.buffer_stats.t_ub:.4g}",
+                 f"{with_buddy.exporter_export_time_total:.4g}"],
+                ["off", f"{without.skip_fraction:.2f}",
+                 f"{without.buffered_fraction:.2f}",
+                 f"{without.buffer_stats.t_ub:.4g}",
+                 f"{without.exporter_export_time_total:.4g}"],
+            ],
+        ),
+    )
+    assert with_buddy.skip_fraction > without.skip_fraction
+    assert with_buddy.exporter_export_time_total < without.exporter_export_time_total
+    benchmark.extra_info["paper"] = "in-region buffering is the cost buddy-help removes"

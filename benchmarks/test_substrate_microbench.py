@@ -1,0 +1,94 @@
+"""Substrate micro-benchmarks (not in the paper): throughput of the
+building blocks, so performance regressions in the simulator itself are
+visible independently of the coupled experiments."""
+
+import numpy as np
+
+from repro.data.darray import DistributedArray
+from repro.data.decomposition import BlockDecomposition
+from repro.data.redistribute import redistribute_pure
+from repro.data.schedule import CommSchedule
+from repro.des import Simulator
+from repro.vmpi import SUM, DesWorld, plan_allreduce, simulate_plans
+
+
+def test_des_event_throughput(benchmark):
+    """Ping-pong of two processes through timeouts: events per second."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def proc():
+            nonlocal count
+            for _ in range(5000):
+                yield sim.timeout(0.001)
+                count += 1
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10000
+
+
+def test_collective_plan_simulation(benchmark):
+    """Pure-plan allreduce across 64 ranks."""
+
+    def run():
+        plans = [plan_allreduce(r, 64, r, SUM, "k") for r in range(64)]
+        return simulate_plans(plans)
+
+    result = benchmark(run)
+    assert result[0] == 64 * 63 // 2
+
+
+def test_des_allreduce_16_ranks(benchmark):
+    def run():
+        world = DesWorld(latency=1e-6)
+        world.create_program("P", 16)
+        out = {}
+
+        def main(comm):
+            for _ in range(20):
+                v = yield from comm.allreduce(comm.rank, SUM)
+                out[comm.rank] = v
+
+        world.spawn_all("P", main)
+        world.run()
+        return out[0]
+
+    assert benchmark(run) == 120
+
+
+def test_schedule_build_paper_sizes(benchmark):
+    """Schedule construction for the 4 -> 32 Figure-4 connection."""
+    src = BlockDecomposition((1024, 1024), (2, 2))
+    dst = BlockDecomposition((1024, 1024), (32, 1))
+
+    def run():
+        return CommSchedule.build(src, dst)
+
+    sched = benchmark(run)
+    assert sched.is_complete()
+
+
+def test_redistribution_throughput(benchmark):
+    """Moving a 256x256 float64 field across decompositions."""
+    shape = (256, 256)
+    src = BlockDecomposition(shape, (2, 2))
+    dst = BlockDecomposition(shape, (4, 1))
+    sched = CommSchedule.build(src, dst)
+    s_blocks = [DistributedArray(src, r) for r in range(4)]
+    for b in s_blocks:
+        b.fill_from(lambda i, j: i + j)
+    d_blocks = [DistributedArray(dst, r) for r in range(4)]
+
+    def run():
+        return redistribute_pure(sched, s_blocks, d_blocks)
+
+    assert benchmark(run) == 256 * 256
+    np.testing.assert_array_equal(
+        DistributedArray.assemble(s_blocks), DistributedArray.assemble(d_blocks)
+    )

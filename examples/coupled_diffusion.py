@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""The paper's micro-benchmark workload with real physics.
+
+Program **F** (4 processes) computes the forcing field
+``f(t, x, y)`` — a rotating Gaussian source — and exports it every
+forcing step.  Program **U** (4 processes here) solves the wave
+equation ``u_tt = u_xx + u_yy + f`` with a distributed leapfrog solver
+(halo exchange over the in-framework mini-MPI) and imports a fresh
+forcing field every ``IMPORT_EVERY`` solver steps — multi-resolution
+coupling exactly as in Section 5 of the paper (there, one export in
+twenty is transferred).
+
+The imported field is the *approximately matched* one (``REGL``), i.e.
+the newest forcing no older than the requested time by more than the
+tolerance — the run prints which timestamps matched.  At the end the
+distributed solution is compared against a serial reference solve that
+uses the same matched forcing timestamps, demonstrating that the
+coupling framework delivered bit-identical data.
+
+Run:  python examples/coupled_diffusion.py
+"""
+
+import numpy as np
+
+from repro.apps.diffusion import WaveSolver2D, solve_reference
+from repro.apps.forcing import evaluate_on_region, rotating_source
+from repro.core import CoupledSimulation
+from repro.core.coupler import RegionDef
+from repro.data import BlockDecomposition, DistributedArray
+
+SHAPE = (64, 64)
+DT = 0.5                 # solver step (CFL-safe for dx = 1)
+FORCING_DT = 1.0         # F exports every 1.0 time units
+IMPORT_EVERY = 10        # U imports once per 10 solver steps
+SOLVER_STEPS = 80
+TOLERANCE = 2.5
+
+CONFIG = f"""
+F cluster0 /bin/forcing 4
+U cluster1 /bin/wave 4
+#
+F.forcing U.forcing REGL {TOLERANCE}
+"""
+
+FIELD = rotating_source(domain=(64.0, 64.0), period=30.0, sigma=6.0, amplitude=2.0)
+
+
+def f_main(ctx):
+    """Forcing program: evaluate and export f(t) on this rank's block."""
+    region = ctx.local_region("forcing")
+    n_exports = int(SOLVER_STEPS * DT / FORCING_DT) + 6
+    for k in range(n_exports):
+        t = FORCING_DT * (k + 1)
+        block = evaluate_on_region(FIELD, t, region)
+        yield from ctx.export("forcing", t, data=block)
+        yield from ctx.compute(0.002)
+
+
+def make_u_main(results, matched_log):
+    decomp = BlockDecomposition(SHAPE, (2, 2))
+
+    def u_main(ctx):
+        solver = WaveSolver2D(decomp, ctx.rank, dt=DT)
+        solver.set_initial(lambda X, Y: np.zeros_like(X))
+        forcing_block = np.zeros(solver.u.local.shape)
+        for step in range(SOLVER_STEPS):
+            if step % IMPORT_EVERY == 0:
+                # Forcing for the end of the upcoming coupling interval.
+                want = round(solver.time + IMPORT_EVERY * DT, 6)
+                matched, block = yield from ctx.import_("forcing", want)
+                if block is not None:
+                    forcing_block = block
+                if ctx.rank == 0:
+                    matched_log.append((want, matched))
+            yield from solver.step_des(ctx.comm, forcing=forcing_block)
+            yield from ctx.compute_elements(solver.u.local.size)
+        results[ctx.rank] = solver.u
+
+    return u_main
+
+
+def reference_solution(matched_log):
+    """Serial solve using the exact matched forcing timestamps."""
+    schedule = dict()
+    for step in range(SOLVER_STEPS):
+        window = step // IMPORT_EVERY
+        schedule[step] = matched_log[window][1]
+
+    X, Y = np.meshgrid(
+        np.arange(SHAPE[0], dtype=float), np.arange(SHAPE[1], dtype=float),
+        indexing="ij",
+    )
+    cached = {ts: np.asarray(FIELD(ts, X, Y)) for ts in set(schedule.values())}
+
+    step_holder = {"i": 0}
+
+    def forcing(t, X_, Y_):
+        del t, X_, Y_
+        f = cached[schedule[step_holder["i"]]]
+        step_holder["i"] += 1
+        return f
+
+    return solve_reference(SHAPE, steps=SOLVER_STEPS, dt=DT, forcing=forcing)
+
+
+def main():
+    results = {}
+    matched_log = []
+    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=3)
+    u_decomp = BlockDecomposition(SHAPE, (2, 2))
+    f_decomp = BlockDecomposition(SHAPE, (2, 2))
+    sim.add_program("F", main=f_main, regions={"forcing": RegionDef(f_decomp)})
+    sim.add_program(
+        "U", main=make_u_main(results, matched_log),
+        regions={"forcing": RegionDef(u_decomp)},
+    )
+    print(f"Coupled wave solve: {SOLVER_STEPS} steps, importing every "
+          f"{IMPORT_EVERY} steps with REGL {TOLERANCE} ...")
+    sim.run()
+
+    print("\nApproximate matches (requested -> matched forcing timestamp):")
+    for want, got in matched_log:
+        print(f"  u wanted f@{want:<5} -> matched f@{got}")
+
+    full = DistributedArray.assemble([results[r] for r in range(4)])
+    ref = reference_solution(matched_log)
+    err = float(np.max(np.abs(full - ref)))
+    print(f"\nmax |distributed - serial reference| = {err:.3e}")
+    assert err < 1e-12, "coupled solve diverged from the reference!"
+    print(f"field energy: {float(np.sum(full**2)):.4f}")
+    print(f"virtual time elapsed: {sim.sim.now * 1e3:.1f} ms")
+    stats = sim.buffer_stats("F", 3, "forcing")
+    print(f"F.p3 buffer ledger: buffered={stats.buffered_count} "
+          f"sent={stats.sent_count} T_ub={stats.t_ub:.3e} s")
+
+
+if __name__ == "__main__":
+    main()

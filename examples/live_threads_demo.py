@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The substrate under real concurrency: threads instead of virtual time.
+
+Everything else in this repository runs on the deterministic DES
+runtime; this demo shows the same SPMD code paths executing on actual
+OS threads through the ``vmpi`` thread backend:
+
+* collectives (allreduce / allgather / barrier) across 4 ranks,
+* a distributed wave solve with blocking halo exchange, validated
+  against the serial reference solver,
+* an MxN redistribution between two differently-decomposed programs
+  sharing one merged communicator.
+
+Run:  python examples/live_threads_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.diffusion import WaveSolver2D, solve_reference
+from repro.data import BlockDecomposition, CommSchedule, DistributedArray
+from repro.data.redistribute import redistribute_threaded
+from repro.vmpi import SUM, ThreadWorld
+
+SHAPE = (32, 32)
+STEPS = 40
+DT = 0.5
+
+
+def u0(X, Y):
+    return np.exp(-((X - 16.0) ** 2 + (Y - 16.0) ** 2) / 18.0)
+
+
+def main():
+    world = ThreadWorld(default_timeout=30.0)
+
+    # --- collectives under real concurrency -----------------------------
+    world.create_program("demo", 4)
+
+    def collective_main(comm):
+        total = comm.allreduce(comm.rank + 1, SUM)
+        everyone = comm.allgather(comm.rank * comm.rank)
+        comm.barrier()
+        return (total, everyone)
+
+    results = world.run_program("demo", collective_main)
+    assert all(r == (10, [0, 1, 4, 9]) for r in results)
+    print("collectives on 4 threads: allreduce=10, allgather=[0,1,4,9]  OK")
+
+    # --- distributed wave solve -----------------------------------------
+    decomp = BlockDecomposition(SHAPE, (2, 2))
+    world.create_program("wave", 4)
+    blocks = {}
+
+    def wave_main(comm):
+        solver = WaveSolver2D(decomp, comm.rank, dt=DT)
+        solver.set_initial(u0)
+        for _ in range(STEPS):
+            solver.step_blocking(comm)
+        blocks[comm.rank] = solver.u
+        return solver.local_energy()
+
+    energies = world.run_program("wave", wave_main)
+    full = DistributedArray.assemble([blocks[r] for r in range(4)])
+    reference = solve_reference(SHAPE, steps=STEPS, dt=DT, u0=u0)
+    err = float(np.max(np.abs(full - reference)))
+    print(f"threaded wave solve ({STEPS} steps on 4 threads): "
+          f"max error vs serial = {err:.2e}  OK" if err < 1e-12 else "FAILED")
+    assert err < 1e-12
+    print(f"  per-rank energies: {[f'{e:.3f}' for e in energies]}")
+
+    # --- MxN redistribution ----------------------------------------------
+    src = BlockDecomposition(SHAPE, (4, 1))
+    dst = BlockDecomposition(SHAPE, (1, 4))
+    sched = CommSchedule.build(src, dst)
+    world.create_program("mxn", src.nprocs + dst.nprocs)
+    received = {}
+
+    def mxn_main(comm):
+        if comm.rank < src.nprocs:
+            arr = DistributedArray(src, comm.rank)
+            arr.fill_from(lambda i, j: i * 1000 + j)
+            return redistribute_threaded(sched, comm, "src", arr)
+        arr = DistributedArray(dst, comm.rank - src.nprocs)
+        n = redistribute_threaded(sched, comm, "dst", arr)
+        received[comm.rank - src.nprocs] = arr
+        return n
+
+    world.run_program("mxn", mxn_main)
+    got = DistributedArray.assemble([received[r] for r in range(4)])
+    expected = np.add.outer(np.arange(32.0) * 1000, np.arange(32.0))
+    assert np.array_equal(got, expected)
+    print(f"MxN redistribution (4 row-ranks -> 4 column-ranks, "
+          f"{sched.message_count()} messages): content preserved  OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure-1 programs under the framework.
+
+Builds the smallest possible coupled system — an exporter program ``P0``
+with three regions and an importer ``P1`` consuming one of them — wired
+by a Figure-2 style configuration string, and runs it on the virtual
+clock.  Shows:
+
+* regions defined once, exported/imported in a loop (Figure 1);
+* the configuration file connecting them (Figure 2);
+* approximate matching (``REGL 0.2``) picking the nearest exported
+  timestamp;
+* the zero-overhead path for exported regions nobody imports.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CoupledSimulation
+from repro.core.coupler import RegionDef
+from repro.data import BlockDecomposition
+
+# The framework-level configuration (paper Figure 2): programs first,
+# then the export/import connections with their match policies.  Note
+# that P0 exports three regions but only r1 is connected — exports of
+# r2 and r3 cost nothing.
+CONFIG = """
+P0 cluster0 /home/meou/bin/P0 4
+P1 cluster1 /home/meou/bin/P1 2
+#
+P0.r1 P1.r1 REGL 0.2
+"""
+
+SHAPE = (32, 32)
+
+
+def exporter_main(ctx):
+    """P0: define regions once, export every iteration (Figure 1, left)."""
+    local = ctx.local_region("r1")
+    for step in range(50):
+        ts = 0.1 * (step + 1)
+        data = np.full(local.shape, ts)
+        yield from ctx.export("r1", round(ts, 6), data=data)
+        yield from ctx.export("r2", round(ts, 6))  # unconnected: free
+        yield from ctx.export("r3", round(ts, 6))  # unconnected: free
+        yield from ctx.compute(0.001)
+
+
+def importer_main(ctx):
+    """P1: import r1 as needed (Figure 1, right)."""
+    for step in range(4):
+        yield from ctx.compute(0.02)
+        want = 1.0 * (step + 1)
+        matched, block = yield from ctx.import_("r1", want)
+        mean = float(block.mean())
+        print(
+            f"  P1.rank{ctx.rank}: requested r1@{want:<4} -> matched "
+            f"@{matched} (block mean {mean:.3f}, t={ctx.sim.now * 1e3:.2f} ms)"
+        )
+
+
+def main():
+    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=1)
+    sim.add_program(
+        "P0",
+        main=exporter_main,
+        regions={
+            "r1": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
+            "r2": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
+            "r3": RegionDef(BlockDecomposition(SHAPE, (2, 2))),
+        },
+    )
+    sim.add_program(
+        "P1",
+        main=importer_main,
+        regions={"r1": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+    )
+    print("Running the coupled system on the virtual clock...")
+    sim.run()
+
+    print("\nExporter-side framework counters (rank 0):")
+    stats = sim.buffer_stats("P0", 0, "r1")
+    decisions = sim.context("P0", 0).stats.decisions()
+    print(f"  export decisions: {decisions}")
+    print(f"  buffered={stats.buffered_count}  sent={stats.sent_count}  "
+          f"freed-unsent={stats.freed_unsent_count}")
+    print(f"  unnecessary buffering time (Eq. 2 ledger): {stats.t_ub:.3e} s")
+    noop = sim.context("P0", 0).export_states["r2"].buffer.buffered_count
+    print(f"  unconnected region r2 buffered {noop} objects (zero-overhead path)")
+    print(f"\nVirtual time elapsed: {sim.sim.now * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — loosely coupled simulations with buddy-help.
+
+A complete Python reproduction of Wu & Sussman, *"Taking Advantage of
+Collective Operation Semantics for Loosely Coupled Simulations"*
+(IPDPS 2007): the InterComm-style coupling framework with approximate
+timestamp matching, collective export/import semantics (Property 1),
+representative-based request aggregation, and the paper's **buddy-help**
+optimization that lets slow exporter processes skip framework buffering
+of data that can never be matched.
+
+Entry points:
+
+* :class:`repro.core.CoupledSimulation` — couple programs on the
+  deterministic discrete-event runtime (all benchmarks run here).
+* :class:`repro.core.LiveCoupledSimulation` — the same protocol on OS
+  threads and wall-clock time.
+* :mod:`repro.bench` — regenerate every figure of the paper.
+* ``python -m repro`` — command-line access to the experiments.
+
+See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
+record.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CoupledSimulation,
+    LiveCoupledSimulation,
+    RegionDef,
+)
+from repro.data import BlockDecomposition, CommSchedule, DistributedArray, RectRegion
+from repro.match import MatchPolicy, PolicyKind
+
+__all__ = [
+    "__version__",
+    "CoupledSimulation",
+    "LiveCoupledSimulation",
+    "RegionDef",
+    "BlockDecomposition",
+    "CommSchedule",
+    "DistributedArray",
+    "RectRegion",
+    "MatchPolicy",
+    "PolicyKind",
+]

@@ -1,0 +1,83 @@
+"""Load-imbalance injection.
+
+The paper makes one exporter process (``p_s``) "perform extra
+computational work to make it the slowest process in program F".
+:class:`ImbalanceProfile` captures per-rank compute-scale factors so
+experiments can express that (and other skews) declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class ImbalanceProfile:
+    """Per-rank multiplicative compute-time factors."""
+
+    scales: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.scales) > 0, "profile needs at least one rank")
+        for s in self.scales:
+            require_positive(s, "scale")
+
+    @property
+    def nprocs(self) -> int:
+        """Number of ranks covered."""
+        return len(self.scales)
+
+    def scale(self, rank: int) -> float:
+        """The compute factor of *rank*."""
+        return self.scales[rank]
+
+    @property
+    def slowest_rank(self) -> int:
+        """The rank with the largest factor (first on ties) — ``p_s``."""
+        return int(np.argmax(self.scales))
+
+    @property
+    def skew(self) -> float:
+        """max/min scale ratio (1.0 means perfectly balanced)."""
+        return max(self.scales) / min(self.scales)
+
+
+def uniform_profile(nprocs: int) -> ImbalanceProfile:
+    """All ranks equal."""
+    require_positive(nprocs, "nprocs")
+    return ImbalanceProfile(tuple(1.0 for _ in range(nprocs)))
+
+
+def one_slow_profile(
+    nprocs: int, slow_rank: int | None = None, factor: float = 1.5
+) -> ImbalanceProfile:
+    """One rank slower by *factor* — the paper's ``p_s`` configuration.
+
+    ``slow_rank`` defaults to the last rank.
+    """
+    require_positive(nprocs, "nprocs")
+    require_positive(factor, "factor")
+    if slow_rank is None:
+        slow_rank = nprocs - 1
+    require(0 <= slow_rank < nprocs, "slow_rank out of range")
+    scales = [1.0] * nprocs
+    scales[slow_rank] = factor
+    return ImbalanceProfile(tuple(scales))
+
+
+def linear_profile(nprocs: int, max_factor: float = 1.5) -> ImbalanceProfile:
+    """Linearly increasing factors from 1.0 to *max_factor*.
+
+    A smoother skew used by the ablation benchmarks to study how
+    buddy-help behaves when *several* processes lag by varying amounts.
+    """
+    require_positive(nprocs, "nprocs")
+    require(max_factor >= 1.0, "max_factor must be >= 1.0")
+    if nprocs == 1:
+        return ImbalanceProfile((1.0,))
+    step = (max_factor - 1.0) / (nprocs - 1)
+    return ImbalanceProfile(tuple(1.0 + step * r for r in range(nprocs)))

@@ -1,0 +1,97 @@
+"""Machine-readable experiment records.
+
+Serializes benchmark results to plain-JSON dictionaries so downstream
+tooling (plotting scripts, regression dashboards) can consume the
+reproduction's output without importing the library.  Round-trip
+helpers are provided for the Figure-4 results and trace scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.bench.figure4 import Figure4Result, Figure4Run, Figure4Spec
+from repro.bench.traces import TraceScenario
+from repro.util.validation import require
+
+#: Format version stamped into every record.
+SCHEMA_VERSION = 1
+
+
+def figure4_to_dict(result: Figure4Result) -> dict[str, Any]:
+    """Serialize a :class:`Figure4Result` (spec + all runs)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "figure4",
+        "spec": asdict(result.spec),
+        "runs": [
+            {
+                "series": run.series,
+                "decisions": run.decisions,
+                "t_ub": run.t_ub,
+                "unnecessary_total": run.unnecessary_total,
+                "buddy_messages": run.buddy_messages,
+                "optimal_iteration": run.optimal_iteration,
+                "sim_time": run.sim_time,
+            }
+            for run in result.runs
+        ],
+    }
+
+
+def figure4_from_dict(payload: dict[str, Any]) -> Figure4Result:
+    """Reconstruct a :class:`Figure4Result` from its serialized form."""
+    require(payload.get("kind") == "figure4", "not a figure4 record")
+    require(payload.get("schema") == SCHEMA_VERSION, "unknown schema version")
+    spec_dict = dict(payload["spec"])
+    spec_dict["global_shape"] = tuple(spec_dict["global_shape"])
+    spec = Figure4Spec(**spec_dict)
+    result = Figure4Result(spec=spec)
+    for r in payload["runs"]:
+        result.runs.append(
+            Figure4Run(
+                series=list(r["series"]),
+                decisions=dict(r["decisions"]),
+                t_ub=r["t_ub"],
+                unnecessary_total=r["unnecessary_total"],
+                buddy_messages=r["buddy_messages"],
+                optimal_iteration=r["optimal_iteration"],
+                sim_time=r["sim_time"],
+            )
+        )
+    return result
+
+
+def trace_to_dict(scenario: TraceScenario) -> dict[str, Any]:
+    """Serialize a trace scenario's event stream."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "trace",
+        "name": scenario.name,
+        "events": [
+            {
+                "kind": e.kind,
+                "who": e.who,
+                "time": e.time,
+                "timestamp": e.timestamp,
+                "detail": e.detail,
+            }
+            for e in scenario.events
+        ],
+    }
+
+
+def save_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write *payload* to *path* (creating parent directories)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return p
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a record written by :func:`save_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure4``
+    Run one Figure-4 configuration and print the series summary
+    (optionally dump all runs as JSON).
+``traces``
+    Print the Figure 5/7/8 event traces in the paper's notation.
+``scenarios``
+    Run the Figure-3 buffering scenarios.
+``validate-config``
+    Parse and validate a coupling configuration file.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro import __version__
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.bench.figure4 import Figure4Spec, run_figure4
+    from repro.bench.reporting import format_series, format_table
+
+    spec = Figure4Spec(
+        u_procs=args.u_procs,
+        exports=args.exports,
+        runs=args.runs,
+        buddy_help=not args.no_buddy,
+        seed=args.seed,
+    )
+    print(
+        f"Figure 4: U={spec.u_procs}, {spec.exports} exports, "
+        f"{spec.runs} runs, buddy-help {'off' if args.no_buddy else 'on'}"
+    )
+    result = run_figure4(spec)
+    mean = result.mean_series()
+    print(format_series("p_s export time (mean of runs)", mean, unit="s"))
+    rows = []
+    for i, run in enumerate(result.runs):
+        s = run.summary()
+        rows.append([
+            i, f"{s.head_mean * 1e3:.3f}", f"{s.body_mean * 1e3:.3f}",
+            f"{s.tail_mean * 1e3:.3f}", f"{run.skip_fraction:.2f}",
+            run.optimal_iteration if run.optimal_iteration is not None else "-",
+            f"{run.t_ub * 1e3:.2f}",
+        ])
+    print(format_table(
+        ["run", "head ms", "body ms", "tail ms", "skip%", "opt iter", "T_ub ms"],
+        rows,
+    ))
+    if args.json:
+        payload = {
+            "spec": {
+                "u_procs": spec.u_procs,
+                "exports": spec.exports,
+                "runs": spec.runs,
+                "buddy_help": spec.buddy_help,
+                "tolerance": spec.tolerance,
+                "request_period": spec.request_period,
+            },
+            "runs": [
+                {
+                    "series": run.series,
+                    "decisions": run.decisions,
+                    "t_ub": run.t_ub,
+                    "optimal_iteration": run.optimal_iteration,
+                    "buddy_messages": run.buddy_messages,
+                }
+                for run in result.runs
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.bench.traces import (
+        scenario_fig5,
+        scenario_fig7_with_buddy,
+        scenario_fig8_without_buddy,
+    )
+
+    scenarios = {
+        "5": ("Figure 5: typical buddy-help scenario (REGL 2.5)", scenario_fig5),
+        "7": ("Figure 7: with buddy-help (REGL 5.0)", scenario_fig7_with_buddy),
+        "8": ("Figure 8: without buddy-help (REGL 5.0)", scenario_fig8_without_buddy),
+    }
+    wanted = scenarios.keys() if args.figure == "all" else [args.figure]
+    for key in wanted:
+        title, fn = scenarios[key]
+        print(f"\n== {title}\n")
+        scenario = fn()
+        print(scenario.rendered())
+        print(
+            f"\n  {scenario.skip_count()} skips, {scenario.memcpy_count()} memcpys, "
+            f"T_i ledger = {scenario.process.state.buffer.t_ub():.0f}"
+        )
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.bench.scenarios import run_exporter_slower, run_importer_slower
+
+    a = run_importer_slower()
+    print(
+        f"Figure 3(a) importer slower:  buffered {a.buffered_fraction:.0%}, "
+        f"skipped {a.skip_fraction:.0%}, T_ub {a.buffer_stats.t_ub:.4g} s"
+    )
+    for buddy in (True, False):
+        b = run_exporter_slower(buddy_help=buddy)
+        print(
+            f"Figure 3(b) exporter slower (buddy {'on ' if buddy else 'off'}): "
+            f"buffered {b.buffered_fraction:.0%}, skipped {b.skip_fraction:.0%}, "
+            f"T_ub {b.buffer_stats.t_ub:.4g} s, "
+            f"export time {b.exporter_export_time_total:.4g} s"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.experiments_report import generate_report
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            generate_report(fh, exports=args.exports, runs=args.runs)
+        print(f"wrote {args.out}")
+    else:
+        generate_report(sys.stdout, exports=args.exports, runs=args.runs)
+    return 0
+
+
+def _cmd_validate_config(args: argparse.Namespace) -> int:
+    from repro.core.config import load_config
+    from repro.core.exceptions import ConfigError
+
+    try:
+        cfg = load_config(args.path)
+        warnings = cfg.validate()
+    except (ConfigError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(cfg.programs)} programs, {len(cfg.connections)} connections")
+    for name, prog in sorted(cfg.programs.items()):
+        print(f"  program {name}: {prog.nprocs} procs on {prog.cluster}")
+    for conn in cfg.connections:
+        print(f"  connection {conn}")
+    for w in warnings:
+        print(f"  warning: {w}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Buddy-help coupling framework (Wu & Sussman, IPDPS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("figure4", help="run one Figure-4 configuration")
+    p4.add_argument("--u-procs", type=int, default=16, choices=[4, 8, 16, 32])
+    p4.add_argument("--exports", type=int, default=1001)
+    p4.add_argument("--runs", type=int, default=6)
+    p4.add_argument("--no-buddy", action="store_true")
+    p4.add_argument("--seed", type=int, default=2007)
+    p4.add_argument("--json", metavar="PATH", help="dump run data as JSON")
+    p4.set_defaults(fn=_cmd_figure4)
+
+    pt = sub.add_parser("traces", help="print the Figure 5/7/8 traces")
+    pt.add_argument("--figure", choices=["5", "7", "8", "all"], default="all")
+    pt.set_defaults(fn=_cmd_traces)
+
+    ps = sub.add_parser("scenarios", help="run the Figure-3 scenarios")
+    ps.set_defaults(fn=_cmd_scenarios)
+
+    pv = sub.add_parser("validate-config", help="check a coupling config file")
+    pv.add_argument("path")
+    pv.set_defaults(fn=_cmd_validate_config)
+
+    pe = sub.add_parser(
+        "experiments", help="run all experiments; emit a markdown report"
+    )
+    pe.add_argument("--out", metavar="PATH", help="write to a file (default stdout)")
+    pe.add_argument("--exports", type=int, default=1001)
+    pe.add_argument("--runs", type=int, default=6)
+    pe.set_defaults(fn=_cmd_experiments)
+
+    pver = sub.add_parser("version", help="print the package version")
+    pver.set_defaults(fn=lambda _a: (print(__version__), 0)[1])
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

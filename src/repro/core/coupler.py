@@ -1,0 +1,965 @@
+"""Wiring the coupling framework into a runnable DES simulation.
+
+:class:`CoupledSimulation` is the public entry point of the library.
+A typical session (see ``examples/quickstart.py``)::
+
+    config = '''
+    F cluster0 /bin/F 4
+    U cluster1 /bin/U 16
+    #
+    F.forcing U.forcing REGL 2.5
+    '''
+
+    cs = CoupledSimulation(config, preset=PAPER_CLUSTER, buddy_help=True)
+    cs.add_program("F", main=f_main,
+                   regions={"forcing": RegionDef(BlockDecomposition((1024, 1024), (4, 1)))})
+    cs.add_program("U", main=u_main,
+                   regions={"forcing": RegionDef(BlockDecomposition((1024, 1024), (16, 1)))})
+    cs.run()
+
+``f_main(ctx)`` / ``u_main(ctx)`` are generator functions; they use the
+:class:`ProcessContext` API — ``yield from ctx.export(...)``,
+``yield from ctx.import_(...)``, ``yield from ctx.compute(...)`` and
+intra-program collectives through ``ctx.comm``.
+
+Topology per program: ``nprocs`` application processes (each with a
+*control* agent servicing rep traffic concurrently, standing in for
+the framework's service thread) plus one rep process.  Addresses on
+the shared :class:`~repro.des.Network`:
+
+* ``(name, rank)``       — the program's ``vmpi`` mailbox (user p2p
+  and collectives; untouched by the framework),
+* ``("ctl", name, rank)`` — framework control traffic,
+* ``("cpl", name, rank)`` — coupling data plane (answers and pieces),
+* ``("rep", name)``       — the program's representative.
+
+Modelling note: an application process and its control agent can
+consume virtual time concurrently, i.e. framework control work is not
+serialized against application compute.  This matches the paper's
+framework-thread design and keeps the (dominant) memcpy cost where the
+paper measures it — inside the export call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.core.config import ConnectionSpec, CouplingConfig, parse_config
+from repro.core.exceptions import ConfigError, FrameworkError
+from repro.core.exporter import ExportDecision, RegionExportState
+from repro.core.importer import RegionImportState
+from repro.core.properties import OperationLog, check_property1
+from repro.core.rep import (
+    AnswerImporter,
+    BuddyHelp,
+    DeliverAnswer,
+    ExporterRep,
+    ForwardRequest,
+    ForwardToExporter,
+    ImporterRep,
+)
+from repro.costs import ClusterPreset, FAST_TEST
+from repro.data.decomposition import BlockDecomposition
+from repro.data.region import RectRegion
+from repro.data.schedule import CommSchedule
+from repro.des import Event, Simulator
+from repro.des.channel import Delivery
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+from repro.util.rng import RngRegistry
+from repro.util import tracing
+from repro.util.tracing import NullTracer, Tracer
+from repro.util.validation import require, require_positive
+from repro.vmpi.des_backend import DesCommunicator, DesWorld
+
+
+# Wire messages are shared with the live threaded runtime so both speak
+# exactly the same protocol (see repro.core.wire).
+from repro.core.wire import (  # noqa: E402  (import after docstring helpers)
+    CTL_NBYTES as _CTL_NBYTES,
+    AnswerToImpRep as _AnswerToImpRep,
+    AnswerToProc as _AnswerToProc,
+    BuddyMsg as _BuddyMsg,
+    DataPiece as _DataPiece,
+    FwdRequest as _FwdRequest,
+    ImpProcRequest as _ImpProcRequest,
+    ProcResponse as _ProcResponse,
+    ReqToExpRep as _ReqToExpRep,
+)
+
+
+# ---------------------------------------------------------------------------
+# declarations and per-process state
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegionDef:
+    """A program's declaration of one coupled region.
+
+    Attributes
+    ----------
+    decomp:
+        How the region's global index space is distributed over the
+        program's processes.  ``decomp.nprocs`` must equal the
+        program's process count.
+    dtype:
+        Element type (drives wire sizes and importer assembly).
+    section:
+        Optional sub-box of the global index space this program couples
+        through (``None`` = the whole space).  The paper couples
+        "shared boundaries or overlapped regions between physical
+        models": a connection transfers the *intersection* of the two
+        sides' sections.  Exports still buffer the rank's whole local
+        block (that is the exported data object); the section only
+        restricts what travels.
+    """
+
+    decomp: BlockDecomposition
+    dtype: Any = np.float64
+    section: RectRegion | None = None
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return int(np.dtype(self.dtype).itemsize)
+
+    def effective_section(self) -> RectRegion:
+        """The declared section, defaulting to the full index space."""
+        return (
+            self.section
+            if self.section is not None
+            else self.decomp.bounding_region()
+        )
+
+
+@dataclass
+class ExportRecord:
+    """One export call of one process — a point of the Figure-4 series."""
+
+    ts: float
+    decision: ExportDecision
+    cost: float
+    at: float  # virtual time at call start
+
+
+@dataclass
+class ImportHandle:
+    """An outstanding non-blocking import (see ``import_begin``)."""
+
+    region: str
+    connection_id: str
+    ts: float
+    record: Any
+    done: bool = False
+
+
+@dataclass
+class ProcessStats:
+    """Per-process instrumentation collected during a run."""
+
+    export_records: list[ExportRecord] = field(default_factory=list)
+    compute_time: float = 0.0
+    #: Virtual time spent stalled waiting for buffer space (finite
+    #: buffers with the "block" policy).
+    backpressure_time: float = 0.0
+
+    def export_times(self) -> list[float]:
+        """The per-iteration export-cost series (Figure 4's y-axis)."""
+        return [r.cost for r in self.export_records]
+
+    def decisions(self) -> dict[str, int]:
+        """Histogram of export decisions."""
+        out: dict[str, int] = {}
+        for r in self.export_records:
+            out[r.decision.value] = out.get(r.decision.value, 0) + 1
+        return out
+
+
+class _ConnRuntime:
+    """Resolved per-connection runtime info (schedule, endpoints)."""
+
+    def __init__(self, spec: ConnectionSpec) -> None:
+        self.spec = spec
+        self.schedule: CommSchedule | None = None
+        self.exp_def: RegionDef | None = None
+        self.imp_def: RegionDef | None = None
+
+    @property
+    def cid(self) -> str:
+        return self.spec.connection_id
+
+
+class _ProgramRuntime:
+    """One registered program: spec, regions, communicators, contexts."""
+
+    def __init__(
+        self,
+        name: str,
+        nprocs: int,
+        main: Callable[["ProcessContext"], Generator[Event, Any, Any]] | None,
+        regions: dict[str, RegionDef],
+        comms: list[DesCommunicator],
+    ) -> None:
+        self.name = name
+        self.nprocs = nprocs
+        self.main = main
+        self.regions = regions
+        self.comms = comms
+        self.contexts: list[ProcessContext] = []
+        self.exp_rep: ExporterRep | None = None
+        self.imp_rep: ImporterRep | None = None
+        self.alive = nprocs
+
+
+class ProcessContext:
+    """The per-process API handed to user ``main(ctx)`` generators."""
+
+    def __init__(
+        self,
+        coupler: "CoupledSimulation",
+        program: _ProgramRuntime,
+        rank: int,
+    ) -> None:
+        self._coupler = coupler
+        self._program = program
+        self.program = program.name
+        self.rank = rank
+        self.nprocs = program.nprocs
+        #: Intra-program communicator (vmpi, DES backend).
+        self.comm = program.comms[rank]
+        self.sim: Simulator = coupler.sim
+        self.stats = ProcessStats()
+        self._rng = coupler.rng.stream(f"compute/{self.program}.{rank}")
+        # Per-region framework state.
+        self.export_states: dict[str, RegionExportState] = {}
+        self.import_states: dict[str, RegionImportState] = {}
+        for rname in program.regions:
+            exp_conns = coupler.config.connections_exporting(self.program, rname)
+            if exp_conns:
+                self.export_states[rname] = RegionExportState(
+                    rname, exp_conns, capacity_bytes=coupler.buffer_capacity_bytes
+                )
+            imp_conns = coupler.config.connections_importing(self.program, rname)
+            if imp_conns:
+                require(
+                    len(imp_conns) == 1,
+                    f"region {self.program}.{rname} is imported over "
+                    f"{len(imp_conns)} connections; at most one exporter "
+                    "per imported region is supported",
+                )
+                self.import_states[rname] = RegionImportState(
+                    rname, imp_conns[0].connection_id
+                )
+        # Regions declared but absent from any connection still get an
+        # (empty) export state so exports are legal no-ops.
+        for rname in program.regions:
+            if rname not in self.export_states and rname not in self.import_states:
+                self.export_states[rname] = RegionExportState(rname, [])
+
+    # -- identity helpers -------------------------------------------------
+    @property
+    def who(self) -> str:
+        """Trace identity, e.g. ``"F.p2"``."""
+        return f"{self.program}.p{self.rank}"
+
+    def local_region(self, region: str) -> RectRegion:
+        """This rank's owned sub-box of *region*."""
+        return self._program.regions[region].decomp.local_region(self.rank)
+
+    # -- time ------------------------------------------------------------------
+    def compute(self, seconds: float) -> Generator[Event, Any, float]:
+        """Spend *seconds* of virtual time computing."""
+        require(seconds >= 0, "compute time must be >= 0")
+        yield self.sim.timeout(seconds)
+        self.stats.compute_time += seconds
+        return seconds
+
+    def compute_elements(
+        self, elements: int, scale: float = 1.0
+    ) -> Generator[Event, Any, float]:
+        """Spend one solver iteration's virtual time over *elements* points.
+
+        *scale* injects load imbalance (the paper's slowed process
+        ``p_s`` does "extra computational work").
+        """
+        t = self._coupler.preset.compute.iteration_time(
+            elements, rng=self._rng, scale=scale
+        )
+        yield self.sim.timeout(t)
+        self.stats.compute_time += t
+        return t
+
+    # -- export -----------------------------------------------------------------
+    def export(
+        self,
+        region: str,
+        ts: float,
+        data: np.ndarray | None = None,
+    ) -> Generator[Event, Any, ExportDecision]:
+        """Export the region's data object with timestamp *ts*.
+
+        *data* is this rank's local block (shape must match the
+        declared decomposition); omit it for cost-only runs (the
+        Figure-4 micro-benchmark measures buffering cost without
+        shipping real payloads).  Returns the framework's decision.
+        """
+        st = self.export_states.get(region)
+        require(st is not None, f"{self.program} declares no region {region!r}")
+        assert st is not None
+        rdef = self._program.regions[region]
+        local = self.local_region(region)
+        if data is not None:
+            expected = local.shape
+            require(
+                tuple(data.shape) == expected,
+                f"export {region}@{ts}: local block shape {data.shape} != "
+                f"decomposition shape {expected}",
+            )
+            nbytes = int(data.nbytes)
+        else:
+            nbytes = local.size * rdef.itemsize
+
+        coupler = self._coupler
+        # Finite buffers with backpressure: if this export will need
+        # space the buffer cannot currently provide, stall until the
+        # agent's evictions (driven by requests/answers) free room.
+        if (
+            coupler.buffer_capacity_bytes is not None
+            and coupler.buffer_policy == "block"
+            and st.is_connected
+            and not st.would_skip(ts)
+        ):
+            stall_start = self.sim.now
+            while st.buffer.live_bytes + nbytes > coupler.buffer_capacity_bytes:
+                if st.would_skip(ts):
+                    break  # an answer arrived meanwhile; no space needed
+                yield self.sim.timeout(coupler.backpressure_poll)
+            self.stats.backpressure_time += self.sim.now - stall_start
+
+        t0 = self.sim.now
+        memcpy_cost = coupler.preset.memory.memcpy_time(
+            nbytes, now=t0, active_peers=self._program.alive - 1, rng=self._rng
+        )
+        outcome = st.on_export(ts, nbytes, memcpy_cost)
+        tracer = coupler.tracer
+        if outcome.decision in (ExportDecision.BUFFER, ExportDecision.SEND):
+            charge = memcpy_cost
+            if data is not None:
+                # The honest memcpy: the framework owns a private copy.
+                st.buffer.get(ts).payload = data.copy()
+            if tracer.enabled:
+                tracer.record(tracing.EXPORT_MEMCPY, self.who, t0, timestamp=ts)
+        elif outcome.decision is ExportDecision.SKIP:
+            charge = coupler.preset.memory.skip_time()
+            if tracer.enabled:
+                tracer.record(tracing.EXPORT_SKIP, self.who, t0, timestamp=ts)
+        else:  # NOOP: unconnected region
+            charge = 0.0
+        if outcome.replaced:
+            charge += coupler.preset.memory.free_buffers_time(len(outcome.replaced))
+            if tracer.enabled:
+                for entry in outcome.replaced:
+                    tracer.record(
+                        tracing.BUFFER_REMOVE, self.who, t0, timestamp=entry.ts
+                    )
+        if charge > 0:
+            yield self.sim.timeout(charge)
+
+        # Transfers: this export *is* the match for these connections.
+        for cid in outcome.send_connections:
+            coupler._send_pieces(self, region, cid, ts)
+        for cid, m in outcome.post_sends:
+            coupler._send_pieces(self, region, cid, m)
+        # Slow-path responses: open requests that became decidable.
+        for cid, response in outcome.new_responses:
+            coupler._send_response(self, cid, response)
+        # Threshold-driven eviction uncovered by this call.
+        evicted = st.collect_evictions()
+        if evicted:
+            free_cost = coupler.preset.memory.free_buffers_time(len(evicted))
+            if tracer.enabled:
+                tracer.record(
+                    tracing.BUFFER_REMOVE,
+                    self.who,
+                    self.sim.now,
+                    timestamp=evicted[-1].ts,
+                    low=evicted[0].ts,
+                    high=evicted[-1].ts,
+                )
+            yield self.sim.timeout(free_cost)
+            charge += free_cost
+
+        self.stats.export_records.append(
+            ExportRecord(ts=ts, decision=outcome.decision, cost=charge, at=t0)
+        )
+        if coupler.operation_log is not None:
+            coupler.operation_log.log(self.program, self.rank, "export", region, ts)
+        return outcome.decision
+
+    # -- import -----------------------------------------------------------------
+    def import_begin(self, region: str, ts: float) -> "ImportHandle":
+        """Post the request for *ts* without waiting (non-blocking).
+
+        Returns an :class:`ImportHandle` to pass to
+        :meth:`import_wait`.  This is the paper's Section-6 extension:
+        a process can post the request, compute, and collect the data
+        later — overlapping the framework round-trip and the transfer
+        with useful work.  Requests must still be issued collectively
+        and in increasing timestamp order.
+        """
+        ist = self.import_states.get(region)
+        require(ist is not None, f"{self.program} imports no region {region!r}")
+        assert ist is not None
+        coupler = self._coupler
+        cid = ist.connection_id
+        record = ist.start_request(ts, self.sim.now)
+        if coupler.tracer.enabled:
+            coupler.tracer.record(
+                tracing.IMPORT_REQUEST, self.who, self.sim.now, request=ts
+            )
+        coupler._net_send(
+            ("cpl", self.program, self.rank),
+            ("rep", self.program),
+            _ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank),
+        )
+        if coupler.operation_log is not None:
+            coupler.operation_log.log(self.program, self.rank, "import", region, ts)
+        return ImportHandle(region=region, connection_id=cid, ts=ts, record=record)
+
+    def import_wait(
+        self, handle: "ImportHandle"
+    ) -> Generator[Event, Any, tuple[float | None, np.ndarray | None]]:
+        """Block until the request behind *handle* resolves.
+
+        Returns ``(matched_ts, local_block)``; ``(None, None)`` on
+        NO_MATCH.  The local block is this rank's share under its own
+        declared decomposition (``None`` in cost-only runs).
+        """
+        require(not handle.done, "import handle already completed")
+        ist = self.import_states[handle.region]
+        coupler = self._coupler
+        cid = handle.connection_id
+        ts = handle.ts
+        conn_rt = coupler._connections[cid]
+        delivery = yield coupler._cpl_mailbox(self.program, self.rank).get_matching(
+            lambda d: isinstance(d.payload, _AnswerToProc)
+            and d.payload.connection_id == cid
+            and d.payload.answer.request_ts == ts
+        )
+        answer: FinalAnswer = delivery.payload.answer
+        ist.on_answer(handle.record, answer, self.sim.now)
+        handle.done = True
+        if answer.kind is MatchKind.NO_MATCH:
+            ist.complete(handle.record, self.sim.now)
+            return (None, None)
+        m = answer.matched_ts
+        assert m is not None
+        schedule = conn_rt.schedule
+        assert schedule is not None
+        expected = schedule.recvs_for(self.rank)
+        pieces: list[_DataPiece] = []
+        for _ in expected:
+            d = yield coupler._cpl_mailbox(self.program, self.rank).get_matching(
+                lambda d: isinstance(d.payload, _DataPiece)
+                and d.payload.connection_id == cid
+                and d.payload.match_ts == m
+            )
+            pieces.append(d.payload)
+        block = self._assemble(handle.region, pieces)
+        ist.complete(handle.record, self.sim.now)
+        if coupler.tracer.enabled:
+            coupler.tracer.record(
+                tracing.IMPORT_COMPLETE, self.who, self.sim.now, timestamp=m
+            )
+        return (m, block)
+
+    def import_(
+        self, region: str, ts: float
+    ) -> Generator[Event, Any, tuple[float | None, np.ndarray | None]]:
+        """Blocking import: :meth:`import_begin` + :meth:`import_wait`."""
+        handle = self.import_begin(region, ts)
+        result = yield from self.import_wait(handle)
+        return result
+
+    def _assemble(
+        self, region: str, pieces: list[_DataPiece]
+    ) -> np.ndarray | None:
+        rdef = self._program.regions[region]
+        local = self.local_region(region)
+        if any(p.data is None for p in pieces):
+            return None
+        if local.is_empty:
+            return np.zeros(local.shape, dtype=rdef.dtype)
+        block = np.zeros(local.shape, dtype=rdef.dtype)
+        for p in pieces:
+            block[p.region.to_slices(origin=local.lo)] = p.data
+        return block
+
+
+# ---------------------------------------------------------------------------
+# the coupler
+# ---------------------------------------------------------------------------
+
+class CoupledSimulation:
+    """A set of coupled programs on one virtual clock.
+
+    Parameters
+    ----------
+    config:
+        A :class:`CouplingConfig` or raw configuration text.
+    preset:
+        Cost-model bundle (default: fast test costs).
+    buddy_help:
+        Enable the paper's optimization (default on; the benchmarks
+        compare both settings).
+    seed:
+        Root RNG seed (compute jitter etc.).
+    tracer:
+        A :class:`~repro.util.tracing.Tracer` for Figure-5/7/8 style
+        event traces (default: record nothing).
+    buffer_capacity_bytes:
+        Optional bound on each process's framework buffer (the finite
+        buffer space named as future work in the paper's Section 6).
+    buffer_policy:
+        What an export does when buffering would exceed the capacity:
+        ``"error"`` raises :class:`FrameworkError` (default);
+        ``"block"`` applies backpressure — the exporting process stalls
+        until eviction (driven by arriving requests/answers) frees
+        space.  Stalled time accrues in ``stats.backpressure_time``.
+    record_operations:
+        Record every export/import call into an
+        :class:`~repro.core.properties.OperationLog` so Property-1
+        conformance can be checked after the run
+        (:meth:`check_property1`).
+    """
+
+    def __init__(
+        self,
+        config: CouplingConfig | str,
+        preset: ClusterPreset = FAST_TEST,
+        buddy_help: bool = True,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        buffer_capacity_bytes: int | None = None,
+        buffer_policy: str = "error",
+        record_operations: bool = False,
+    ) -> None:
+        require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
+        self.config = parse_config(config) if isinstance(config, str) else config
+        self.config.validate()
+        self.preset = preset
+        self.buddy_help = buddy_help
+        self.rng = RngRegistry(seed=seed)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.buffer_capacity_bytes = buffer_capacity_bytes
+        self.buffer_policy = buffer_policy
+        #: Poll interval while stalled on a full buffer.
+        self.backpressure_poll = 1.0e-4
+        #: Optional Property-1 operation log (see record_operations).
+        self.operation_log: OperationLog | None = (
+            OperationLog() if record_operations else None
+        )
+        self.world = DesWorld(
+            latency=preset.network.latency,
+            bandwidth=preset.network.bandwidth,
+            congestion=preset.network.congestion,
+            seed=seed,
+        )
+        self.sim: Simulator = self.world.sim
+        self._programs: dict[str, _ProgramRuntime] = {}
+        self._connections: dict[str, _ConnRuntime] = {
+            c.connection_id: _ConnRuntime(c) for c in self.config.connections
+        }
+        self._started = False
+
+    # -- setup ------------------------------------------------------------
+    def add_program(
+        self,
+        name: str,
+        main: Callable[[ProcessContext], Generator[Event, Any, Any]] | None = None,
+        regions: dict[str, RegionDef] | None = None,
+        nprocs: int | None = None,
+    ) -> _ProgramRuntime:
+        """Register a program.
+
+        *nprocs* defaults to the configuration file's process count.
+        *regions* maps region names to :class:`RegionDef`; every region
+        named by a connection endpoint of this program must appear.
+        *main* is the per-process generator function (optional for
+        passive programs driven by tests).
+        """
+        require(not self._started, "cannot add programs after run()")
+        require(name not in self._programs, f"program {name!r} already added")
+        spec = self.config.programs.get(name)
+        if nprocs is None:
+            if spec is None:
+                raise ConfigError(
+                    f"program {name!r} is not in the configuration; pass nprocs="
+                )
+            nprocs = spec.nprocs
+        require_positive(nprocs, "nprocs")
+        regions = dict(regions or {})
+        for rname, rdef in regions.items():
+            require(
+                rdef.decomp.nprocs == nprocs,
+                f"region {name}.{rname}: decomposition is over "
+                f"{rdef.decomp.nprocs} ranks but the program has {nprocs}",
+            )
+        comms = self.world.create_program(name, nprocs)
+        for r in range(nprocs):
+            self.world.network.register(("ctl", name, r))
+            self.world.network.register(("cpl", name, r))
+        self.world.network.register(("rep", name))
+        prog = _ProgramRuntime(name, nprocs, main, regions, comms)
+        self._programs[name] = prog
+        return prog
+
+    def context(self, program: str, rank: int) -> ProcessContext:
+        """The :class:`ProcessContext` of one process (after run() started)."""
+        return self._programs[program].contexts[rank]
+
+    # -- run ----------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        """Finalize the wiring and run the simulation."""
+        if not self._started:
+            self._finalize_setup()
+        self.sim.run(until)
+
+    def start(self) -> None:
+        """Finalize the wiring without running (drive the clock yourself)."""
+        if not self._started:
+            self._finalize_setup()
+
+    def _finalize_setup(self) -> None:
+        self._started = True
+        # Resolve connections: both endpoints must be registered with
+        # matching region declarations (the paper's early detection of
+        # incorrect couplings).
+        for crt in self._connections.values():
+            spec = crt.spec
+            for side, ep in (("exporter", spec.exporter), ("importer", spec.importer)):
+                prog = self._programs.get(ep.program)
+                if prog is None:
+                    raise ConfigError(
+                        f"connection {crt.cid}: {side} program {ep.program!r} "
+                        "was never added"
+                    )
+                if ep.region not in prog.regions:
+                    raise ConfigError(
+                        f"connection {crt.cid}: program {ep.program!r} does not "
+                        f"declare region {ep.region!r}"
+                    )
+            crt.exp_def = self._programs[spec.exporter.program].regions[
+                spec.exporter.region
+            ]
+            crt.imp_def = self._programs[spec.importer.program].regions[
+                spec.importer.region
+            ]
+            if (
+                crt.exp_def.decomp.global_shape
+                != crt.imp_def.decomp.global_shape
+            ):
+                raise ConfigError(
+                    f"connection {crt.cid}: exporter global shape "
+                    f"{crt.exp_def.decomp.global_shape} != importer global shape "
+                    f"{crt.imp_def.decomp.global_shape}"
+                )
+            transfer = crt.exp_def.effective_section().intersect(
+                crt.imp_def.effective_section()
+            )
+            if transfer.is_empty:
+                raise ConfigError(
+                    f"connection {crt.cid}: the exporter and importer sections "
+                    "do not overlap — nothing would ever be transferred"
+                )
+            crt.schedule = CommSchedule.build(
+                crt.exp_def.decomp, crt.imp_def.decomp, transfer
+            )
+
+        # Build reps, contexts, agents and mains.
+        for prog in self._programs.values():
+            exp_cids = [
+                c.connection_id
+                for c in self.config.connections
+                if c.exporter.program == prog.name
+            ]
+            imp_cids = [
+                c.connection_id
+                for c in self.config.connections
+                if c.importer.program == prog.name
+            ]
+            if exp_cids:
+                prog.exp_rep = ExporterRep(
+                    prog.name, prog.nprocs, exp_cids, buddy_help=self.buddy_help
+                )
+            if imp_cids:
+                prog.imp_rep = ImporterRep(prog.name, prog.nprocs, imp_cids)
+            prog.contexts = [
+                ProcessContext(self, prog, r) for r in range(prog.nprocs)
+            ]
+            self.sim.process(self._rep_proc(prog), name=f"{prog.name}.rep")
+            for r in range(prog.nprocs):
+                self.sim.process(
+                    self._agent_proc(prog.contexts[r]), name=f"{prog.name}.agent{r}"
+                )
+            if prog.main is not None:
+                for r in range(prog.nprocs):
+                    self.sim.process(
+                        self._main_proc(prog.contexts[r]), name=f"{prog.name}.{r}"
+                    )
+
+    # -- network helpers ------------------------------------------------------
+    def _net_send(self, src: Any, dst: Any, payload: Any, nbytes: int = _CTL_NBYTES) -> None:
+        self.world.network.send(src, dst, payload, nbytes=nbytes)
+
+    def _cpl_mailbox(self, program: str, rank: int):
+        return self.world.network.mailbox(("cpl", program, rank))
+
+    # -- data plane ----------------------------------------------------------------
+    def _send_pieces(self, ctx: ProcessContext, region: str, cid: str, m: float) -> None:
+        """Transfer this rank's scheduled pieces of the matched object."""
+        crt = self._connections[cid]
+        spec = crt.spec
+        schedule = crt.schedule
+        assert schedule is not None and crt.exp_def is not None
+        st = ctx.export_states[region]
+        entry = st.buffer.get(m)
+        if not entry.sent:
+            st.buffer.mark_sent(m)
+        payload = entry.payload
+        local = ctx.local_region(region)
+        itemsize = crt.exp_def.itemsize
+        imp_prog = spec.importer.program
+        for item in schedule.sends_for(ctx.rank):
+            if payload is not None:
+                data = np.ascontiguousarray(
+                    payload[item.region.to_slices(origin=local.lo)]
+                )
+            else:
+                data = None
+            self._net_send(
+                ("cpl", ctx.program, ctx.rank),
+                ("cpl", imp_prog, item.dst_rank),
+                _DataPiece(
+                    connection_id=cid,
+                    match_ts=m,
+                    src_rank=ctx.rank,
+                    region=item.region,
+                    data=data,
+                    nbytes=item.region.size * itemsize,
+                ),
+                nbytes=item.region.size * itemsize,
+            )
+        if self.tracer.enabled:
+            self.tracer.record(
+                tracing.EXPORT_SEND, ctx.who, self.sim.now, timestamp=m
+            )
+
+    def _send_response(self, ctx: ProcessContext, cid: str, response: MatchResponse) -> None:
+        if self.tracer.enabled:
+            self.tracer.record(
+                tracing.REQUEST_REPLY,
+                ctx.who,
+                self.sim.now,
+                request=response.request_ts,
+                answer=str(response.kind),
+                latest=(None if response.latest_export_ts == float("-inf")
+                        else response.latest_export_ts),
+            )
+        self._net_send(
+            ("cpl", ctx.program, ctx.rank),
+            ("rep", ctx.program),
+            _ProcResponse(connection_id=cid, rank=ctx.rank, response=response),
+        )
+
+    # -- processes ---------------------------------------------------------------
+    def _region_of_connection(self, prog: str, cid: str) -> str:
+        spec = self._connections[cid].spec
+        require(spec.exporter.program == prog, f"{cid} does not export from {prog}")
+        return spec.exporter.region
+
+    def _agent_proc(self, ctx: ProcessContext) -> Generator[Event, Any, None]:
+        """The framework service agent of one application process."""
+        box = self.world.network.mailbox(("ctl", ctx.program, ctx.rank))
+        free_time = self.preset.memory.free_time
+        while True:
+            delivery: Delivery = yield box.get()
+            msg = delivery.payload
+            if isinstance(msg, _FwdRequest):
+                region = self._region_of_connection(ctx.program, msg.connection_id)
+                st = ctx.export_states[region]
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        tracing.REQUEST_RECV,
+                        ctx.who,
+                        self.sim.now,
+                        request=msg.request_ts,
+                    )
+                outcome = st.on_request(msg.connection_id, msg.request_ts)
+                self._send_response(ctx, msg.connection_id, outcome.response)
+                if outcome.applied is not None and outcome.applied.send_now is not None:
+                    self._send_pieces(
+                        ctx, region, msg.connection_id, outcome.applied.send_now
+                    )
+                yield from self._agent_evict(ctx, st, free_time)
+            elif isinstance(msg, _BuddyMsg):
+                region = self._region_of_connection(ctx.program, msg.connection_id)
+                st = ctx.export_states[region]
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        tracing.BUDDY_RECV,
+                        ctx.who,
+                        self.sim.now,
+                        request=msg.answer.request_ts,
+                        answer="YES" if msg.answer.is_match else "NO",
+                        match=msg.answer.matched_ts
+                        if msg.answer.matched_ts is not None
+                        else msg.answer.request_ts,
+                    )
+                applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                if applied.send_now is not None:
+                    self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
+                yield from self._agent_evict(ctx, st, free_time)
+            else:
+                raise FrameworkError(f"agent received unexpected message {msg!r}")
+
+    def _agent_evict(
+        self, ctx: ProcessContext, st: RegionExportState, free_time: float
+    ) -> Generator[Event, Any, None]:
+        evicted = st.collect_evictions()
+        if evicted:
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.BUFFER_REMOVE,
+                    ctx.who,
+                    self.sim.now,
+                    timestamp=evicted[-1].ts,
+                    low=evicted[0].ts,
+                    high=evicted[-1].ts,
+                )
+            yield self.sim.timeout(free_time * len(evicted))
+
+    def _rep_proc(self, prog: _ProgramRuntime) -> Generator[Event, Any, None]:
+        """The program's representative process."""
+        box = self.world.network.mailbox(("rep", prog.name))
+        while True:
+            delivery: Delivery = yield box.get()
+            msg = delivery.payload
+            if isinstance(msg, _ReqToExpRep):
+                assert prog.exp_rep is not None
+                directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
+            elif isinstance(msg, _ProcResponse):
+                assert prog.exp_rep is not None
+                directives = prog.exp_rep.on_response(
+                    msg.connection_id, msg.rank, msg.response
+                )
+            elif isinstance(msg, _ImpProcRequest):
+                assert prog.imp_rep is not None
+                directives = prog.imp_rep.on_process_request(
+                    msg.connection_id, msg.request_ts, msg.rank
+                )
+            elif isinstance(msg, _AnswerToImpRep):
+                assert prog.imp_rep is not None
+                directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
+            else:
+                raise FrameworkError(f"rep received unexpected message {msg!r}")
+            for d in directives:
+                self._execute_directive(prog, d)
+
+    def _execute_directive(self, prog: _ProgramRuntime, d: Any) -> None:
+        rep_addr = ("rep", prog.name)
+        if isinstance(d, ForwardRequest):
+            self._net_send(
+                rep_addr,
+                ("ctl", prog.name, d.rank),
+                _FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
+            )
+        elif isinstance(d, AnswerImporter):
+            imp_prog = self._connections[d.connection_id].spec.importer.program
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.REP_FINALIZE,
+                    f"{prog.name}.rep",
+                    self.sim.now,
+                    request=d.answer.request_ts,
+                    answer=str(d.answer.kind),
+                )
+            self._net_send(
+                rep_addr,
+                ("rep", imp_prog),
+                _AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
+            )
+        elif isinstance(d, BuddyHelp):
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.BUDDY_SEND,
+                    f"{prog.name}.rep",
+                    self.sim.now,
+                    request=d.answer.request_ts,
+                    answer="YES" if d.answer.is_match else "NO",
+                    match=d.answer.matched_ts
+                    if d.answer.matched_ts is not None
+                    else d.answer.request_ts,
+                )
+            self._net_send(
+                rep_addr,
+                ("ctl", prog.name, d.rank),
+                _BuddyMsg(connection_id=d.connection_id, answer=d.answer),
+            )
+        elif isinstance(d, ForwardToExporter):
+            exp_prog = self._connections[d.connection_id].spec.exporter.program
+            self._net_send(
+                rep_addr,
+                ("rep", exp_prog),
+                _ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
+            )
+        elif isinstance(d, DeliverAnswer):
+            self._net_send(
+                rep_addr,
+                ("cpl", prog.name, d.rank),
+                _AnswerToProc(connection_id=d.connection_id, answer=d.answer),
+            )
+        else:  # pragma: no cover - defensive
+            raise FrameworkError(f"unknown directive {d!r}")
+
+    def _main_proc(self, ctx: ProcessContext) -> Generator[Event, Any, None]:
+        """User main wrapped with end-of-stream bookkeeping."""
+        assert ctx._program.main is not None
+        try:
+            yield from ctx._program.main(ctx)
+        finally:
+            ctx._program.alive -= 1
+            for region, st in ctx.export_states.items():
+                responses, post_sends = st.close()
+                for cid, m in post_sends:
+                    self._send_pieces(ctx, region, cid, m)
+                for cid, response in responses:
+                    self._send_response(ctx, cid, response)
+
+    # -- reporting -------------------------------------------------------------
+    def check_property1(self, raise_on_violation: bool = True) -> list[str]:
+        """Verify Property 1 over the recorded operation log.
+
+        Requires ``record_operations=True`` at construction.  Returns
+        violation descriptions (empty when conformant); raises
+        :class:`~repro.core.exceptions.PropertyViolationError` by
+        default when any are found.
+        """
+        require(
+            self.operation_log is not None,
+            "construct CoupledSimulation(record_operations=True) to check Property 1",
+        )
+        assert self.operation_log is not None
+        return check_property1(
+            self.operation_log, raise_on_violation=raise_on_violation
+        )
+
+    def export_series(self, program: str, rank: int) -> list[float]:
+        """The Figure-4 y-series of one process: per-export call cost."""
+        return self.context(program, rank).stats.export_times()
+
+    def buffer_stats(self, program: str, rank: int, region: str):
+        """Buffer counters (Eq. 1-2 ledgers) of one process's region."""
+        return self.context(program, rank).export_states[region].buffer.stats()

@@ -1,0 +1,28 @@
+"""Framework exception hierarchy."""
+
+from __future__ import annotations
+
+
+class FrameworkError(RuntimeError):
+    """Base class for coupling-framework errors."""
+
+
+class ConfigError(FrameworkError):
+    """A configuration file is malformed or inconsistent.
+
+    Raised at initialization time — the paper emphasizes that a
+    separate configuration enables *early* detection of incorrect
+    couplings (e.g. an imported region with no exporter).
+    """
+
+
+class PropertyViolationError(FrameworkError):
+    """Property 1 (collective operation semantics) was violated.
+
+    Some processes of one program transferred different timestamp
+    sequences, or answered inconsistently for the same request.
+    """
+
+
+class ProtocolError(FrameworkError):
+    """Messages arrived that the coupling protocol does not allow."""

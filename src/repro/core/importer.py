@@ -1,0 +1,95 @@
+"""Import-side per-process state.
+
+Importing is much simpler than exporting: a process issues a request
+(collectively — every process of the program issues the same sequence),
+waits for its rep to deliver the final answer, and on ``MATCH`` waits
+for its scheduled data pieces.  The state object tracks ordering and
+latency statistics; the blocking itself happens in the runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.match.result import FinalAnswer, MatchKind
+from repro.util.validation import require
+
+
+@dataclass
+class ImportRecord:
+    """Bookkeeping for one import call of one process."""
+
+    request_ts: float
+    issued_at: float
+    answered_at: float | None = None
+    completed_at: float | None = None
+    answer: FinalAnswer | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """Request-to-completion virtual time, if finished."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class RegionImportState:
+    """One process's import state for one imported region."""
+
+    region_name: str
+    connection_id: str
+    records: list[ImportRecord] = field(default_factory=list)
+    _last_request_ts: float = -math.inf
+
+    def start_request(self, request_ts: float, now: float) -> ImportRecord:
+        """Validate ordering and open a new import record."""
+        require(
+            request_ts > self._last_request_ts,
+            f"import requests must have increasing timestamps: "
+            f"{request_ts} after {self._last_request_ts}",
+        )
+        self._last_request_ts = request_ts
+        record = ImportRecord(request_ts=request_ts, issued_at=now)
+        self.records.append(record)
+        return record
+
+    def on_answer(self, record: ImportRecord, answer: FinalAnswer, now: float) -> None:
+        """The final answer arrived for *record*."""
+        require(record.answer is None, "record already answered")
+        require(
+            answer.request_ts == record.request_ts,
+            f"answer for @{answer.request_ts} applied to request @{record.request_ts}",
+        )
+        record.answer = answer
+        record.answered_at = now
+
+    def complete(self, record: ImportRecord, now: float) -> None:
+        """All data pieces arrived (or NO_MATCH short-circuited)."""
+        require(record.answer is not None, "completing an unanswered import")
+        record.completed_at = now
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def match_count(self) -> int:
+        """Completed imports that returned data."""
+        return sum(
+            1
+            for r in self.records
+            if r.answer is not None and r.answer.kind is MatchKind.MATCH
+        )
+
+    @property
+    def no_match_count(self) -> int:
+        """Completed imports that returned nothing."""
+        return sum(
+            1
+            for r in self.records
+            if r.answer is not None and r.answer.kind is MatchKind.NO_MATCH
+        )
+
+    def mean_latency(self) -> float:
+        """Mean completed-import latency (0.0 when none completed)."""
+        vals = [r.latency for r in self.records if r.latency is not None]
+        return sum(vals) / len(vals) if vals else 0.0

@@ -1,0 +1,592 @@
+"""The live coupling runtime: OS threads and wall-clock time.
+
+:class:`LiveCoupledSimulation` runs the *same* coupling protocol as the
+DES runtime (:mod:`repro.core.coupler`) — identical state machines
+(:class:`~repro.core.exporter.RegionExportState`,
+:class:`~repro.core.rep.ExporterRep`/:class:`~repro.core.rep.ImporterRep`)
+and identical wire messages (:mod:`repro.core.wire`) — but on real
+threads:
+
+* each program runs ``nprocs`` application threads, ``nprocs``
+  framework *agent* threads (the service thread of the paper's
+  framework, handling forwarded requests and buddy-help messages
+  concurrently with application compute), and one *rep* thread;
+* buffering performs an actual ``ndarray.copy()`` and records its
+  measured wall-clock duration in the Eq. (1)-(2) ledgers;
+* ``ctx.compute(seconds)`` really sleeps (scaled by ``time_scale`` so
+  demos stay fast).
+
+The DES runtime remains the tool for the paper's experiments (virtual
+time is deterministic); this runtime demonstrates — and tests — that
+the framework logic is runtime-independent, and is what a downstream
+user would embed in real applications.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import wire
+from repro.core.config import CouplingConfig, parse_config
+from repro.core.coupler import RegionDef
+from repro.core.exceptions import ConfigError, FrameworkError
+from repro.core.exporter import ExportDecision, RegionExportState
+from repro.core.importer import RegionImportState
+from repro.core.rep import (
+    AnswerImporter,
+    BuddyHelp,
+    DeliverAnswer,
+    ExporterRep,
+    ForwardRequest,
+    ForwardToExporter,
+    ImporterRep,
+)
+from repro.data.region import RectRegion
+from repro.data.schedule import CommSchedule
+from repro.match.result import FinalAnswer, MatchKind
+from repro.util import tracing
+from repro.util.tracing import NullTracer, Tracer
+from repro.util.validation import require, require_positive
+from repro.vmpi.thread_backend import ThreadCommunicator, ThreadMailbox, ThreadWorld
+
+
+@dataclass
+class LiveExportRecord:
+    """One export call: wall-clock duration and the decision taken."""
+
+    ts: float
+    decision: ExportDecision
+    seconds: float
+
+
+@dataclass
+class LiveStats:
+    """Per-process wall-clock instrumentation."""
+
+    export_records: list[LiveExportRecord] = field(default_factory=list)
+
+    def decisions(self) -> dict[str, int]:
+        """Histogram of export decisions."""
+        out: dict[str, int] = {}
+        for r in self.export_records:
+            out[r.decision.value] = out.get(r.decision.value, 0) + 1
+        return out
+
+    def total_export_seconds(self) -> float:
+        """Total wall time spent inside export calls."""
+        return sum(r.seconds for r in self.export_records)
+
+
+class _LiveProgram:
+    def __init__(self, name, nprocs, main, regions, comms):
+        self.name = name
+        self.nprocs = nprocs
+        self.main = main
+        self.regions: dict[str, RegionDef] = regions
+        self.comms: list[ThreadCommunicator] = comms
+        self.contexts: list[LiveProcessContext] = []
+        self.exp_rep: ExporterRep | None = None
+        self.imp_rep: ImporterRep | None = None
+        self.rep_lock = threading.Lock()
+
+
+class LiveProcessContext:
+    """The per-process API of the live runtime (blocking calls)."""
+
+    def __init__(self, runtime: "LiveCoupledSimulation", program: _LiveProgram, rank: int):
+        self._rt = runtime
+        self._program = program
+        self.program = program.name
+        self.rank = rank
+        self.nprocs = program.nprocs
+        #: Intra-program communicator (vmpi thread backend).
+        self.comm = program.comms[rank]
+        self.stats = LiveStats()
+        #: Guards the export states shared with this process's agent.
+        self.lock = threading.RLock()
+        self.export_states: dict[str, RegionExportState] = {}
+        self.import_states: dict[str, RegionImportState] = {}
+        config = runtime.config
+        for rname in program.regions:
+            exp = config.connections_exporting(self.program, rname)
+            if exp:
+                self.export_states[rname] = RegionExportState(rname, exp)
+            imp = config.connections_importing(self.program, rname)
+            if imp:
+                require(len(imp) == 1, f"region {rname}: one exporter only")
+                self.import_states[rname] = RegionImportState(
+                    rname, imp[0].connection_id
+                )
+        for rname in program.regions:
+            if rname not in self.export_states and rname not in self.import_states:
+                self.export_states[rname] = RegionExportState(rname, [])
+
+    # -- identity --------------------------------------------------------
+    @property
+    def who(self) -> str:
+        """Trace identity, e.g. ``"F.p2"``."""
+        return f"{self.program}.p{self.rank}"
+
+    def local_region(self, region: str) -> RectRegion:
+        """This rank's owned sub-box of *region*."""
+        return self._program.regions[region].decomp.local_region(self.rank)
+
+    # -- time -----------------------------------------------------------------
+    def compute(self, seconds: float) -> None:
+        """Really sleep for ``seconds * time_scale``."""
+        require(seconds >= 0, "compute time must be >= 0")
+        time.sleep(seconds * self._rt.time_scale)
+
+    # -- export ------------------------------------------------------------------
+    def export(self, region: str, ts: float, data: np.ndarray | None = None) -> ExportDecision:
+        """Export the region's object at *ts*; returns the decision.
+
+        Buffering performs an actual copy of *data*; its measured
+        duration lands in the buffer ledger and the export record.
+        """
+        st = self.export_states.get(region)
+        require(st is not None, f"{self.program} declares no region {region!r}")
+        assert st is not None
+        local = self.local_region(region)
+        if data is not None:
+            require(
+                tuple(data.shape) == local.shape,
+                f"export {region}@{ts}: block shape {data.shape} != {local.shape}",
+            )
+            nbytes = int(data.nbytes)
+        else:
+            nbytes = local.size * self._program.regions[region].itemsize
+        t0 = time.perf_counter()
+        with self.lock:
+            outcome = st.on_export(ts, nbytes, memcpy_cost=0.0)
+            if outcome.decision in (ExportDecision.BUFFER, ExportDecision.SEND):
+                copy_start = time.perf_counter()
+                payload = data.copy() if data is not None else None
+                copied = time.perf_counter() - copy_start
+                entry = st.buffer.get(ts)
+                entry.payload = payload
+                st.buffer.record_cost(ts, copied)
+            for cid in outcome.send_connections:
+                self._rt._send_pieces(self, region, cid, ts)
+            for cid, m in outcome.post_sends:
+                self._rt._send_pieces(self, region, cid, m)
+            for cid, response in outcome.new_responses:
+                self._rt._send_response(self, cid, response)
+            st.collect_evictions()
+        elapsed = time.perf_counter() - t0
+        self.stats.export_records.append(
+            LiveExportRecord(ts=ts, decision=outcome.decision, seconds=elapsed)
+        )
+        if self._rt.tracer.enabled:
+            kind = (
+                tracing.EXPORT_SKIP
+                if outcome.decision is ExportDecision.SKIP
+                else tracing.EXPORT_MEMCPY
+            )
+            self._rt.tracer.record(kind, self.who, time.perf_counter(), timestamp=ts)
+        return outcome.decision
+
+    # -- import -------------------------------------------------------------------
+    def import_(
+        self, region: str, ts: float, timeout: float | None = None
+    ) -> tuple[float | None, np.ndarray | None]:
+        """Request the region's object for *ts*; blocks until resolved."""
+        ist = self.import_states.get(region)
+        require(ist is not None, f"{self.program} imports no region {region!r}")
+        assert ist is not None
+        rt = self._rt
+        cid = ist.connection_id
+        record = ist.start_request(ts, time.perf_counter())
+        rt._mailbox("rep", self.program).put(
+            wire.ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank)
+        )
+        box = rt._mailbox("cpl", self.program, self.rank)
+        timeout = rt.default_timeout if timeout is None else timeout
+        answer_msg = box.get(
+            lambda m: isinstance(m, wire.AnswerToProc)
+            and m.connection_id == cid
+            and m.answer.request_ts == ts,
+            timeout=timeout,
+        )
+        answer: FinalAnswer = answer_msg.answer
+        ist.on_answer(record, answer, time.perf_counter())
+        if answer.kind is MatchKind.NO_MATCH:
+            ist.complete(record, time.perf_counter())
+            return (None, None)
+        m = answer.matched_ts
+        assert m is not None
+        schedule = rt._connections[cid].schedule
+        assert schedule is not None
+        pieces = []
+        for _ in schedule.recvs_for(self.rank):
+            piece = box.get(
+                lambda msg: isinstance(msg, wire.DataPiece)
+                and msg.connection_id == cid
+                and msg.match_ts == m,
+                timeout=timeout,
+            )
+            pieces.append(piece)
+        block = self._assemble(region, pieces)
+        ist.complete(record, time.perf_counter())
+        return (m, block)
+
+    def _assemble(self, region: str, pieces: list[wire.DataPiece]) -> np.ndarray | None:
+        rdef = self._program.regions[region]
+        local = self.local_region(region)
+        if any(p.data is None for p in pieces):
+            return None
+        block = np.zeros(local.shape, dtype=rdef.dtype)
+        for p in pieces:
+            block[p.region.to_slices(origin=local.lo)] = p.data
+        return block
+
+
+class LiveCoupledSimulation:
+    """Threaded, wall-clock twin of :class:`CoupledSimulation`.
+
+    Parameters
+    ----------
+    config:
+        A :class:`CouplingConfig` or configuration text (Figure 2).
+    buddy_help:
+        Enable the paper's optimization.
+    time_scale:
+        Multiplier applied to ``ctx.compute`` sleeps (use < 1 to speed
+        demos up).
+    default_timeout:
+        Blocking-receive timeout (deadlock diagnosis).
+    """
+
+    def __init__(
+        self,
+        config: CouplingConfig | str,
+        buddy_help: bool = True,
+        time_scale: float = 1.0,
+        default_timeout: float = 30.0,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = parse_config(config) if isinstance(config, str) else config
+        self.config.validate()
+        require_positive(time_scale, "time_scale")
+        self.buddy_help = buddy_help
+        self.time_scale = time_scale
+        self.default_timeout = default_timeout
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.world = ThreadWorld(default_timeout=default_timeout)
+        self._programs: dict[str, _LiveProgram] = {}
+        self._connections = {
+            c.connection_id: _LiveConn(c) for c in self.config.connections
+        }
+        self._started = False
+
+    # -- setup ------------------------------------------------------------
+    def add_program(
+        self,
+        name: str,
+        main: Callable[[LiveProcessContext], Any] | None = None,
+        regions: dict[str, RegionDef] | None = None,
+        nprocs: int | None = None,
+    ) -> _LiveProgram:
+        """Register a program (same contract as the DES coupler)."""
+        require(not self._started, "cannot add programs after run()")
+        require(name not in self._programs, f"program {name!r} already added")
+        spec = self.config.programs.get(name)
+        if nprocs is None:
+            if spec is None:
+                raise ConfigError(f"program {name!r} not in configuration; pass nprocs=")
+            nprocs = spec.nprocs
+        regions = dict(regions or {})
+        for rname, rdef in regions.items():
+            require(
+                rdef.decomp.nprocs == nprocs,
+                f"region {name}.{rname}: decomposition over {rdef.decomp.nprocs} "
+                f"ranks but program has {nprocs}",
+            )
+        comms = self.world.create_program(name, nprocs)
+        for r in range(nprocs):
+            self.world.register(("ctl", name, r))
+            self.world.register(("cpl", name, r))
+        self.world.register(("rep", name))
+        prog = _LiveProgram(name, nprocs, main, regions, comms)
+        self._programs[name] = prog
+        return prog
+
+    def context(self, program: str, rank: int) -> LiveProcessContext:
+        """The live context of one process (valid once run() started)."""
+        return self._programs[program].contexts[rank]
+
+    def buffer_stats(self, program: str, rank: int, region: str):
+        """Buffer ledger snapshot of one process's exported region."""
+        return self.context(program, rank).export_states[region].buffer.stats()
+
+    # -- run --------------------------------------------------------------
+    def run(self, join_timeout: float = 120.0) -> None:
+        """Start all threads, wait for application mains, shut down."""
+        self._finalize_setup()
+        service: list[threading.Thread] = []
+        mains: list[threading.Thread] = []
+        errors: list[BaseException] = []
+
+        def guarded(fn, *args):
+            def runner():
+                try:
+                    fn(*args)
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            return runner
+
+        for prog in self._programs.values():
+            t = threading.Thread(
+                target=guarded(self._rep_loop, prog),
+                name=f"{prog.name}.rep",
+                daemon=True,
+            )
+            service.append(t)
+            for ctx in prog.contexts:
+                a = threading.Thread(
+                    target=guarded(self._agent_loop, ctx),
+                    name=f"{prog.name}.agent{ctx.rank}",
+                    daemon=True,
+                )
+                service.append(a)
+            if prog.main is not None:
+                for ctx in prog.contexts:
+                    m = threading.Thread(
+                        target=guarded(self._main_body, ctx),
+                        name=f"{prog.name}.{ctx.rank}",
+                        daemon=True,
+                    )
+                    mains.append(m)
+        for t in service:
+            t.start()
+        for t in mains:
+            t.start()
+        for t in mains:
+            t.join(timeout=join_timeout)
+        alive = [t.name for t in mains if t.is_alive()]
+        # Stop the service loops regardless of outcome.
+        for prog in self._programs.values():
+            self._mailbox("rep", prog.name).put(wire.Shutdown())
+            for r in range(prog.nprocs):
+                self._mailbox("ctl", prog.name, r).put(wire.Shutdown())
+        for t in service:
+            t.join(timeout=5.0)
+        if errors:
+            raise RuntimeError(f"live run failed: {errors[0]!r}") from errors[0]
+        if alive:
+            raise RuntimeError(f"application threads did not finish: {alive}")
+
+    # -- internals ------------------------------------------------------------
+    def _finalize_setup(self) -> None:
+        self._started = True
+        for crt in self._connections.values():
+            spec = crt.spec
+            for side, ep in (("exporter", spec.exporter), ("importer", spec.importer)):
+                prog = self._programs.get(ep.program)
+                if prog is None:
+                    raise ConfigError(
+                        f"connection {crt.cid}: {side} program {ep.program!r} never added"
+                    )
+                if ep.region not in prog.regions:
+                    raise ConfigError(
+                        f"connection {crt.cid}: {ep.program!r} does not declare "
+                        f"region {ep.region!r}"
+                    )
+            exp_def = self._programs[spec.exporter.program].regions[spec.exporter.region]
+            imp_def = self._programs[spec.importer.program].regions[spec.importer.region]
+            if exp_def.decomp.global_shape != imp_def.decomp.global_shape:
+                raise ConfigError(f"connection {crt.cid}: global shape mismatch")
+            transfer = exp_def.effective_section().intersect(
+                imp_def.effective_section()
+            )
+            if transfer.is_empty:
+                raise ConfigError(
+                    f"connection {crt.cid}: the sections do not overlap"
+                )
+            crt.exp_def = exp_def
+            crt.schedule = CommSchedule.build(exp_def.decomp, imp_def.decomp, transfer)
+        for prog in self._programs.values():
+            exp_cids = [
+                c.connection_id
+                for c in self.config.connections
+                if c.exporter.program == prog.name
+            ]
+            imp_cids = [
+                c.connection_id
+                for c in self.config.connections
+                if c.importer.program == prog.name
+            ]
+            if exp_cids:
+                prog.exp_rep = ExporterRep(
+                    prog.name, prog.nprocs, exp_cids, buddy_help=self.buddy_help
+                )
+            if imp_cids:
+                prog.imp_rep = ImporterRep(prog.name, prog.nprocs, imp_cids)
+            prog.contexts = [
+                LiveProcessContext(self, prog, r) for r in range(prog.nprocs)
+            ]
+
+    def _mailbox(self, *address: Any) -> ThreadMailbox:
+        return self.world.mailbox(tuple(address))
+
+    def _send_response(self, ctx: LiveProcessContext, cid: str, response) -> None:
+        self._mailbox("rep", ctx.program).put(
+            wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        )
+
+    def _send_pieces(self, ctx: LiveProcessContext, region: str, cid: str, m: float) -> None:
+        crt = self._connections[cid]
+        schedule = crt.schedule
+        assert schedule is not None and crt.exp_def is not None
+        st = ctx.export_states[region]
+        entry = st.buffer.get(m)
+        if not entry.sent:
+            st.buffer.mark_sent(m)
+        payload = entry.payload
+        local = ctx.local_region(region)
+        imp_prog = crt.spec.importer.program
+        itemsize = crt.exp_def.itemsize
+        for item in schedule.sends_for(ctx.rank):
+            data = None
+            if payload is not None:
+                data = np.ascontiguousarray(
+                    payload[item.region.to_slices(origin=local.lo)]
+                )
+            self._mailbox("cpl", imp_prog, item.dst_rank).put(
+                wire.DataPiece(
+                    connection_id=cid,
+                    match_ts=m,
+                    src_rank=ctx.rank,
+                    region=item.region,
+                    data=data,
+                    nbytes=item.region.size * itemsize,
+                )
+            )
+
+    def _region_of_connection(self, prog: str, cid: str) -> str:
+        spec = self._connections[cid].spec
+        require(spec.exporter.program == prog, f"{cid} does not export from {prog}")
+        return spec.exporter.region
+
+    def _agent_loop(self, ctx: LiveProcessContext) -> None:
+        box = self._mailbox("ctl", ctx.program, ctx.rank)
+        while True:
+            msg = box.get(lambda _m: True, timeout=None)
+            if isinstance(msg, wire.Shutdown):
+                return
+            if isinstance(msg, wire.FwdRequest):
+                region = self._region_of_connection(ctx.program, msg.connection_id)
+                st = ctx.export_states[region]
+                with ctx.lock:
+                    outcome = st.on_request(msg.connection_id, msg.request_ts)
+                    self._send_response(ctx, msg.connection_id, outcome.response)
+                    if outcome.applied is not None and outcome.applied.send_now is not None:
+                        self._send_pieces(
+                            ctx, region, msg.connection_id, outcome.applied.send_now
+                        )
+                    st.collect_evictions()
+            elif isinstance(msg, wire.BuddyMsg):
+                region = self._region_of_connection(ctx.program, msg.connection_id)
+                st = ctx.export_states[region]
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        tracing.BUDDY_RECV,
+                        ctx.who,
+                        time.perf_counter(),
+                        request=msg.answer.request_ts,
+                        answer="YES" if msg.answer.is_match else "NO",
+                        match=msg.answer.matched_ts
+                        if msg.answer.matched_ts is not None
+                        else msg.answer.request_ts,
+                    )
+                with ctx.lock:
+                    applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                    if applied.send_now is not None:
+                        self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
+                    st.collect_evictions()
+            else:
+                raise FrameworkError(f"agent received unexpected message {msg!r}")
+
+    def _rep_loop(self, prog: _LiveProgram) -> None:
+        box = self._mailbox("rep", prog.name)
+        while True:
+            msg = box.get(lambda _m: True, timeout=None)
+            if isinstance(msg, wire.Shutdown):
+                return
+            with prog.rep_lock:
+                if isinstance(msg, wire.ReqToExpRep):
+                    assert prog.exp_rep is not None
+                    directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
+                elif isinstance(msg, wire.ProcResponse):
+                    assert prog.exp_rep is not None
+                    directives = prog.exp_rep.on_response(
+                        msg.connection_id, msg.rank, msg.response
+                    )
+                elif isinstance(msg, wire.ImpProcRequest):
+                    assert prog.imp_rep is not None
+                    directives = prog.imp_rep.on_process_request(
+                        msg.connection_id, msg.request_ts, msg.rank
+                    )
+                elif isinstance(msg, wire.AnswerToImpRep):
+                    assert prog.imp_rep is not None
+                    directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
+                else:
+                    raise FrameworkError(f"rep received unexpected message {msg!r}")
+            for d in directives:
+                self._execute_directive(prog, d)
+
+    def _execute_directive(self, prog: _LiveProgram, d: Any) -> None:
+        if isinstance(d, ForwardRequest):
+            self._mailbox("ctl", prog.name, d.rank).put(
+                wire.FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts)
+            )
+        elif isinstance(d, AnswerImporter):
+            imp_prog = self._connections[d.connection_id].spec.importer.program
+            self._mailbox("rep", imp_prog).put(
+                wire.AnswerToImpRep(connection_id=d.connection_id, answer=d.answer)
+            )
+        elif isinstance(d, BuddyHelp):
+            self._mailbox("ctl", prog.name, d.rank).put(
+                wire.BuddyMsg(connection_id=d.connection_id, answer=d.answer)
+            )
+        elif isinstance(d, ForwardToExporter):
+            exp_prog = self._connections[d.connection_id].spec.exporter.program
+            self._mailbox("rep", exp_prog).put(
+                wire.ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts)
+            )
+        elif isinstance(d, DeliverAnswer):
+            self._mailbox("cpl", prog.name, d.rank).put(
+                wire.AnswerToProc(connection_id=d.connection_id, answer=d.answer)
+            )
+        else:  # pragma: no cover - defensive
+            raise FrameworkError(f"unknown directive {d!r}")
+
+    def _main_body(self, ctx: LiveProcessContext) -> None:
+        assert ctx._program.main is not None
+        try:
+            ctx._program.main(ctx)
+        finally:
+            with ctx.lock:
+                for region, st in ctx.export_states.items():
+                    responses, post_sends = st.close()
+                    for cid, m in post_sends:
+                        self._send_pieces(ctx, region, cid, m)
+                    for cid, response in responses:
+                        self._send_response(ctx, cid, response)
+
+
+class _LiveConn:
+    def __init__(self, spec):
+        self.spec = spec
+        self.schedule: CommSchedule | None = None
+        self.exp_def: RegionDef | None = None
+
+    @property
+    def cid(self) -> str:
+        return self.spec.connection_id

@@ -1,0 +1,94 @@
+"""Offline Property-1 conformance checking.
+
+Property 1 (paper Section 4): if one process of a program transfers
+(exports or imports) data with timestamps ``t_1, ..., t_n``, every
+other process of that program must transfer the same timestamps in the
+same order.  The runtime detects violations *reactively* (inconsistent
+responses reach the rep); this module checks recorded operation logs
+*exhaustively* after a run — used by the integration tests and
+available to users as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.exceptions import PropertyViolationError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One logged collective-relevant operation of one process."""
+
+    kind: str  # "export" | "import" | "transfer"
+    region: str
+    ts: float
+
+
+@dataclass
+class OperationLog:
+    """Per-program, per-rank operation records."""
+
+    #: program -> rank -> ordered operations
+    records: dict[str, dict[int, list[Operation]]] = field(default_factory=dict)
+
+    def log(self, program: str, rank: int, kind: str, region: str, ts: float) -> None:
+        """Append one operation for ``program`` rank ``rank``."""
+        self.records.setdefault(program, {}).setdefault(rank, []).append(
+            Operation(kind=kind, region=region, ts=ts)
+        )
+
+    def sequence(self, program: str, rank: int) -> list[Operation]:
+        """The recorded sequence for one process (empty if none)."""
+        return list(self.records.get(program, {}).get(rank, []))
+
+    def programs(self) -> list[str]:
+        """Programs with at least one record."""
+        return sorted(self.records)
+
+
+def check_property1(
+    log: OperationLog,
+    programs: Iterable[str] | None = None,
+    raise_on_violation: bool = True,
+) -> list[str]:
+    """Verify that every program's processes logged identical sequences.
+
+    Returns a list of human-readable violation descriptions (empty when
+    conformant).  With ``raise_on_violation`` (default) a non-empty
+    result raises :class:`PropertyViolationError` instead.
+
+    Processes may be at different *positions* in the sequence when the
+    run is cut off (slower processes lag); therefore a shorter sequence
+    that is a prefix of the longest one is conformant — only genuine
+    mismatches are violations.
+    """
+    violations: list[str] = []
+    names = list(programs) if programs is not None else log.programs()
+    for program in names:
+        ranks = log.records.get(program, {})
+        if len(ranks) < 2:
+            continue
+        # Use the longest sequence as the reference.
+        ref_rank = max(ranks, key=lambda r: len(ranks[r]))
+        reference = ranks[ref_rank]
+        for rank, ops in sorted(ranks.items()):
+            if rank == ref_rank:
+                continue
+            for i, op in enumerate(ops):
+                if i >= len(reference):
+                    violations.append(
+                        f"{program}: rank {rank} logged extra operation {op} "
+                        f"beyond rank {ref_rank}'s sequence"
+                    )
+                    break
+                if op != reference[i]:
+                    violations.append(
+                        f"{program}: rank {rank} operation {i} is {op}, but "
+                        f"rank {ref_rank} logged {reference[i]}"
+                    )
+                    break
+    if violations and raise_on_violation:
+        raise PropertyViolationError("; ".join(violations))
+    return violations

@@ -1,0 +1,324 @@
+"""Representative ("rep") processes (paper Sections 3-4).
+
+Each program runs one extra low-overhead control process.  The
+exporter-side rep fans incoming requests out to the program's
+processes, aggregates their MATCH/NO_MATCH/PENDING responses under the
+five-legal-cases rule, answers the importer, and — when buddy-help is
+enabled — forwards the final answer to its own still-PENDING processes
+so they can skip future buffering.
+
+The importer-side rep deduplicates the collective import requests of
+its processes (one request crosses programs regardless of N importer
+ranks) and broadcasts the final answer back to them.
+
+Both classes are pure state machines: events in, *directives* out.
+The runtime (:mod:`repro.core.coupler`) turns directives into
+messages; the unit tests drive the machines directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ProtocolError, PropertyViolationError
+from repro.match.aggregate import CollectiveViolationError, aggregate_responses
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+from repro.util.validation import require
+
+
+# ---------------------------------------------------------------------------
+# directives
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForwardRequest:
+    """Exporter rep → exporter process: evaluate this request."""
+
+    rank: int
+    connection_id: str
+    request_ts: float
+
+
+@dataclass(frozen=True)
+class AnswerImporter:
+    """Exporter rep → importer rep: the final answer."""
+
+    connection_id: str
+    answer: FinalAnswer
+
+
+@dataclass(frozen=True)
+class BuddyHelp:
+    """Exporter rep → a (slow) exporter process: the final answer.
+
+    This is the paper's optimization: the receiving process uses the
+    answer to skip buffering data objects that can never be a match,
+    even before those objects are generated.
+    """
+
+    rank: int
+    connection_id: str
+    answer: FinalAnswer
+
+
+@dataclass(frozen=True)
+class ForwardToExporter:
+    """Importer rep → exporter rep: a deduplicated request."""
+
+    connection_id: str
+    request_ts: float
+
+
+@dataclass(frozen=True)
+class DeliverAnswer:
+    """Importer rep → importer process: the final answer."""
+
+    rank: int
+    connection_id: str
+    answer: FinalAnswer
+
+
+Directive = (
+    ForwardRequest | AnswerImporter | BuddyHelp | ForwardToExporter | DeliverAnswer
+)
+
+
+# ---------------------------------------------------------------------------
+# exporter-side rep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ExpRequestState:
+    request_ts: float
+    responses: dict[int, MatchResponse] = field(default_factory=dict)
+    definitive_ranks: set[int] = field(default_factory=set)
+    finalized: FinalAnswer | None = None
+
+
+class ExporterRep:
+    """Aggregation and buddy-help dissemination for one exporting program.
+
+    Parameters
+    ----------
+    program:
+        Program name (for diagnostics).
+    nprocs:
+        Number of application processes in the program.
+    connection_ids:
+        The connections this program exports over.
+    buddy_help:
+        Whether to disseminate final answers to PENDING processes (the
+        paper's optimization; disable for the baseline comparison).
+    """
+
+    def __init__(
+        self,
+        program: str,
+        nprocs: int,
+        connection_ids: list[str],
+        buddy_help: bool = True,
+    ) -> None:
+        require(nprocs > 0, "nprocs must be positive")
+        self.program = program
+        self.nprocs = nprocs
+        self.buddy_help = buddy_help
+        self._requests: dict[str, dict[float, _ExpRequestState]] = {
+            cid: {} for cid in connection_ids
+        }
+        self._last_request_ts: dict[str, float] = {
+            cid: -math.inf for cid in connection_ids
+        }
+        #: Counters for reporting.
+        self.buddy_messages_sent = 0
+        self.requests_seen = 0
+        self.finalized_count = 0
+
+    # -- events ------------------------------------------------------------
+    def on_request(self, connection_id: str, request_ts: float) -> list[Directive]:
+        """A request arrives from the importer side; fan it out."""
+        states = self._conn(connection_id)
+        last = self._last_request_ts[connection_id]
+        if request_ts <= last:
+            raise ProtocolError(
+                f"{self.program} rep: request timestamps must increase on "
+                f"{connection_id}: got {request_ts} after {last}"
+            )
+        self._last_request_ts[connection_id] = request_ts
+        states[request_ts] = _ExpRequestState(request_ts=request_ts)
+        self.requests_seen += 1
+        return [
+            ForwardRequest(rank=r, connection_id=connection_id, request_ts=request_ts)
+            for r in range(self.nprocs)
+        ]
+
+    def on_response(
+        self, connection_id: str, rank: int, response: MatchResponse
+    ) -> list[Directive]:
+        """A process responds (possibly again, after its stream advanced)."""
+        states = self._conn(connection_id)
+        st = states.get(response.request_ts)
+        if st is None:
+            raise ProtocolError(
+                f"{self.program} rep: response for unknown request "
+                f"@{response.request_ts} on {connection_id}"
+            )
+        st.responses[rank] = response
+        if response.is_definitive:
+            st.definitive_ranks.add(rank)
+
+        if st.finalized is not None:
+            # Late response: it must agree with the verdict, otherwise
+            # the program is not collective.
+            self._validate_late(connection_id, st, rank, response)
+            return []
+
+        if not response.is_definitive:
+            return []
+
+        # First definitive response: Property 1 makes it final already.
+        try:
+            answer = aggregate_responses(list(st.responses.values()))
+        except CollectiveViolationError as exc:
+            raise PropertyViolationError(str(exc)) from exc
+        assert answer is not None  # at least one definitive response
+        st.finalized = answer
+        self.finalized_count += 1
+        directives: list[Directive] = [
+            AnswerImporter(connection_id=connection_id, answer=answer)
+        ]
+        if self.buddy_help:
+            for r in range(self.nprocs):
+                if r not in st.definitive_ranks:
+                    directives.append(
+                        BuddyHelp(rank=r, connection_id=connection_id, answer=answer)
+                    )
+                    self.buddy_messages_sent += 1
+        return directives
+
+    # -- inspection -----------------------------------------------------------
+    def open_requests(self, connection_id: str) -> list[float]:
+        """Requests not yet finalized (all responses so far PENDING)."""
+        return sorted(
+            ts
+            for ts, st in self._conn(connection_id).items()
+            if st.finalized is None
+        )
+
+    def answer_for(self, connection_id: str, request_ts: float) -> FinalAnswer | None:
+        """The final answer for a request, if decided."""
+        st = self._conn(connection_id).get(request_ts)
+        return st.finalized if st else None
+
+    # -- internals ---------------------------------------------------------------
+    def _conn(self, connection_id: str) -> dict[float, _ExpRequestState]:
+        try:
+            return self._requests[connection_id]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.program} rep: unknown connection {connection_id!r}"
+            ) from None
+
+    def _validate_late(
+        self,
+        connection_id: str,
+        st: _ExpRequestState,
+        rank: int,
+        response: MatchResponse,
+    ) -> None:
+        answer = st.finalized
+        assert answer is not None
+        if not response.is_definitive:
+            return
+        if response.kind is not answer.kind or (
+            response.kind is MatchKind.MATCH
+            and response.matched_ts != answer.matched_ts
+        ):
+            raise PropertyViolationError(
+                f"{self.program} rep: process {rank} answered "
+                f"{response.kind}/{response.matched_ts} for request "
+                f"@{response.request_ts} on {connection_id}, but the collective "
+                f"verdict was {answer.kind}/{answer.matched_ts} — Property 1 violated"
+            )
+
+
+# ---------------------------------------------------------------------------
+# importer-side rep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ImpRequestState:
+    request_ts: float
+    waiting: set[int] = field(default_factory=set)
+    answer: FinalAnswer | None = None
+
+
+class ImporterRep:
+    """Request deduplication and answer broadcast for an importing program."""
+
+    def __init__(self, program: str, nprocs: int, connection_ids: list[str]) -> None:
+        require(nprocs > 0, "nprocs must be positive")
+        self.program = program
+        self.nprocs = nprocs
+        self._requests: dict[str, dict[float, _ImpRequestState]] = {
+            cid: {} for cid in connection_ids
+        }
+        self.forwarded_count = 0
+
+    def on_process_request(
+        self, connection_id: str, request_ts: float, rank: int
+    ) -> list[Directive]:
+        """An importer process wants data at *request_ts*.
+
+        The first process to ask triggers the cross-program request
+        (so the request reaches the exporter as early as the *fastest*
+        importer process gets there); later processes either wait or
+        get the already-known answer immediately.
+        """
+        states = self._conn(connection_id)
+        st = states.get(request_ts)
+        directives: list[Directive] = []
+        if st is None:
+            st = _ImpRequestState(request_ts=request_ts)
+            states[request_ts] = st
+            self.forwarded_count += 1
+            directives.append(
+                ForwardToExporter(connection_id=connection_id, request_ts=request_ts)
+            )
+        if st.answer is not None:
+            directives.append(
+                DeliverAnswer(rank=rank, connection_id=connection_id, answer=st.answer)
+            )
+        else:
+            st.waiting.add(rank)
+        return directives
+
+    def on_answer(self, connection_id: str, answer: FinalAnswer) -> list[Directive]:
+        """The exporter rep's final answer arrives; wake the waiters."""
+        states = self._conn(connection_id)
+        st = states.get(answer.request_ts)
+        if st is None:
+            raise ProtocolError(
+                f"{self.program} rep: answer for unknown request "
+                f"@{answer.request_ts} on {connection_id}"
+            )
+        if st.answer is not None:
+            raise ProtocolError(
+                f"{self.program} rep: duplicate answer for request "
+                f"@{answer.request_ts} on {connection_id}"
+            )
+        st.answer = answer
+        woken = sorted(st.waiting)
+        st.waiting.clear()
+        return [
+            DeliverAnswer(rank=r, connection_id=connection_id, answer=answer)
+            for r in woken
+        ]
+
+    def _conn(self, connection_id: str) -> dict[float, _ImpRequestState]:
+        try:
+            return self._requests[connection_id]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.program} rep: unknown connection {connection_id!r}"
+            ) from None

@@ -1,0 +1,102 @@
+"""Wire messages of the coupling protocol.
+
+Shared by the two runtimes — the DES coupler
+(:mod:`repro.core.coupler`) and the live threaded coupler
+(:mod:`repro.core.live`) — so both speak exactly the same protocol:
+
+* importer process → importer rep: :class:`ImpProcRequest`
+* importer rep → exporter rep:     :class:`ReqToExpRep`
+* exporter rep → exporter process: :class:`FwdRequest`
+* exporter process → exporter rep: :class:`ProcResponse`
+* exporter rep → exporter process: :class:`BuddyMsg`   (buddy-help)
+* exporter rep → importer rep:     :class:`AnswerToImpRep`
+* importer rep → importer process: :class:`AnswerToProc`
+* exporter process → importer process: :class:`DataPiece`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.region import RectRegion
+from repro.match.result import FinalAnswer, MatchResponse
+
+#: Modelled wire size of a control message (headers + a few scalars).
+CTL_NBYTES = 64
+
+
+@dataclass(frozen=True)
+class ReqToExpRep:
+    """Importer rep → exporter rep: a deduplicated request."""
+
+    connection_id: str
+    request_ts: float
+
+
+@dataclass(frozen=True)
+class FwdRequest:
+    """Exporter rep → exporter process: evaluate this request."""
+
+    connection_id: str
+    request_ts: float
+
+
+@dataclass(frozen=True)
+class ProcResponse:
+    """Exporter process → exporter rep: a (possibly updated) response."""
+
+    connection_id: str
+    rank: int
+    response: MatchResponse
+
+
+@dataclass(frozen=True)
+class BuddyMsg:
+    """Exporter rep → exporter process: the final answer (buddy-help)."""
+
+    connection_id: str
+    answer: FinalAnswer
+
+
+@dataclass(frozen=True)
+class AnswerToImpRep:
+    """Exporter rep → importer rep: the final answer."""
+
+    connection_id: str
+    answer: FinalAnswer
+
+
+@dataclass(frozen=True)
+class ImpProcRequest:
+    """Importer process → its own rep: this rank wants *request_ts*."""
+
+    connection_id: str
+    request_ts: float
+    rank: int
+
+
+@dataclass(frozen=True)
+class AnswerToProc:
+    """Importer rep → importer process: the final answer."""
+
+    connection_id: str
+    answer: FinalAnswer
+
+
+@dataclass(frozen=True)
+class DataPiece:
+    """Exporter process → importer process: one scheduled piece."""
+
+    connection_id: str
+    match_ts: float
+    src_rank: int
+    region: RectRegion
+    data: np.ndarray | None
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Runtime-internal: stop a service loop (live runtime only)."""

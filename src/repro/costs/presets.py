@@ -1,0 +1,71 @@
+"""Calibrated cost-model bundles.
+
+:data:`PAPER_CLUSTER` approximates the paper's testbed — Pentium 4
+2.8 GHz nodes on Gigabit Ethernet (Section 5):
+
+* memcpy bandwidth ≈ 1.5 GB/s: buffering one 512×512 float64 block
+  (2 MiB, the per-process share in program *F*) costs ≈ 1.4 ms, the
+  magnitude visible in Figure 4;
+* GigE ≈ 125 MB/s with 100 µs latency;
+* solver rate chosen so the 1024×1024 importer with 4 processes is
+  *slower* than the exporter (Figure 4(a)) and with 32 processes much
+  faster (Figure 4(d)).
+
+:data:`FAST_TEST` shrinks everything so unit tests run in microseconds
+of wall time while preserving all orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.models import ComputeCostModel, MemoryCostModel, NetworkCostModel
+
+
+@dataclass(frozen=True)
+class ClusterPreset:
+    """A named bundle of the three cost models."""
+
+    name: str
+    memory: MemoryCostModel = field(default_factory=MemoryCostModel)
+    network: NetworkCostModel = field(default_factory=NetworkCostModel)
+    compute: ComputeCostModel = field(default_factory=ComputeCostModel)
+
+
+#: 2007-era hardware like the paper's testbed.
+PAPER_CLUSTER = ClusterPreset(
+    name="pentium4-gige",
+    memory=MemoryCostModel(
+        setup_time=5.0e-5,
+        bandwidth=1.5e9,
+        free_time=2.0e-5,
+        init_factor=1.08,
+        init_until=0.0,  # experiment builders set this per run length
+        contention_per_peer=0.013,
+    ),
+    network=NetworkCostModel(
+        latency=1.0e-4,
+        bandwidth=1.25e8,
+        congestion_per_flow=0.05,
+    ),
+    compute=ComputeCostModel(
+        time_per_element=2.0e-8,
+        fixed_overhead=1.0e-5,
+        jitter=0.0,  # experiment builders add jitter per run
+    ),
+)
+
+#: Tiny costs for fast deterministic unit tests.
+FAST_TEST = ClusterPreset(
+    name="fast-test",
+    memory=MemoryCostModel(
+        setup_time=1.0e-6,
+        bandwidth=1.0e12,
+        free_time=1.0e-7,
+        init_factor=1.0,
+        init_until=0.0,
+        contention_per_peer=0.0,
+    ),
+    network=NetworkCostModel(latency=1.0e-6, bandwidth=1.0e12, congestion_per_flow=0.0),
+    compute=ComputeCostModel(time_per_element=1.0e-9, fixed_overhead=1.0e-6, jitter=0.0),
+)

@@ -1,0 +1,399 @@
+"""Core of the discrete-event simulator: events, processes, the clock.
+
+Design notes
+------------
+The scheduler is a binary heap of ``(time, priority, seq, event)``
+tuples.  ``seq`` is a monotonically increasing tie-breaker, so two
+events scheduled for the same instant at the same priority fire in
+schedule order — this is what makes whole simulations deterministic.
+
+Processes are plain Python generators.  A process yields the event it
+wants to wait for; when that event fires, the process is resumed with
+the event's value (or the event's exception is thrown into it).  This
+mirrors SimPy's programming model, which is the de-facto idiom for
+Python DES code, but the implementation here is self-contained.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import IntEnum
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.util.validation import require, require_non_negative
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations (e.g. double trigger)."""
+
+
+class PriorityLevel(IntEnum):
+    """Relative ordering of events scheduled for the same instant."""
+
+    URGENT = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class Event:
+    """A one-shot occurrence on the virtual timeline.
+
+    An event starts *pending*, becomes *triggered* once it has been
+    scheduled with a value (or failure), and *processed* after its
+    callbacks have run.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: A failed event whose exception was delivered to a waiter is
+        #: "defused" and will not crash the simulation at process time.
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when ``not ok``)."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: PriorityLevel = PriorityLevel.NORMAL) -> "Event":
+        """Trigger the event successfully with *value* at the current time."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: PriorityLevel = PriorityLevel.NORMAL) -> "Event":
+        """Trigger the event as failed; waiters receive *exc*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        require(isinstance(exc, BaseException), "fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        require_non_negative(delay, "delay")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=PriorityLevel.NORMAL)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Attributes
+    ----------
+    cause:
+        The value passed to :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The interrupt cause supplied by the interrupter."""
+        return self.args[0]
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` instances to wait on.  When the
+    awaited event fires, the generator resumes with the event's value
+    (or the event's exception is thrown in).  A ``return value`` inside
+    the generator becomes this process-event's value.
+    """
+
+    __slots__ = ("name", "_gen", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(sim)
+        require(hasattr(gen, "send") and hasattr(gen, "throw"), "gen must be a generator")
+        self.name = name
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick the generator at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None, priority=PriorityLevel.URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event (the
+        event may still fire later, the process just no longer waits).
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waited = self._waiting_on
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        carrier = Event(self.sim)
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause), priority=PriorityLevel.URGENT)
+        carrier.defuse()
+
+    # -- engine --------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self._gen.send(trigger.value)
+            else:
+                trigger.defuse()
+                target = self._gen.throw(trigger.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # generator crashed
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another Simulator")
+        if target._processed:
+            # Already fired: resume immediately (same instant) with its value.
+            carrier = Event(self.sim)
+            carrier.callbacks.append(self._resume)
+            if target.ok:
+                carrier.succeed(target.value, priority=PriorityLevel.URGENT)
+            else:
+                carrier.fail(target.value, priority=PriorityLevel.URGENT)
+                carrier.defuse()
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite waits."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        require(len(self._events) > 0, "condition needs at least one event")
+        self._pending = 0
+        for ev in self._events:
+            if ev._processed:
+                self._check(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        # Handle the all-already-processed case.
+        if not self._triggered and self._pending == 0:
+            self._finalize()
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._satisfied(ev):
+            self._finalize()
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self._events if ev._processed and ev.ok}
+
+    def _finalize(self) -> None:
+        if not self._triggered:
+            self.succeed(self._results())
+
+    def _satisfied(self, ev: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event has fired.
+
+    Its value is a dict mapping the already-fired events to their
+    values (there may be more than one if several fire at one instant).
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self, ev: Event) -> bool:
+        return True
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self, ev: Event) -> bool:
+        return self._pending <= 0
+
+
+class Simulator:
+    """The virtual clock and event loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(2.0)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> log
+    [2.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "process") -> Process:
+        """Start *gen* as a process at the current instant."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of *events* have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: PriorityLevel) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, int(priority), self._seq, event))
+
+    def _step(self) -> None:
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        require(when >= self._now, "event scheduled in the past")
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not event._defused:
+            raise event.value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until the heap drains.  A number runs until
+            the clock would pass it (the clock is then advanced exactly
+            to it).  An :class:`Event` runs until that event has been
+            processed and returns its value.
+        """
+        if until is None:
+            while self._heap:
+                self._step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired "
+                        "(deadlock: some process waits forever)"
+                    )
+                self._step()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+        horizon = float(until)
+        require_non_negative(horizon - self._now, "run-until horizon (must be >= now)")
+        while self._heap and self._heap[0][0] <= horizon:
+            self._step()
+        self._now = horizon
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when drained)."""
+        return self._heap[0][0] if self._heap else float("inf")

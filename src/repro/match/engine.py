@@ -1,0 +1,147 @@
+"""Per-process match evaluation over an increasing export stream.
+
+:class:`ExportHistory` records the timestamps a process has exported
+(strictly increasing, enforced — the paper's model *requires* requests
+and exports to form increasing sequences).  :class:`MatchEngine`
+evaluates requests against that history under a policy, producing
+``MATCH`` / ``NO_MATCH`` / ``PENDING`` responses with the exact
+semantics of Section 3.1:
+
+* ``PENDING`` while the stream has not yet reached the request
+  timestamp (a better candidate might still be exported);
+* definitive once it has (or once the stream is closed).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from repro.match.policies import MatchPolicy
+from repro.match.result import MatchKind, MatchResponse
+from repro.util.validation import require
+
+
+class ExportHistory:
+    """Strictly increasing record of one process's export timestamps."""
+
+    def __init__(self) -> None:
+        self._ts: list[float] = []
+        self._closed = False
+
+    # -- recording -----------------------------------------------------
+    def add(self, ts: float) -> None:
+        """Record a new export timestamp (must exceed all previous)."""
+        require(not self._closed, "cannot export after the stream is closed")
+        if self._ts:
+            require(
+                ts > self._ts[-1],
+                f"export timestamps must increase: {ts} after {self._ts[-1]}",
+            )
+        self._ts.append(float(ts))
+
+    def close(self) -> None:
+        """Mark the stream finished (end of program run).
+
+        After closing, every request becomes decidable: no further
+        export can appear, so the best candidate is final.
+        """
+        self._closed = True
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has ended."""
+        return self._closed
+
+    @property
+    def latest(self) -> float:
+        """Newest export timestamp (``-inf`` when nothing exported)."""
+        return self._ts[-1] if self._ts else -math.inf
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def in_interval(self, low: float, high: float) -> list[float]:
+        """Timestamps within the closed interval ``[low, high]``."""
+        i = bisect.bisect_left(self._ts, low)
+        j = bisect.bisect_right(self._ts, high)
+        return self._ts[i:j]
+
+    def all_timestamps(self) -> list[float]:
+        """Copy of the full history."""
+        return list(self._ts)
+
+
+class MatchEngine:
+    """Evaluates import requests against one process's export history.
+
+    Also enforces the model's requirement that *request* timestamps
+    form a strictly increasing sequence per connection.
+    """
+
+    def __init__(
+        self, policy: MatchPolicy, history: ExportHistory | None = None
+    ) -> None:
+        #: The policy in force for this connection.
+        self.policy = policy
+        #: The export stream evaluated against.  May be *shared*: a
+        #: region exported over several connections has one history and
+        #: one engine per connection.
+        self.history = history if history is not None else ExportHistory()
+        self._last_request_ts = -math.inf
+
+    # -- export side ------------------------------------------------------
+    def record_export(self, ts: float) -> None:
+        """Record that this process exported a data object at *ts*."""
+        self.history.add(ts)
+
+    def close_stream(self) -> None:
+        """Mark the export stream finished."""
+        self.history.close()
+
+    # -- request side ----------------------------------------------------
+    def check_request_order(self, request_ts: float) -> None:
+        """Validate and record a new request timestamp."""
+        require(
+            request_ts > self._last_request_ts,
+            f"request timestamps must increase: {request_ts} after "
+            f"{self._last_request_ts}",
+        )
+        self._last_request_ts = request_ts
+
+    def evaluate(self, request_ts: float, *, record: bool = True) -> MatchResponse:
+        """Evaluate *request_ts* against the current history.
+
+        With ``record=True`` (a genuinely new request) the request
+        order is checked and remembered; ``record=False`` re-evaluates
+        an outstanding request after new exports (the slow-process
+        path: a PENDING process re-answers when its stream advances).
+        """
+        if record:
+            self.check_request_order(request_ts)
+        decidable = (
+            self.policy.decidable(self.history.latest, request_ts)
+            or self.history.closed
+        )
+        if not decidable:
+            return MatchResponse(
+                request_ts=request_ts,
+                kind=MatchKind.PENDING,
+                latest_export_ts=self.history.latest,
+            )
+        low, high = self.policy.region(request_ts)
+        candidates = self.history.in_interval(low, high)
+        best = self.policy.select_best(candidates, request_ts)
+        if best is None:
+            return MatchResponse(
+                request_ts=request_ts,
+                kind=MatchKind.NO_MATCH,
+                latest_export_ts=self.history.latest,
+            )
+        return MatchResponse(
+            request_ts=request_ts,
+            kind=MatchKind.MATCH,
+            matched_ts=best,
+            latest_export_ts=self.history.latest,
+        )

@@ -1,0 +1,213 @@
+"""Structured event tracing.
+
+The paper explains buddy-help with line-by-line event traces (Figures 5,
+7 and 8): ``export D@1.6, call memcpy.`` / ``export D@15.6, skip
+memcpy.`` / ``receive buddy-help {D@20, YES, D@19.6}.`` and so on.  To
+*regenerate* those figures we record every framework decision as a
+:class:`TraceEvent` and render the stream in the paper's notation.
+
+Tracing is on the export hot path, so the default :class:`NullTracer`
+does nothing and costs a single dynamic dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+#: Canonical trace event kinds emitted by the framework.  Kept as plain
+#: strings (not an Enum) so user extensions can add their own kinds.
+EXPORT_MEMCPY = "export_memcpy"
+EXPORT_SKIP = "export_skip"
+EXPORT_SEND = "export_send"
+BUFFER_REMOVE = "buffer_remove"
+REQUEST_RECV = "request_recv"
+REQUEST_REPLY = "request_reply"
+BUDDY_RECV = "buddy_help_recv"
+BUDDY_SEND = "buddy_help_send"
+IMPORT_REQUEST = "import_request"
+IMPORT_COMPLETE = "import_complete"
+REP_FINALIZE = "rep_finalize"
+
+KNOWN_KINDS = frozenset(
+    {
+        EXPORT_MEMCPY,
+        EXPORT_SKIP,
+        EXPORT_SEND,
+        BUFFER_REMOVE,
+        REQUEST_RECV,
+        REQUEST_REPLY,
+        BUDDY_RECV,
+        BUDDY_SEND,
+        IMPORT_REQUEST,
+        IMPORT_COMPLETE,
+        REP_FINALIZE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One framework decision, in the paper's Figure-5/7/8 vocabulary.
+
+    Attributes
+    ----------
+    kind:
+        One of the module-level kind constants (or a user extension).
+    who:
+        Identity of the acting process, e.g. ``"F.p_s"``.
+    time:
+        Virtual (or wall) time at which the event occurred.
+    timestamp:
+        The simulation timestamp of the data object involved, when
+        applicable (``None`` otherwise).
+    detail:
+        Free-form key/value payload (e.g. request timestamp, match
+        answer, removed range).
+    """
+
+    kind: str
+    who: str
+    time: float
+    timestamp: float | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def render(self, object_name: str = "D") -> str:
+        """Render this event one line in the paper's notation."""
+        ts = f"{object_name}@{self.timestamp:g}" if self.timestamp is not None else ""
+        d = self.detail
+        if self.kind == EXPORT_MEMCPY:
+            return f"export {ts}, call memcpy."
+        if self.kind == EXPORT_SKIP:
+            return f"export {ts}, skip memcpy."
+        if self.kind == EXPORT_SEND:
+            return f"send {ts} out."
+        if self.kind == BUFFER_REMOVE:
+            lo, hi = d.get("low"), d.get("high")
+            if lo is not None and hi is not None and lo != hi:
+                return f"remove {object_name}@{lo:g}, ..., {object_name}@{hi:g}."
+            return f"remove {ts}."
+        if self.kind == REQUEST_RECV:
+            return f"receive request for {object_name}@{d['request']:g}."
+        if self.kind == REQUEST_REPLY:
+            answer = d.get("answer", "?")
+            latest = d.get("latest")
+            latest_s = f", {object_name}@{latest:g}" if latest is not None else ""
+            return (
+                f"reply {{{object_name}@{d['request']:g}, {answer}{latest_s}}}."
+            )
+        if self.kind == BUDDY_RECV:
+            return (
+                f"receive buddy-help {{{object_name}@{d['request']:g}, "
+                f"{d.get('answer', 'YES')}, {object_name}@{d['match']:g}}}."
+            )
+        if self.kind == BUDDY_SEND:
+            return (
+                f"send buddy-help {{{object_name}@{d['request']:g}, "
+                f"{d.get('answer', 'YES')}, {object_name}@{d['match']:g}}}."
+            )
+        if self.kind == IMPORT_REQUEST:
+            return f"request {object_name}@{d['request']:g}."
+        if self.kind == IMPORT_COMPLETE:
+            return f"import {ts} complete."
+        if self.kind == REP_FINALIZE:
+            return (
+                f"rep finalize {{{object_name}@{d['request']:g}, "
+                f"{d.get('answer', '?')}}}."
+            )
+        return f"{self.kind} {ts} {d}"  # fallback for extension kinds
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records.
+
+    Parameters
+    ----------
+    predicate:
+        Optional filter; events for which it returns ``False`` are
+        dropped at record time (cheaper than filtering afterwards for
+        long runs).
+    """
+
+    def __init__(
+        self, predicate: Callable[[TraceEvent], bool] | None = None
+    ) -> None:
+        self.events: list[TraceEvent] = []
+        self._predicate = predicate
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything (always True here)."""
+        return True
+
+    def record(
+        self,
+        kind: str,
+        who: str,
+        time: float,
+        timestamp: float | None = None,
+        **detail: Any,
+    ) -> None:
+        """Record one event."""
+        ev = TraceEvent(kind=kind, who=who, time=time, timestamp=timestamp, detail=detail)
+        if self._predicate is None or self._predicate(ev):
+            self.events.append(ev)
+
+    def filter(
+        self, kind: str | None = None, who: str | None = None
+    ) -> list[TraceEvent]:
+        """Return events matching the given kind and/or actor."""
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if who is not None:
+            out = [e for e in out if e.who == who]
+        return list(out)
+
+    def kinds(self) -> set[str]:
+        """Set of distinct event kinds recorded."""
+        return {e.kind for e in self.events}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; the hot-path default."""
+
+    def __init__(self) -> None:  # noqa: D107 - trivial
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        """Always ``False``: callers may skip building event details."""
+        return False
+
+    def record(self, *args: Any, **kwargs: Any) -> None:
+        """Ignore the event."""
+
+
+def format_trace(
+    events: Iterable[TraceEvent],
+    object_name: str = "D",
+    numbered: bool = True,
+) -> str:
+    """Render *events* as the paper renders Figures 5, 7 and 8.
+
+    Parameters
+    ----------
+    events:
+        The events to render, in order.
+    object_name:
+        The distributed object's display name (the paper uses ``D``).
+    numbered:
+        Prefix each line with a 1-based line number like the figures do.
+    """
+    lines = []
+    for i, ev in enumerate(events, start=1):
+        body = ev.render(object_name=object_name)
+        lines.append(f"{i:>3}  {body}" if numbered else body)
+    return "\n".join(lines)

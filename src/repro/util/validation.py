@@ -1,0 +1,84 @@
+"""Uniform argument validation helpers.
+
+The framework surfaces user errors (bad configuration files, nonsensical
+tolerances, mismatched decompositions) early and with consistent
+messages.  Every public entry point validates its arguments through the
+helpers in this module so error text is predictable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Container, Iterable
+
+
+class ValidationError(ValueError):
+    """Raised when a framework argument fails validation.
+
+    Subclasses :class:`ValueError` so callers that catch the standard
+    exception hierarchy keep working.
+    """
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition*."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str) -> Any:
+    """Check ``isinstance(value, types)`` and return *value*.
+
+    Parameters
+    ----------
+    value:
+        The value to check.
+    types:
+        A type or tuple of acceptable types.
+    name:
+        The argument name used in the error message.
+    """
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise ValidationError(
+            f"{name} must be {expected}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def require_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` and return it."""
+    require_type(value, (int, float), name)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` and return it."""
+    require_type(value, (int, float), name)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in(value: Any, allowed: Container[Any], name: str) -> Any:
+    """Require that *value* is a member of *allowed* and return it."""
+    if value not in allowed:
+        shown: Any = allowed
+        if isinstance(allowed, Iterable) and not isinstance(allowed, (str, bytes)):
+            try:
+                shown = sorted(allowed)  # type: ignore[type-var]
+            except TypeError:
+                shown = list(allowed)  # type: ignore[arg-type]
+        raise ValidationError(f"{name} must be one of {shown}, got {value!r}")
+    return value
+
+
+def require_callable(value: Any, name: str) -> Callable[..., Any]:
+    """Require that *value* is callable and return it."""
+    if not callable(value):
+        raise ValidationError(f"{name} must be callable, got {type(value).__name__}")
+    return value

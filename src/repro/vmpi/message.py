@@ -1,0 +1,64 @@
+"""Message envelopes and matching for point-to-point communication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class _Wildcard:
+    """Singleton wildcard used for source/tag matching."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Match any sending rank in :meth:`Communicator.recv`.
+ANY_SOURCE = _Wildcard("ANY_SOURCE")
+#: Match any message tag in :meth:`Communicator.recv`.
+ANY_TAG = _Wildcard("ANY_TAG")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message within one communicator.
+
+    Attributes
+    ----------
+    src:
+        Sending rank (within the communicator).
+    tag:
+        User tag (int) or internal collective key (str).
+    payload:
+        The transmitted object.  Backends never copy it; SPMD code that
+        mutates received arrays owns them by convention, exactly as
+        mpi4py's pickle-path semantics give the receiver a fresh object.
+    nbytes:
+        Modelled wire size (for the DES backend's timing).
+    """
+
+    src: int
+    tag: int | str
+    payload: Any
+    nbytes: int = 0
+
+
+def match_predicate(
+    source: Any, tag: Any
+) -> Callable[[Message], bool]:
+    """Build a predicate selecting messages by *source* and *tag*.
+
+    Either argument may be the corresponding wildcard.
+    """
+
+    def _pred(msg: Message) -> bool:
+        if source is not ANY_SOURCE and msg.src != source:
+            return False
+        if tag is not ANY_TAG and msg.tag != tag:
+            return False
+        return True
+
+    return _pred

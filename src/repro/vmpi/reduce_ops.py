@@ -1,0 +1,121 @@
+"""Reduction operator algebra for collective computation.
+
+Mirrors the MPI predefined operations the paper cites (maximum,
+summation, ...).  Each operator is a small object bundling a binary
+``combine`` with commutativity/associativity metadata; all operators
+work elementwise on NumPy arrays and on plain scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A binary reduction operator.
+
+    Attributes
+    ----------
+    name:
+        Display name (``"sum"`` etc.).
+    combine:
+        Binary function applied pairwise.  Must be associative; the
+        collective algorithms additionally exploit commutativity when
+        ``commutative`` is true (recursive doubling pairs arbitrary
+        ranks).
+    commutative:
+        Whether operand order may be permuted.
+    """
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+    commutative: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.combine(a, b)
+
+    def reduce_sequence(self, values: list[Any]) -> Any:
+        """Left fold of *values* (reference semantics for tests)."""
+        if not values:
+            raise ValueError(f"cannot {self.name}-reduce an empty sequence")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.combine(acc, v)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _add(a: Any, b: Any) -> Any:
+    return np.add(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else a + b
+
+
+def _mul(a: Any, b: Any) -> Any:
+    return np.multiply(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
+
+
+def _land(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def _lor(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def _maxloc(a: Any, b: Any) -> Any:
+    """Pairs ``(value, location)``; keeps the pair with the larger value.
+
+    Ties resolve to the smaller location, matching MPI_MAXLOC.
+    """
+    (av, al), (bv, bl) = a, b
+    if av > bv or (av == bv and al <= bl):
+        return (av, al)
+    return (bv, bl)
+
+
+def _minloc(a: Any, b: Any) -> Any:
+    """Pairs ``(value, location)``; keeps the pair with the smaller value."""
+    (av, al), (bv, bl) = a, b
+    if av < bv or (av == bv and al <= bl):
+        return (av, al)
+    return (bv, bl)
+
+
+#: Elementwise/scalar sum.
+SUM = ReduceOp("sum", _add)
+#: Elementwise/scalar product.
+PROD = ReduceOp("prod", _mul)
+#: Elementwise/scalar maximum.
+MAX = ReduceOp("max", _max)
+#: Elementwise/scalar minimum.
+MIN = ReduceOp("min", _min)
+#: Logical and.
+LAND = ReduceOp("land", _land)
+#: Logical or.
+LOR = ReduceOp("lor", _lor)
+#: Max with location: operands are ``(value, loc)`` pairs.
+MAXLOC = ReduceOp("maxloc", _maxloc)
+#: Min with location: operands are ``(value, loc)`` pairs.
+MINLOC = ReduceOp("minloc", _minloc)
+
+#: Registry by name, for configuration files and reporting.
+BY_NAME = {
+    op.name: op for op in (SUM, PROD, MAX, MIN, LAND, LOR, MAXLOC, MINLOC)
+}

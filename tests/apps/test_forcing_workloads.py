@@ -1,0 +1,106 @@
+"""Tests for forcing fields and imbalance profiles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.forcing import evaluate_on_region, gaussian_pulse, rotating_source
+from repro.apps.workloads import (
+    ImbalanceProfile,
+    linear_profile,
+    one_slow_profile,
+    uniform_profile,
+)
+from repro.data.region import RectRegion
+
+
+class TestGaussianPulse:
+    def test_peak_at_center(self):
+        f = gaussian_pulse(center=(4.0, 4.0), sigma=1.0, omega=math.pi / 2.0)
+        region = RectRegion((0, 0), (9, 9))
+        vals = evaluate_on_region(f, t=1.0, region=region)  # sin(pi/2) = 1
+        assert vals[4, 4] == pytest.approx(1.0)
+        assert vals[0, 0] < vals[4, 4]
+
+    def test_time_oscillation(self):
+        f = gaussian_pulse(center=(2.0, 2.0), sigma=1.0, omega=math.pi)
+        region = RectRegion((2, 2), (3, 3))
+        at_half = evaluate_on_region(f, 0.5, region)[0, 0]
+        at_one = evaluate_on_region(f, 1.0, region)[0, 0]
+        assert at_half == pytest.approx(1.0)
+        assert at_one == pytest.approx(0.0, abs=1e-12)
+
+    def test_region_offset_consistency(self):
+        """Evaluating on a sub-region is a crop of the full evaluation."""
+        f = gaussian_pulse(center=(5.0, 3.0), sigma=2.0)
+        full = evaluate_on_region(f, 0.7, RectRegion((0, 0), (10, 10)))
+        sub = evaluate_on_region(f, 0.7, RectRegion((2, 4), (7, 9)))
+        np.testing.assert_allclose(sub, full[2:7, 4:9])
+
+
+class TestRotatingSource:
+    def test_source_moves(self):
+        f = rotating_source(domain=(32.0, 32.0), period=8.0, sigma=2.0)
+        region = RectRegion((0, 0), (32, 32))
+        a = evaluate_on_region(f, 0.0, region)
+        b = evaluate_on_region(f, 2.0, region)  # quarter turn
+        pa = np.unravel_index(np.argmax(a), a.shape)
+        pb = np.unravel_index(np.argmax(b), b.shape)
+        assert pa != pb
+
+    def test_periodicity(self):
+        f = rotating_source(domain=(16.0, 16.0), period=4.0)
+        region = RectRegion((0, 0), (16, 16))
+        np.testing.assert_allclose(
+            evaluate_on_region(f, 1.0, region),
+            evaluate_on_region(f, 5.0, region),
+            atol=1e-12,
+        )
+
+
+class TestEvaluateOnRegion:
+    def test_empty_region(self):
+        f = gaussian_pulse(center=(0, 0), sigma=1.0)
+        out = evaluate_on_region(f, 0.0, RectRegion.empty(2))
+        assert out.shape == (0, 0)
+
+    def test_dtype(self):
+        f = gaussian_pulse(center=(0, 0), sigma=1.0)
+        out = evaluate_on_region(f, 0.5, RectRegion((0, 0), (2, 2)), dtype=np.float32)
+        assert out.dtype == np.float32
+
+
+class TestImbalanceProfiles:
+    def test_uniform(self):
+        p = uniform_profile(4)
+        assert p.scales == (1.0, 1.0, 1.0, 1.0)
+        assert p.skew == 1.0
+
+    def test_one_slow_defaults_to_last_rank(self):
+        p = one_slow_profile(4, factor=1.85)
+        assert p.slowest_rank == 3
+        assert p.scale(3) == 1.85
+        assert p.scale(0) == 1.0
+        assert p.skew == pytest.approx(1.85)
+
+    def test_one_slow_explicit_rank(self):
+        p = one_slow_profile(4, slow_rank=1, factor=2.0)
+        assert p.slowest_rank == 1
+
+    def test_linear(self):
+        p = linear_profile(5, max_factor=2.0)
+        assert p.scale(0) == 1.0
+        assert p.scale(4) == pytest.approx(2.0)
+        assert p.scale(2) == pytest.approx(1.5)
+
+    def test_linear_single_rank(self):
+        assert linear_profile(1).scales == (1.0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImbalanceProfile(())
+        with pytest.raises(ValueError):
+            ImbalanceProfile((1.0, 0.0))
+        with pytest.raises(ValueError):
+            one_slow_profile(4, slow_rank=9)

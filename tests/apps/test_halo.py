@@ -1,0 +1,124 @@
+"""Tests for halo exchange over both backends."""
+
+import numpy as np
+import pytest
+
+from repro.apps.halo import halo_exchange, halo_exchange_blocking, neighbor_table
+from repro.data.darray import DistributedArray
+from repro.data.decomposition import BlockDecomposition
+from repro.vmpi import DesWorld, ThreadWorld
+
+
+class TestNeighborTable:
+    def test_corner_rank(self):
+        d = BlockDecomposition((8, 8), (2, 2))
+        t = neighbor_table(d, 0)
+        assert t == {"north": None, "south": 2, "west": None, "east": 1}
+
+    def test_interior_rank(self):
+        d = BlockDecomposition((9, 9), (3, 3))
+        t = neighbor_table(d, 4)  # center of 3x3
+        assert t == {"north": 1, "south": 7, "west": 3, "east": 5}
+
+    def test_1d_rows(self):
+        d = BlockDecomposition((8, 8), (4, 1))
+        t = neighbor_table(d, 1)
+        assert t == {"north": 0, "south": 2, "west": None, "east": None}
+
+    def test_non_2d_rejected(self):
+        d = BlockDecomposition((8,), (2,))
+        with pytest.raises(ValueError):
+            neighbor_table(d, 0)
+
+
+def _expected_ghosts_ok(blocks, decomp, full):
+    """Check every interior ghost cell equals the neighbor's edge value."""
+    for b in blocks:
+        r = b.region
+        p = b.padded
+        # north ghost row = global row r.lo[0]-1 (if it exists)
+        if r.lo[0] > 0:
+            np.testing.assert_array_equal(
+                p[0, 1:-1], full[r.lo[0] - 1, r.lo[1]:r.hi[1]]
+            )
+        if r.hi[0] < full.shape[0]:
+            np.testing.assert_array_equal(
+                p[-1, 1:-1], full[r.hi[0], r.lo[1]:r.hi[1]]
+            )
+        if r.lo[1] > 0:
+            np.testing.assert_array_equal(
+                p[1:-1, 0], full[r.lo[0]:r.hi[0], r.lo[1] - 1]
+            )
+        if r.hi[1] < full.shape[1]:
+            np.testing.assert_array_equal(
+                p[1:-1, -1], full[r.lo[0]:r.hi[0], r.hi[1]]
+            )
+
+
+class TestDesHaloExchange:
+    @pytest.mark.parametrize("grid", [(2, 2), (4, 1), (1, 4), (3, 2)])
+    def test_ghosts_filled_from_neighbors(self, grid):
+        shape = (12, 12)
+        decomp = BlockDecomposition(shape, grid)
+        world = DesWorld()
+        world.create_program("H", decomp.nprocs)
+        blocks = {}
+
+        def main(comm):
+            arr = DistributedArray(decomp, comm.rank, halo=1)
+            arr.fill_from(lambda i, j: i * 100 + j)
+            yield from halo_exchange(comm, arr)
+            blocks[comm.rank] = arr
+
+        world.spawn_all("H", main)
+        world.run()
+        full = np.fromfunction(lambda i, j: i * 100 + j, shape)
+        _expected_ghosts_ok(
+            [blocks[r] for r in range(decomp.nprocs)], decomp, full
+        )
+
+    def test_requires_halo(self):
+        decomp = BlockDecomposition((8, 8), (2, 1))
+        world = DesWorld()
+        world.create_program("H", 2)
+        arr = DistributedArray(decomp, 0, halo=0)
+        with pytest.raises(ValueError, match="halo"):
+            # Exhaust the generator to trigger validation.
+            list(halo_exchange(world.program("H")[0], arr))
+
+    def test_repeated_exchanges_use_distinct_tags(self):
+        decomp = BlockDecomposition((8, 8), (2, 1))
+        world = DesWorld()
+        world.create_program("H", 2)
+        done = []
+
+        def main(comm):
+            arr = DistributedArray(decomp, comm.rank, halo=1)
+            for it in range(3):
+                arr.local[...] = comm.rank * 10 + it
+                yield from halo_exchange(comm, arr, tag_base=f"it{it}")
+            done.append(comm.rank)
+            return arr
+
+        world.spawn_all("H", main)
+        world.run()
+        assert sorted(done) == [0, 1]
+
+
+class TestThreadedHaloExchange:
+    def test_blocking_form(self):
+        shape = (8, 8)
+        decomp = BlockDecomposition(shape, (2, 2))
+        world = ThreadWorld(default_timeout=10.0)
+        world.create_program("H", 4)
+        blocks = {}
+
+        def main(comm):
+            arr = DistributedArray(decomp, comm.rank, halo=1)
+            arr.fill_from(lambda i, j: i * 100 + j)
+            halo_exchange_blocking(comm, arr)
+            blocks[comm.rank] = arr
+
+        world.run_program("H", main)
+        full = np.fromfunction(lambda i, j: i * 100 + j, shape)
+        _expected_ghosts_ok([blocks[r] for r in range(4)], decomp, full)

@@ -1,0 +1,48 @@
+"""Halo exchange with width-2 ghost layers (wide stencils)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.halo import halo_exchange
+from repro.data.darray import DistributedArray
+from repro.data.decomposition import BlockDecomposition
+from repro.vmpi import DesWorld
+
+
+@pytest.mark.parametrize("grid", [(2, 1), (2, 2)])
+def test_two_cell_halo_filled(grid):
+    shape = (12, 12)
+    decomp = BlockDecomposition(shape, grid)
+    world = DesWorld()
+    world.create_program("H", decomp.nprocs)
+    blocks = {}
+
+    def main(comm):
+        arr = DistributedArray(decomp, comm.rank, halo=2)
+        arr.fill_from(lambda i, j: i * 100 + j)
+        yield from halo_exchange(comm, arr)
+        blocks[comm.rank] = arr
+
+    world.spawn_all("H", main)
+    world.run()
+    full = np.fromfunction(lambda i, j: i * 100 + j, shape)
+    for b in blocks.values():
+        r = b.region
+        p = b.padded
+        h = 2
+        if r.lo[0] >= h:  # interior north face: both ghost rows valid
+            np.testing.assert_array_equal(
+                p[0:h, h:-h], full[r.lo[0] - h : r.lo[0], r.lo[1] : r.hi[1]]
+            )
+        if r.hi[0] + h <= shape[0]:
+            np.testing.assert_array_equal(
+                p[-h:, h:-h], full[r.hi[0] : r.hi[0] + h, r.lo[1] : r.hi[1]]
+            )
+        if r.lo[1] >= h:
+            np.testing.assert_array_equal(
+                p[h:-h, 0:h], full[r.lo[0] : r.hi[0], r.lo[1] - h : r.lo[1]]
+            )
+        if r.hi[1] + h <= shape[1]:
+            np.testing.assert_array_equal(
+                p[h:-h, -h:], full[r.lo[0] : r.hi[0], r.hi[1] : r.hi[1] + h]
+            )

@@ -1,0 +1,70 @@
+"""Tests for the finite-difference stencils."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import apply_dirichlet, laplacian
+
+
+class TestLaplacian:
+    def test_constant_field_has_zero_laplacian(self):
+        padded = np.full((6, 6), 3.0)
+        np.testing.assert_allclose(laplacian(padded), 0.0)
+
+    def test_linear_field_has_zero_laplacian(self):
+        i, j = np.meshgrid(np.arange(8.0), np.arange(8.0), indexing="ij")
+        padded = 2 * i + 3 * j
+        np.testing.assert_allclose(laplacian(padded), 0.0, atol=1e-12)
+
+    def test_quadratic_field(self):
+        """∇²(x²) = 2 exactly for the 5-point stencil."""
+        i, _ = np.meshgrid(np.arange(10.0), np.arange(10.0), indexing="ij")
+        padded = i**2
+        np.testing.assert_allclose(laplacian(padded), 2.0)
+
+    def test_dx_scaling(self):
+        i, _ = np.meshgrid(np.arange(10.0), np.arange(10.0), indexing="ij")
+        padded = (0.5 * i) ** 2
+        np.testing.assert_allclose(laplacian(padded, dx=0.5), 2.0)
+
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(3)
+        padded = rng.random((7, 9))
+        got = laplacian(padded)
+        expected = np.empty((5, 7))
+        for a in range(1, 6):
+            for b in range(1, 8):
+                expected[a - 1, b - 1] = (
+                    padded[a - 1, b] + padded[a + 1, b]
+                    + padded[a, b - 1] + padded[a, b + 1]
+                    - 4 * padded[a, b]
+                )
+        np.testing.assert_allclose(got, expected)
+
+    def test_out_buffer_reused(self):
+        padded = np.random.default_rng(0).random((6, 6))
+        out = np.empty((4, 4))
+        result = laplacian(padded, out=out)
+        assert result is out
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            laplacian(np.zeros((2, 5)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            laplacian(np.zeros((4, 4, 4)))
+
+
+class TestDirichlet:
+    def test_sets_all_edges(self):
+        a = np.ones((5, 5))
+        apply_dirichlet(a, 0.0)
+        assert a[0].sum() == 0 and a[-1].sum() == 0
+        assert a[:, 0].sum() == 0 and a[:, -1].sum() == 0
+        assert a[1:-1, 1:-1].sum() == 9  # interior untouched
+
+    def test_custom_value(self):
+        a = np.zeros((4, 4))
+        apply_dirichlet(a, 7.0)
+        assert a[0, 0] == 7.0

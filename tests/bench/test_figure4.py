@@ -1,0 +1,159 @@
+"""Tests for the Figure-4 experiment builder (small-scale runs).
+
+Full-size (1001-export, 6-run) executions live in ``benchmarks/``; here
+we verify the builder and the qualitative regimes at reduced size.
+"""
+
+import pytest
+
+from repro.bench.figure4 import (
+    Figure4Result,
+    Figure4Spec,
+    build_figure4_simulation,
+    optimal_iteration_of,
+    run_figure4,
+    run_figure4_once,
+    spec_for_subfigure,
+)
+from repro.core.exporter import ExportDecision
+
+
+def small(u_procs, **kw):
+    defaults = dict(u_procs=u_procs, exports=161, runs=2, jitter=0.0)
+    defaults.update(kw)
+    return Figure4Spec(**defaults)
+
+
+class TestSpec:
+    def test_paper_defaults(self):
+        spec = Figure4Spec()
+        assert spec.exports == 1001
+        assert spec.tolerance == 2.5
+        assert spec.request_period == 20.0
+        assert spec.f_procs == 4
+        assert spec.runs == 6
+
+    def test_n_requests_one_in_twenty(self):
+        spec = Figure4Spec(exports=1001)
+        assert spec.n_requests == 50  # "one out of every twenty"
+
+    def test_subfigure_mapping(self):
+        assert spec_for_subfigure("a").u_procs == 4
+        assert spec_for_subfigure("b").u_procs == 8
+        assert spec_for_subfigure("c").u_procs == 16
+        assert spec_for_subfigure("D").u_procs == 32
+
+    def test_elements_per_process(self):
+        spec = Figure4Spec(u_procs=16)
+        assert spec.f_elements() == 512 * 512
+        assert spec.u_elements() == 1024 * 1024 // 16
+
+    def test_preset_magnitudes(self):
+        p = Figure4Spec().preset()
+        memcpy = p.memory.memcpy_time(512 * 512 * 8, now=1e9)
+        assert 1.0e-3 < memcpy < 2.0e-3
+
+
+class TestBuilder:
+    def test_builds_and_runs(self):
+        cs = build_figure4_simulation(small(4, exports=41))
+        cs.run()
+        series = cs.export_series("F", 3)
+        assert len(series) == 41
+
+    def test_slow_rank_is_last(self):
+        spec = small(4, exports=41)
+        cs = build_figure4_simulation(spec)
+        cs.run()
+        slow_time = cs.context("F", spec.slow_rank).stats.compute_time
+        fast_time = cs.context("F", 0).stats.compute_time
+        assert slow_time > 1.5 * fast_time
+
+
+class TestRegimes:
+    def test_importer_slower_all_buffered(self):
+        run = run_figure4_once(small(4))
+        assert run.decisions.get("skip", 0) == 0
+        assert run.decisions["buffer"] + run.decisions.get("send", 0) == 161
+        assert run.optimal_iteration is None
+        assert run.skip_fraction == 0.0
+
+    def test_importer_faster_skips_dominate(self):
+        run = run_figure4_once(small(32))
+        assert run.skip_fraction > 0.5
+        assert run.optimal_iteration is not None
+        assert run.optimal_iteration < 60
+
+    def test_u16_between(self):
+        run4 = run_figure4_once(small(4))
+        run16 = run_figure4_once(small(16))
+        run32 = run_figure4_once(small(32))
+        assert run4.skip_fraction < run16.skip_fraction < run32.skip_fraction
+
+    def test_buddy_ablation(self):
+        on = run_figure4_once(small(32, buddy_help=True))
+        off = run_figure4_once(small(32, buddy_help=False))
+        assert on.buddy_messages > 0
+        assert off.buddy_messages == 0
+        assert on.skip_fraction > off.skip_fraction
+        assert on.t_ub <= off.t_ub
+        # The paper's Figure-6 claim: optimal state only with buddy-help.
+        assert on.optimal_iteration is not None
+
+    def test_sends_match_one_in_twenty(self):
+        run = run_figure4_once(small(32))
+        assert run.decisions.get("send", 0) == small(32).n_requests
+
+    def test_init_head_elevated_when_flat(self):
+        run = run_figure4_once(small(4))
+        s = run.summary()
+        assert s.head_mean > s.body_mean  # the ~8% init surcharge
+
+
+class TestMultiRun:
+    def test_run_figure4_aggregates(self):
+        spec = small(4, exports=61, runs=3, jitter=0.01)
+        result = run_figure4(spec)
+        assert isinstance(result, Figure4Result)
+        assert len(result.runs) == 3
+        mean = result.mean_series()
+        assert len(mean) == 61
+        # jitter means runs differ, but only slightly
+        assert result.runs[0].series != result.runs[1].series
+        summary = result.mean_summary()
+        assert summary.count == 61
+
+    def test_runs_with_same_index_reproducible(self):
+        spec = small(4, exports=41, jitter=0.02)
+        a = run_figure4_once(spec, run_index=1)
+        b = run_figure4_once(spec, run_index=1)
+        assert a.series == b.series
+
+
+class TestOptimalIterationOf:
+    class R:
+        def __init__(self, d, ts):
+            self.decision = d
+            self.ts = ts
+
+    def test_tail_after_last_buffer(self):
+        recs = (
+            [self.R(ExportDecision.BUFFER, float(t)) for t in range(5)]
+            + [self.R(ExportDecision.SKIP, 5.0 + k) for k in range(5)]
+        )
+        assert optimal_iteration_of(recs) == 5
+
+    def test_never_reached(self):
+        recs = [self.R(ExportDecision.BUFFER, float(t)) for t in range(5)]
+        assert optimal_iteration_of(recs) is None
+
+    def test_cutoff_excludes_trailing_unskippable(self):
+        recs = (
+            [self.R(ExportDecision.SKIP, float(t)) for t in range(5)]
+            + [self.R(ExportDecision.BUFFER, 99.0)]
+        )
+        assert optimal_iteration_of(recs, cutoff_ts=50.0) == 0
+        assert optimal_iteration_of(recs, cutoff_ts=None) is None
+
+    def test_empty(self):
+        assert optimal_iteration_of([]) is None

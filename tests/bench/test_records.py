@@ -1,0 +1,67 @@
+"""Tests for JSON experiment records."""
+
+import pytest
+
+from repro.bench.figure4 import Figure4Spec, run_figure4
+from repro.bench.records import (
+    figure4_from_dict,
+    figure4_to_dict,
+    load_json,
+    save_json,
+    trace_to_dict,
+)
+from repro.bench.traces import scenario_fig7_with_buddy
+
+
+class TestFigure4Records:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(Figure4Spec(u_procs=32, exports=61, runs=2, jitter=0.0))
+
+    def test_roundtrip(self, result):
+        payload = figure4_to_dict(result)
+        back = figure4_from_dict(payload)
+        assert back.spec == result.spec
+        assert len(back.runs) == len(result.runs)
+        assert back.runs[0].series == result.runs[0].series
+        assert back.runs[0].decisions == result.runs[0].decisions
+        assert back.mean_series() == result.mean_series()
+
+    def test_json_file_roundtrip(self, result, tmp_path):
+        payload = figure4_to_dict(result)
+        path = save_json(payload, tmp_path / "sub" / "fig4.json")
+        assert path.exists()
+        loaded = load_json(path)
+        back = figure4_from_dict(loaded)
+        assert back.runs[1].t_ub == pytest.approx(result.runs[1].t_ub)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a figure4"):
+            figure4_from_dict({"kind": "something", "schema": 1})
+
+    def test_wrong_schema_rejected(self, result):
+        payload = figure4_to_dict(result)
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            figure4_from_dict(payload)
+
+
+class TestTraceRecords:
+    def test_trace_serialization(self):
+        scenario = scenario_fig7_with_buddy()
+        payload = trace_to_dict(scenario)
+        assert payload["name"] == "figure7"
+        kinds = [e["kind"] for e in payload["events"]]
+        assert "buddy_help_recv" in kinds
+        assert "export_skip" in kinds
+        skip_ts = [
+            e["timestamp"] for e in payload["events"] if e["kind"] == "export_skip"
+        ]
+        assert skip_ts == [4.6, 5.6, 6.6, 7.6, 8.6]
+
+    def test_trace_is_json_safe(self, tmp_path):
+        import json
+
+        payload = trace_to_dict(scenario_fig7_with_buddy())
+        text = json.dumps(payload)
+        assert "buddy_help_recv" in text

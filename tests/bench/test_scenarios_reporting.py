@@ -1,0 +1,92 @@
+"""Tests for the Figure-3 scenarios and the reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import (
+    downsample,
+    format_series,
+    format_table,
+    sparkline,
+    summarize_runs,
+)
+from repro.bench.scenarios import run_exporter_slower, run_importer_slower
+
+
+class TestFigure3Scenarios:
+    def test_importer_slower_buffers_everything(self):
+        res = run_importer_slower(exports=100)
+        assert res.buffered_fraction == pytest.approx(1.0)
+        assert res.skip_fraction == 0.0
+        assert res.buffer_stats.buffered_count == 100
+
+    def test_importer_slower_insensitive_to_buddy(self):
+        on = run_importer_slower(exports=100, buddy_help=True)
+        off = run_importer_slower(exports=100, buddy_help=False)
+        assert on.decisions == off.decisions
+
+    def test_exporter_slower_buddy_skips(self):
+        res = run_exporter_slower(exports=100, buddy_help=True)
+        assert res.skip_fraction > 0.3
+
+    def test_exporter_slower_buddy_beats_no_buddy(self):
+        on = run_exporter_slower(exports=100, buddy_help=True)
+        off = run_exporter_slower(exports=100, buddy_help=False)
+        assert on.skip_fraction > off.skip_fraction
+        assert on.buffer_stats.t_ub <= off.buffer_stats.t_ub
+        assert on.exporter_export_time_total < off.exporter_export_time_total
+
+    def test_request_count(self):
+        res = run_importer_slower(exports=100)
+        assert res.requests == 5  # requests at 20, 40, 60, 80, 100
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1.25], ["bb", 33]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.25" in lines[2]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000123456]])
+        assert "0.0001235" in out
+
+
+class TestSeriesRendering:
+    def test_downsample_preserves_short_series(self):
+        assert downsample([1.0, 2.0], points=10) == [1.0, 2.0]
+
+    def test_downsample_bucket_means(self):
+        series = [0.0] * 50 + [10.0] * 50
+        ds = downsample(series, points=2)
+        assert ds == [0.0, 10.0]
+
+    def test_downsample_length(self):
+        assert len(downsample(list(range(1000)), points=40)) == 40
+
+    def test_sparkline_shape(self):
+        flat = sparkline([1.0] * 100)
+        assert len(set(flat)) == 1
+        rising = sparkline(list(range(100)), points=8)
+        assert rising[0] != rising[-1]
+
+    def test_format_series_contains_summary(self):
+        out = format_series("test", [1.0, 2.0, 3.0], unit="ms")
+        assert "test:" in out
+        assert "n=3" in out
+        assert "mean=2" in out
+        assert "shape:" in out
+
+    def test_summarize_runs(self):
+        s = summarize_runs([[1.0, 2.0], [3.0, 4.0]])
+        assert s.count == 2
+        assert s.mean == pytest.approx(2.5)
+
+    def test_summarize_runs_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])

@@ -1,0 +1,11 @@
+"""Test-suite configuration.
+
+Registers a Hypothesis profile without per-example deadlines: several
+properties drive whole coupled simulations per example, whose duration
+varies with machine load — deadlines would make them flaky.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, print_blob=True)
+settings.load_profile("repro")

@@ -1,0 +1,86 @@
+"""Tests for the import-side per-process state."""
+
+import pytest
+
+from repro.core.importer import RegionImportState
+from repro.match.result import FinalAnswer, MatchKind
+
+
+def make():
+    return RegionImportState("d", "F.d->U.d")
+
+
+class TestOrdering:
+    def test_increasing_requests_enforced(self):
+        st = make()
+        st.start_request(20.0, now=1.0)
+        with pytest.raises(ValueError, match="increasing"):
+            st.start_request(20.0, now=2.0)
+        with pytest.raises(ValueError):
+            st.start_request(10.0, now=2.0)
+
+    def test_records_accumulate(self):
+        st = make()
+        st.start_request(20.0, now=1.0)
+        st.start_request(40.0, now=2.0)
+        assert [r.request_ts for r in st.records] == [20.0, 40.0]
+
+
+class TestLifecycle:
+    def test_answer_then_complete(self):
+        st = make()
+        rec = st.start_request(20.0, now=1.0)
+        ans = FinalAnswer(request_ts=20.0, kind=MatchKind.MATCH, matched_ts=19.6)
+        st.on_answer(rec, ans, now=1.5)
+        st.complete(rec, now=2.5)
+        assert rec.answered_at == 1.5
+        assert rec.completed_at == 2.5
+        assert rec.latency == pytest.approx(1.5)
+
+    def test_answer_mismatch_rejected(self):
+        st = make()
+        rec = st.start_request(20.0, now=0.0)
+        wrong = FinalAnswer(request_ts=40.0, kind=MatchKind.NO_MATCH)
+        with pytest.raises(ValueError, match="applied to request"):
+            st.on_answer(rec, wrong, now=1.0)
+
+    def test_double_answer_rejected(self):
+        st = make()
+        rec = st.start_request(20.0, now=0.0)
+        ans = FinalAnswer(request_ts=20.0, kind=MatchKind.NO_MATCH)
+        st.on_answer(rec, ans, now=1.0)
+        with pytest.raises(ValueError, match="already answered"):
+            st.on_answer(rec, ans, now=2.0)
+
+    def test_complete_requires_answer(self):
+        st = make()
+        rec = st.start_request(20.0, now=0.0)
+        with pytest.raises(ValueError, match="unanswered"):
+            st.complete(rec, now=1.0)
+
+    def test_latency_none_while_open(self):
+        st = make()
+        rec = st.start_request(20.0, now=0.0)
+        assert rec.latency is None
+
+
+class TestCounters:
+    def test_match_and_no_match_counts(self):
+        st = make()
+        for i, kind in enumerate(
+            [MatchKind.MATCH, MatchKind.NO_MATCH, MatchKind.MATCH]
+        ):
+            rec = st.start_request(20.0 * (i + 1), now=float(i))
+            ans = FinalAnswer(
+                request_ts=20.0 * (i + 1),
+                kind=kind,
+                matched_ts=19.6 if kind is MatchKind.MATCH else None,
+            )
+            st.on_answer(rec, ans, now=float(i) + 0.5)
+            st.complete(rec, now=float(i) + 1.0)
+        assert st.match_count == 2
+        assert st.no_match_count == 1
+        assert st.mean_latency() == pytest.approx(1.0)
+
+    def test_mean_latency_empty(self):
+        assert make().mean_latency() == 0.0

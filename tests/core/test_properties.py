@@ -1,0 +1,91 @@
+"""Tests for the offline Property-1 checker."""
+
+import pytest
+
+from repro.core.exceptions import PropertyViolationError
+from repro.core.properties import OperationLog, check_property1
+
+
+def log_seq(log, program, rank, timestamps, kind="export", region="d"):
+    for ts in timestamps:
+        log.log(program, rank, kind, region, ts)
+
+
+class TestConformance:
+    def test_identical_sequences_pass(self):
+        log = OperationLog()
+        for rank in range(4):
+            log_seq(log, "F", rank, [1.0, 2.0, 3.0])
+        assert check_property1(log) == []
+
+    def test_prefix_lag_is_conformant(self):
+        """Slower processes may simply be behind — not a violation."""
+        log = OperationLog()
+        log_seq(log, "F", 0, [1.0, 2.0, 3.0, 4.0])
+        log_seq(log, "F", 1, [1.0, 2.0])  # lagging
+        assert check_property1(log) == []
+
+    def test_single_process_program_trivially_conformant(self):
+        log = OperationLog()
+        log_seq(log, "F", 0, [1.0, 5.0])
+        assert check_property1(log) == []
+
+    def test_multiple_programs_checked_independently(self):
+        log = OperationLog()
+        log_seq(log, "F", 0, [1.0, 2.0])
+        log_seq(log, "F", 1, [1.0, 2.0])
+        log_seq(log, "U", 0, [20.0])
+        log_seq(log, "U", 1, [20.0])
+        assert check_property1(log) == []
+
+
+class TestViolations:
+    def test_different_timestamps(self):
+        log = OperationLog()
+        log_seq(log, "F", 0, [1.0, 2.0, 3.0])
+        log_seq(log, "F", 1, [1.0, 2.5, 3.0])
+        with pytest.raises(PropertyViolationError):
+            check_property1(log)
+
+    def test_different_order(self):
+        log = OperationLog()
+        log.log("F", 0, "export", "a", 1.0)
+        log.log("F", 0, "export", "b", 1.0)
+        log.log("F", 1, "export", "b", 1.0)
+        log.log("F", 1, "export", "a", 1.0)
+        violations = check_property1(log, raise_on_violation=False)
+        assert len(violations) == 1
+        assert "operation 0" in violations[0]
+
+    def test_different_kind_same_ts(self):
+        log = OperationLog()
+        log.log("F", 0, "export", "d", 1.0)
+        log.log("F", 1, "import", "d", 1.0)
+        assert check_property1(log, raise_on_violation=False)
+
+    def test_report_without_raise(self):
+        log = OperationLog()
+        log_seq(log, "F", 0, [1.0])
+        log_seq(log, "F", 1, [9.0])
+        violations = check_property1(log, raise_on_violation=False)
+        assert len(violations) == 1
+        assert "F" in violations[0]
+
+    def test_scoped_to_requested_programs(self):
+        log = OperationLog()
+        log_seq(log, "BAD", 0, [1.0])
+        log_seq(log, "BAD", 1, [2.0])
+        log_seq(log, "GOOD", 0, [1.0])
+        log_seq(log, "GOOD", 1, [1.0])
+        assert check_property1(log, programs=["GOOD"]) == []
+        with pytest.raises(PropertyViolationError):
+            check_property1(log, programs=["BAD"])
+
+
+class TestLogAccess:
+    def test_sequence_and_programs(self):
+        log = OperationLog()
+        log_seq(log, "F", 2, [1.0, 2.0])
+        assert len(log.sequence("F", 2)) == 2
+        assert log.sequence("F", 0) == []
+        assert log.programs() == ["F"]

@@ -1,0 +1,241 @@
+"""Tests for the representative state machines (fan-out, finalize, buddy)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import PropertyViolationError, ProtocolError
+from repro.core.rep import (
+    AnswerImporter,
+    BuddyHelp,
+    DeliverAnswer,
+    ExporterRep,
+    ForwardRequest,
+    ForwardToExporter,
+    ImporterRep,
+)
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+
+CID = "F.d->U.d"
+
+
+def match(ts=20.0, m=19.6, latest=21.0):
+    return MatchResponse(
+        request_ts=ts, kind=MatchKind.MATCH, matched_ts=m, latest_export_ts=latest
+    )
+
+
+def no_match(ts=20.0):
+    return MatchResponse(request_ts=ts, kind=MatchKind.NO_MATCH, latest_export_ts=30.0)
+
+
+def pending(ts=20.0, latest=14.6):
+    return MatchResponse(request_ts=ts, kind=MatchKind.PENDING, latest_export_ts=latest)
+
+
+class TestExporterRepFanout:
+    def test_request_forwarded_to_all_processes(self):
+        rep = ExporterRep("F", nprocs=4, connection_ids=[CID])
+        directives = rep.on_request(CID, 20.0)
+        assert len(directives) == 4
+        assert all(isinstance(d, ForwardRequest) for d in directives)
+        assert sorted(d.rank for d in directives) == [0, 1, 2, 3]
+
+    def test_request_order_enforced(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        with pytest.raises(ProtocolError, match="must increase"):
+            rep.on_request(CID, 20.0)
+
+    def test_unknown_connection(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        with pytest.raises(ProtocolError, match="unknown connection"):
+            rep.on_request("nope", 1.0)
+
+    def test_response_to_unknown_request(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        with pytest.raises(ProtocolError, match="unknown request"):
+            rep.on_response(CID, 0, match())
+
+
+class TestFinalization:
+    def test_first_definitive_response_finalizes(self):
+        rep = ExporterRep("F", nprocs=3, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        assert rep.on_response(CID, 0, pending()) == []
+        directives = rep.on_response(CID, 1, match())
+        kinds = {type(d) for d in directives}
+        assert AnswerImporter in kinds
+        answer = next(d for d in directives if isinstance(d, AnswerImporter)).answer
+        assert answer.kind is MatchKind.MATCH
+        assert answer.matched_ts == 19.6
+        assert rep.answer_for(CID, 20.0) == answer
+
+    def test_buddy_sent_to_non_definitive_ranks_only(self):
+        rep = ExporterRep("F", nprocs=4, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 2, pending())
+        directives = rep.on_response(CID, 0, match())
+        buddies = [d for d in directives if isinstance(d, BuddyHelp)]
+        # ranks 1, 2, 3 get buddy help (2 answered PENDING; 1 and 3
+        # have not answered yet); rank 0 answered definitively.
+        assert sorted(b.rank for b in buddies) == [1, 2, 3]
+        assert rep.buddy_messages_sent == 3
+
+    def test_buddy_disabled(self):
+        rep = ExporterRep("F", nprocs=4, connection_ids=[CID], buddy_help=False)
+        rep.on_request(CID, 20.0)
+        directives = rep.on_response(CID, 0, match())
+        assert not [d for d in directives if isinstance(d, BuddyHelp)]
+        assert rep.buddy_messages_sent == 0
+
+    def test_all_pending_stays_open_then_finalizes(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, pending())
+        rep.on_response(CID, 1, pending())
+        assert rep.open_requests(CID) == [20.0]
+        directives = rep.on_response(CID, 1, match())
+        assert any(isinstance(d, AnswerImporter) for d in directives)
+        assert rep.open_requests(CID) == []
+
+    def test_late_agreeing_response_accepted(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, match())
+        assert rep.on_response(CID, 1, match()) == []
+
+    def test_late_pending_after_finalize_ignored(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, match())
+        assert rep.on_response(CID, 1, pending()) == []
+
+
+class TestViolationDetection:
+    def test_match_vs_no_match_same_round(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, match())
+        with pytest.raises(PropertyViolationError):
+            rep.on_response(CID, 1, no_match())
+
+    def test_late_contradicting_match_timestamp(self):
+        rep = ExporterRep("F", nprocs=2, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, match(m=19.6))
+        with pytest.raises(PropertyViolationError, match="Property 1"):
+            rep.on_response(CID, 1, match(m=18.6))
+
+    def test_simultaneous_divergent_matches(self):
+        rep = ExporterRep("F", nprocs=3, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        rep.on_response(CID, 0, pending())
+        rep.on_response(CID, 1, match(m=19.6))
+        with pytest.raises(PropertyViolationError):
+            rep.on_response(CID, 2, match(m=17.6))
+
+
+class TestImporterRep:
+    def test_first_process_request_forwards(self):
+        rep = ImporterRep("U", nprocs=3, connection_ids=[CID])
+        d = rep.on_process_request(CID, 20.0, rank=1)
+        assert len(d) == 1 and isinstance(d[0], ForwardToExporter)
+        # Second process asking: no second forward.
+        assert rep.on_process_request(CID, 20.0, rank=0) == []
+        assert rep.forwarded_count == 1
+
+    def test_answer_wakes_waiting_ranks(self):
+        rep = ImporterRep("U", nprocs=3, connection_ids=[CID])
+        rep.on_process_request(CID, 20.0, rank=2)
+        rep.on_process_request(CID, 20.0, rank=0)
+        answer = FinalAnswer(request_ts=20.0, kind=MatchKind.MATCH, matched_ts=19.6)
+        directives = rep.on_answer(CID, answer)
+        assert [d.rank for d in directives if isinstance(d, DeliverAnswer)] == [0, 2]
+
+    def test_late_requester_gets_answer_immediately(self):
+        rep = ImporterRep("U", nprocs=3, connection_ids=[CID])
+        rep.on_process_request(CID, 20.0, rank=0)
+        answer = FinalAnswer(request_ts=20.0, kind=MatchKind.NO_MATCH)
+        rep.on_answer(CID, answer)
+        d = rep.on_process_request(CID, 20.0, rank=1)
+        assert len(d) == 1 and isinstance(d[0], DeliverAnswer)
+        assert d[0].answer is answer
+
+    def test_answer_for_unknown_request(self):
+        rep = ImporterRep("U", nprocs=1, connection_ids=[CID])
+        with pytest.raises(ProtocolError, match="unknown request"):
+            rep.on_answer(
+                CID, FinalAnswer(request_ts=5.0, kind=MatchKind.NO_MATCH)
+            )
+
+    def test_duplicate_answer_rejected(self):
+        rep = ImporterRep("U", nprocs=1, connection_ids=[CID])
+        rep.on_process_request(CID, 20.0, rank=0)
+        ans = FinalAnswer(request_ts=20.0, kind=MatchKind.NO_MATCH)
+        rep.on_answer(CID, ans)
+        with pytest.raises(ProtocolError, match="duplicate answer"):
+            rep.on_answer(CID, ans)
+
+
+class TestRepProperties:
+    @given(
+        nprocs=st.integers(1, 8),
+        definitive_rank=st.integers(0, 7),
+        pend_first=st.booleans(),
+        is_match=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_one_importer_answer_per_request(
+        self, nprocs, definitive_rank, pend_first, is_match
+    ):
+        definitive_rank %= nprocs
+        rep = ExporterRep("F", nprocs=nprocs, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        answers = 0
+        if pend_first:
+            for r in range(nprocs):
+                if r != definitive_rank:
+                    answers += sum(
+                        isinstance(d, AnswerImporter)
+                        for d in rep.on_response(CID, r, pending())
+                    )
+        resp = match() if is_match else no_match()
+        answers += sum(
+            isinstance(d, AnswerImporter)
+            for d in rep.on_response(CID, definitive_rank, resp)
+        )
+        # Everyone else eventually answers the same thing.
+        for r in range(nprocs):
+            if r != definitive_rank:
+                answers += sum(
+                    isinstance(d, AnswerImporter)
+                    for d in rep.on_response(CID, r, resp)
+                )
+        assert answers == 1
+
+    @given(nprocs=st.integers(2, 8), n_pending=st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_buddy_targets_are_exactly_the_laggards(self, nprocs, n_pending):
+        n_pending = min(n_pending, nprocs - 1)
+        rep = ExporterRep("F", nprocs=nprocs, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        laggards = list(range(1, 1 + n_pending))
+        for r in laggards:
+            rep.on_response(CID, r, pending())
+        directives = rep.on_response(CID, 0, match())
+        buddies = sorted(
+            d.rank for d in directives if isinstance(d, BuddyHelp)
+        )
+        assert buddies == [r for r in range(nprocs) if r != 0]
+        assert 0 not in buddies
+
+    def test_latest_export_not_required(self):
+        # A process that never exported replies with latest = -inf.
+        rep = ExporterRep("F", nprocs=1, connection_ids=[CID])
+        rep.on_request(CID, 20.0)
+        resp = MatchResponse(
+            request_ts=20.0, kind=MatchKind.PENDING, latest_export_ts=-math.inf
+        )
+        assert rep.on_response(CID, 0, resp) == []

@@ -1,0 +1,109 @@
+"""Tests for DistributedArray."""
+
+import numpy as np
+import pytest
+
+from repro.data.darray import DistributedArray
+from repro.data.decomposition import BlockDecomposition
+from repro.data.region import RectRegion
+
+
+def make_blocks(shape=(8, 8), grid=(2, 2), halo=0):
+    d = BlockDecomposition(shape, grid)
+    return d, [DistributedArray(d, r, halo=halo) for r in range(d.nprocs)]
+
+
+class TestConstruction:
+    def test_local_shapes(self):
+        _, blocks = make_blocks()
+        assert all(b.local.shape == (4, 4) for b in blocks)
+
+    def test_halo_padding(self):
+        _, blocks = make_blocks(halo=2)
+        assert blocks[0].padded.shape == (8, 8)
+        assert blocks[0].local.shape == (4, 4)
+
+    def test_local_is_view_of_padded(self):
+        _, blocks = make_blocks(halo=1)
+        b = blocks[0]
+        b.local[0, 0] = 42.0
+        assert b.padded[1, 1] == 42.0
+
+    def test_fill_value_and_dtype(self):
+        d = BlockDecomposition((4, 4), (1, 1))
+        a = DistributedArray(d, 0, dtype=np.float32, fill=7.0)
+        assert a.dtype == np.float32
+        assert float(a.local[0, 0]) == 7.0
+
+    def test_nbytes(self):
+        _, blocks = make_blocks()
+        assert blocks[0].nbytes == 4 * 4 * 8
+
+    def test_invalid_rank(self):
+        d = BlockDecomposition((4, 4), (2, 1))
+        with pytest.raises(ValueError):
+            DistributedArray(d, 5)
+
+
+class TestGlobalAddressing:
+    def test_view_read_write_roundtrip(self):
+        _, blocks = make_blocks()
+        b = blocks[3]  # owns [4:8, 4:8]
+        region = RectRegion((5, 5), (7, 7))
+        b.write_global(region, np.full((2, 2), 9.0))
+        np.testing.assert_array_equal(b.read_global(region), np.full((2, 2), 9.0))
+        assert b.local[1, 1] == 9.0  # (5,5) -> local (1,1)
+
+    def test_view_rejects_foreign_region(self):
+        _, blocks = make_blocks()
+        with pytest.raises(ValueError):
+            blocks[0].view_global(RectRegion((5, 5), (6, 6)))
+
+    def test_write_shape_mismatch(self):
+        _, blocks = make_blocks()
+        with pytest.raises(ValueError):
+            blocks[0].write_global(RectRegion((0, 0), (2, 2)), np.zeros((3, 3)))
+
+    def test_empty_region_view(self):
+        _, blocks = make_blocks()
+        v = blocks[0].view_global(RectRegion.empty(2))
+        assert v.size == 0
+
+    def test_fill_from_global_coordinates(self):
+        d, blocks = make_blocks()
+        for b in blocks:
+            b.fill_from(lambda i, j: i * 100 + j)
+        # Check a point owned by rank 3: global (5, 6).
+        region = RectRegion((5, 6), (6, 7))
+        assert float(blocks[3].read_global(region)[0, 0]) == 506.0
+
+
+class TestAssemble:
+    def test_roundtrip(self):
+        d, blocks = make_blocks()
+        for b in blocks:
+            b.fill_from(lambda i, j: i * 8 + j)
+        full = DistributedArray.assemble(blocks)
+        expected = np.arange(64, dtype=float).reshape(8, 8)
+        np.testing.assert_array_equal(full, expected)
+
+    def test_assemble_rejects_partial_set(self):
+        _, blocks = make_blocks()
+        with pytest.raises(ValueError):
+            DistributedArray.assemble(blocks[:3])
+
+    def test_assemble_rejects_mixed_decomps(self):
+        _, blocks = make_blocks()
+        d2 = BlockDecomposition((8, 8), (4, 1))
+        other = [DistributedArray(d2, r) for r in range(4)]
+        with pytest.raises(ValueError):
+            DistributedArray.assemble(blocks[:2] + other[:2])
+
+    def test_assemble_with_empty_blocks(self):
+        d = BlockDecomposition((2, 2), (4, 1))  # ranks 2,3 own nothing
+        blocks = [DistributedArray(d, r) for r in range(4)]
+        for b in blocks:
+            if not b.region.is_empty:
+                b.fill_from(lambda i, j: 1.0)
+        full = DistributedArray.assemble(blocks)
+        np.testing.assert_array_equal(full, np.ones((2, 2)))

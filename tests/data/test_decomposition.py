@@ -1,0 +1,141 @@
+"""Tests for block / block-cyclic decompositions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.decomposition import (
+    BlockCyclicDecomposition,
+    BlockDecomposition,
+    choose_process_grid,
+)
+
+
+class TestChooseProcessGrid:
+    @pytest.mark.parametrize(
+        "n,ndim,expected",
+        [(8, 2, (4, 2)), (16, 2, (4, 4)), (12, 2, (4, 3)), (7, 2, (7, 1)), (1, 2, (1, 1))],
+    )
+    def test_examples(self, n, ndim, expected):
+        assert choose_process_grid(n, ndim) == expected
+
+    @given(st.integers(1, 256), st.integers(1, 3))
+    def test_product_is_preserved(self, n, ndim):
+        grid = choose_process_grid(n, ndim)
+        prod = 1
+        for g in grid:
+            prod *= g
+        assert prod == n
+        assert len(grid) == ndim
+
+
+class TestBlockDecomposition:
+    def test_even_split(self):
+        d = BlockDecomposition((8, 8), (2, 2))
+        assert d.local_region(0).lo == (0, 0)
+        assert d.local_region(0).hi == (4, 4)
+        assert d.local_region(3).lo == (4, 4)
+        assert d.local_region(3).hi == (8, 8)
+
+    def test_remainder_to_leading_blocks(self):
+        d = BlockDecomposition((10,), (3,))
+        sizes = [d.local_region(r).size for r in range(3)]
+        assert sizes == [4, 3, 3]
+
+    def test_more_ranks_than_points_gives_empty_blocks(self):
+        d = BlockDecomposition((2,), (5,))
+        sizes = [d.local_region(r).size for r in range(5)]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_rank_coords_roundtrip(self):
+        d = BlockDecomposition((8, 8, 8), (2, 2, 2))
+        for r in range(8):
+            assert d.coords_to_rank(d.rank_to_coords(r)) == r
+
+    def test_owner_of(self):
+        d = BlockDecomposition((8, 8), (2, 2))
+        assert d.owner_of((0, 0)) == 0
+        assert d.owner_of((5, 2)) == 2
+        assert d.owner_of((7, 7)) == 3
+
+    def test_owner_of_out_of_bounds(self):
+        d = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(ValueError):
+            d.owner_of((8, 0))
+
+    def test_ranks_overlapping(self):
+        from repro.data.region import RectRegion
+
+        d = BlockDecomposition((8, 8), (2, 2))
+        assert d.ranks_overlapping(RectRegion((0, 0), (4, 4))) == [0]
+        assert d.ranks_overlapping(RectRegion((3, 3), (5, 5))) == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDecomposition((8, 8), (2,))
+        with pytest.raises(ValueError):
+            BlockDecomposition((8,), (0,))
+
+    @given(
+        shape=st.tuples(st.integers(1, 40), st.integers(1, 40)),
+        grid=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_blocks_tile_the_space(self, shape, grid):
+        """Every global point is owned by exactly one rank's block."""
+        d = BlockDecomposition(shape, grid)
+        total = 0
+        for r in range(d.nprocs):
+            region = d.local_region(r)
+            total += region.size
+            for other in range(r + 1, d.nprocs):
+                assert not region.overlaps(d.local_region(other))
+        assert total == shape[0] * shape[1]
+
+    @given(
+        shape=st.tuples(st.integers(1, 30), st.integers(1, 30)),
+        grid=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        point=st.tuples(st.integers(0, 29), st.integers(0, 29)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_owner_consistent_with_local_region(self, shape, grid, point):
+        if point[0] >= shape[0] or point[1] >= shape[1]:
+            return
+        d = BlockDecomposition(shape, grid)
+        owner = d.owner_of(point)
+        assert d.local_region(owner).contains_point(point)
+
+
+class TestBlockCyclic:
+    def test_round_robin_blocks(self):
+        d = BlockCyclicDecomposition((10, 4), nprocs=2, block_size=2, axis=0)
+        r0 = d.local_regions(0)
+        r1 = d.local_regions(1)
+        assert [(b.lo[0], b.hi[0]) for b in r0] == [(0, 2), (4, 6), (8, 10)]
+        assert [(b.lo[0], b.hi[0]) for b in r1] == [(2, 4), (6, 8)]
+
+    def test_owner_of(self):
+        d = BlockCyclicDecomposition((10,), nprocs=3, block_size=2)
+        assert d.owner_of((0,)) == 0
+        assert d.owner_of((2,)) == 1
+        assert d.owner_of((4,)) == 2
+        assert d.owner_of((6,)) == 0
+
+    def test_tail_block_truncated(self):
+        d = BlockCyclicDecomposition((5,), nprocs=2, block_size=2)
+        blocks = d.local_regions(0)
+        assert blocks[-1].hi == (5,)
+
+    @given(
+        extent=st.integers(1, 60),
+        nprocs=st.integers(1, 6),
+        bs=st.integers(1, 7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_blocks_tile_the_axis(self, extent, nprocs, bs):
+        d = BlockCyclicDecomposition((extent, 3), nprocs=nprocs, block_size=bs, axis=0)
+        covered = []
+        for r in range(nprocs):
+            for b in d.local_regions(r):
+                covered.extend(range(b.lo[0], b.hi[0]))
+                assert d.owner_of((b.lo[0], 0)) == r
+        assert sorted(covered) == list(range(extent))

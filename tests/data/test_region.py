@@ -1,0 +1,166 @@
+"""Tests for RectRegion algebra, with Hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.region import RectRegion
+
+
+def regions(ndim=2, lo=-20, hi=20):
+    """Strategy generating (possibly empty) ndim boxes."""
+
+    def build(bounds):
+        los = tuple(min(a, b) for a, b in bounds)
+        his = tuple(max(a, b) for a, b in bounds)
+        return RectRegion(los, his)
+
+    pair = st.tuples(st.integers(lo, hi), st.integers(lo, hi))
+    return st.tuples(*[pair] * ndim).map(build)
+
+
+class TestBasics:
+    def test_shape_and_size(self):
+        r = RectRegion((1, 2), (4, 6))
+        assert r.shape == (3, 4)
+        assert r.size == 12
+        assert not r.is_empty
+
+    def test_empty(self):
+        r = RectRegion.empty(2)
+        assert r.is_empty
+        assert r.size == 0
+        assert r.shape == (0, 0)
+
+    def test_from_shape(self):
+        r = RectRegion.from_shape((5, 7))
+        assert r.lo == (0, 0)
+        assert r.hi == (5, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectRegion((0,), (1, 2))
+        with pytest.raises(ValueError):
+            RectRegion((), ())
+        with pytest.raises(ValueError):
+            RectRegion((0.5, 0), (1, 1))  # type: ignore[arg-type]
+
+    def test_contains_point(self):
+        r = RectRegion((0, 0), (4, 4))
+        assert r.contains_point((0, 0))
+        assert r.contains_point((3, 3))
+        assert not r.contains_point((4, 0))  # hi is exclusive
+
+    def test_contains_region(self):
+        outer = RectRegion((0, 0), (10, 10))
+        inner = RectRegion((2, 2), (5, 5))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(RectRegion.empty(2))
+        assert not RectRegion.empty(2).contains(inner)
+
+    def test_str(self):
+        assert str(RectRegion((1, 2), (3, 4))) == "[1:3, 2:4]"
+
+
+class TestAlgebra:
+    def test_intersect_example(self):
+        a = RectRegion((0, 0), (4, 4))
+        b = RectRegion((2, 1), (6, 3))
+        assert a.intersect(b) == RectRegion((2, 1), (4, 3))
+
+    def test_disjoint_intersection_empty(self):
+        a = RectRegion((0, 0), (2, 2))
+        b = RectRegion((5, 5), (7, 7))
+        assert a.intersect(b).is_empty
+        assert not a.overlaps(b)
+
+    def test_shift(self):
+        r = RectRegion((1, 1), (2, 2)).shift((10, -1))
+        assert r == RectRegion((11, 0), (12, 1))
+
+    def test_expand_and_clip(self):
+        r = RectRegion((2, 2), (4, 4)).expand(1)
+        assert r == RectRegion((1, 1), (5, 5))
+        bounded = r.clip(RectRegion((0, 0), (4, 4)))
+        assert bounded == RectRegion((1, 1), (4, 4))
+
+    def test_split(self):
+        left, right = RectRegion((0, 0), (10, 4)).split(axis=0, at=3)
+        assert left == RectRegion((0, 0), (3, 4))
+        assert right == RectRegion((3, 0), (10, 4))
+
+    def test_split_out_of_range_clamps(self):
+        left, right = RectRegion((0, 0), (4, 4)).split(axis=0, at=99)
+        assert left == RectRegion((0, 0), (4, 4))
+        assert right.is_empty
+
+    @given(regions(), regions())
+    @settings(max_examples=150, deadline=None)
+    def test_intersection_commutative(self, a, b):
+        ia, ib = a.intersect(b), b.intersect(a)
+        assert ia.is_empty == ib.is_empty
+        if not ia.is_empty:
+            assert ia == ib
+
+    @given(regions(), regions(), regions())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_associative(self, a, b, c):
+        left = a.intersect(b).intersect(c)
+        right = a.intersect(b.intersect(c))
+        assert left.size == right.size
+        if not left.is_empty:
+            assert left == right
+
+    @given(regions(), regions())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_point_semantics(self, a, b):
+        """The intersection contains exactly the common points."""
+        inter = a.intersect(b)
+        pts_a = set(a.iter_points())
+        pts_b = set(b.iter_points())
+        assert set(inter.iter_points()) == (pts_a & pts_b)
+
+    @given(regions(), regions())
+    @settings(max_examples=100, deadline=None)
+    def test_subtract_partition(self, a, b):
+        """a \\ b pieces are disjoint, inside a, miss b, cover a - b."""
+        pieces = a.subtract(b)
+        pts = set()
+        for p in pieces:
+            ppts = set(p.iter_points())
+            assert not (pts & ppts), "pieces overlap"
+            pts |= ppts
+            assert a.contains(p)
+        expected = set(a.iter_points()) - set(b.iter_points())
+        assert pts == expected
+
+    def test_subtract_no_overlap_returns_self(self):
+        a = RectRegion((0, 0), (2, 2))
+        b = RectRegion((10, 10), (12, 12))
+        assert a.subtract(b) == [a]
+
+    def test_subtract_full_cover_returns_empty(self):
+        a = RectRegion((1, 1), (3, 3))
+        b = RectRegion((0, 0), (5, 5))
+        assert a.subtract(b) == []
+
+
+class TestNumpyInterop:
+    def test_to_slices_global_origin(self):
+        arr = np.arange(25).reshape(5, 5)
+        r = RectRegion((1, 2), (3, 5))
+        np.testing.assert_array_equal(arr[r.to_slices()], arr[1:3, 2:5])
+
+    def test_to_slices_with_origin(self):
+        local = np.arange(16).reshape(4, 4)  # block starting at (10, 20)
+        r = RectRegion((11, 21), (13, 24))
+        sel = local[r.to_slices(origin=(10, 20))]
+        np.testing.assert_array_equal(sel, local[1:3, 1:4])
+
+    def test_iter_points(self):
+        pts = list(RectRegion((0, 0), (2, 2)).iter_points())
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_iter_points_empty(self):
+        assert list(RectRegion.empty(2).iter_points()) == []

@@ -1,0 +1,372 @@
+"""Tests for the DES kernel: events, processes, ordering, conditions."""
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    PriorityLevel,
+    Simulator,
+    SimulationError,
+)
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield sim.timeout(2.5)
+            seen.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [2.5]
+
+    def test_timeout_value_passed_to_waiter(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            v = yield sim.timeout(1.0, value="hello")
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_zero_delay_timeout(self):
+        sim = Simulator()
+        order = []
+
+        def proc():
+            yield sim.timeout(0.0)
+            order.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert order == [0.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_time(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append("late")
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["late"]
+
+    def test_peek(self):
+        sim = Simulator()
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+        sim.run()
+        assert sim.peek() == float("inf")
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_beats_schedule_order(self):
+        sim = Simulator()
+        order = []
+        ev_normal = Event(sim)
+        ev_urgent = Event(sim)
+        ev_normal.callbacks.append(lambda e: order.append("normal"))
+        ev_urgent.callbacks.append(lambda e: order.append("urgent"))
+        ev_normal.succeed(priority=PriorityLevel.NORMAL)
+        ev_urgent.succeed(priority=PriorityLevel.URGENT)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_full_simulation_is_repeatable(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(n):
+                for i in range(3):
+                    yield sim.timeout(0.5 * (n + 1))
+                    log.append((n, sim.now))
+
+            for n in range(4):
+                sim.process(worker(n))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Event(sim).fail("not an exception")  # type: ignore[arg-type]
+
+    def test_failed_event_raises_in_waiter(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            ev = Event(sim)
+            ev.fail(RuntimeError("boom"))
+            ev.defuse()
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(proc())
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failed_event_crashes_run(self):
+        sim = Simulator()
+        Event(sim).fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_waiting_on_already_processed_event(self):
+        sim = Simulator()
+        got = []
+        ev = Event(sim)
+        ev.succeed("early")
+
+        def late_waiter():
+            yield sim.timeout(1.0)
+            v = yield ev
+            got.append(v)
+
+        sim.process(late_waiter())
+        sim.run()
+        assert got == ["early"]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == 42
+
+    def test_process_is_alive(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yielding_non_event_is_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not an event"  # type: ignore[misc]
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            sim.run()
+
+    def test_process_exception_propagates_to_waiter(self):
+        sim = Simulator()
+        caught = []
+
+        def crasher():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def watcher():
+            p = sim.process(crasher())
+            try:
+                yield p
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(watcher())
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_run_until_process_raises_its_failure(self):
+        sim = Simulator()
+
+        def crasher():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        p = sim.process(crasher())
+        with pytest.raises(ValueError, match="inner"):
+            sim.run(until=p)
+
+    def test_run_until_unreachable_event_is_deadlock(self):
+        sim = Simulator()
+        never = Event(sim)
+
+        def proc():
+            yield never
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=never)
+
+    def test_waiting_process_chain(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield sim.timeout(2.0)
+            order.append("child")
+            return "result"
+
+        def parent():
+            v = yield sim.process(child())
+            order.append(f"parent:{v}")
+
+        sim.process(parent())
+        sim.run()
+        assert order == ["child", "parent:result"]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        sim = Simulator()
+        got = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                got.append((i.cause, sim.now))
+
+        def attacker(v):
+            yield sim.timeout(1.0)
+            v.interrupt("stop")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        sim.run()
+        assert got == [("stop", 1.0)]
+
+    def test_interrupt_finished_process_is_error(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(0.1)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        def attacker(v):
+            yield sim.timeout(2.0)
+            v.interrupt()
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        sim.run()
+        assert log == [3.0]
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            t1 = sim.timeout(1.0, value="fast")
+            t2 = sim.timeout(5.0, value="slow")
+            result = yield AnyOf(sim, [t1, t2])
+            got.append((sim.now, list(result.values())))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [(1.0, ["fast"])]
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            t1 = sim.timeout(1.0, value="a")
+            t2 = sim.timeout(5.0, value="b")
+            result = yield AllOf(sim, [t1, t2])
+            got.append((sim.now, sorted(result.values())))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [(5.0, ["a", "b"])]
+
+    def test_any_of_with_already_processed_event(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed("done")
+        got = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            result = yield sim.any_of([ev, sim.timeout(10.0)])
+            got.append(sim.now)
+            del result
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        assert got == [1.0]
+
+    def test_condition_requires_events(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AnyOf(sim, [])

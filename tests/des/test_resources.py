@@ -1,0 +1,85 @@
+"""Tests for the counting Resource."""
+
+import pytest
+
+from repro.des import Resource, Simulator
+
+
+class TestResource:
+    def test_serializes_at_capacity_one(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield res.request()
+            order.append((name, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0)]
+
+    def test_capacity_two_admits_two(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        order = []
+
+        def worker(name):
+            yield res.request()
+            order.append((name, sim.now))
+            yield sim.timeout(1.0)
+            res.release()
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, start):
+            yield sim.timeout(start)
+            yield res.request()
+            order.append(name)
+            yield sim.timeout(5.0)
+            res.release()
+
+        sim.process(worker("first", 0.1))
+        sim.process(worker("second", 0.2))
+        sim.process(worker("third", 0.3))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_request_is_error(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(ValueError):
+            res.release()
+
+    def test_counters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run(until=0.5)
+        assert res.in_use == 2
+        assert res.queued == 1
+        sim.run()
+        assert res.in_use == 0
+        assert res.peak_in_use == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)

@@ -1,0 +1,108 @@
+"""Tests for the rep's five-legal-cases aggregation rule (Section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.match.aggregate import CollectiveViolationError, aggregate_responses
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+
+
+def match(ts=20.0, m=19.6, latest=21.0):
+    return MatchResponse(
+        request_ts=ts, kind=MatchKind.MATCH, matched_ts=m, latest_export_ts=latest
+    )
+
+
+def no_match(ts=20.0, latest=25.0):
+    return MatchResponse(
+        request_ts=ts, kind=MatchKind.NO_MATCH, latest_export_ts=latest
+    )
+
+
+def pending(ts=20.0, latest=14.6):
+    return MatchResponse(
+        request_ts=ts, kind=MatchKind.PENDING, latest_export_ts=latest
+    )
+
+
+class TestResponseTypes:
+    def test_match_requires_matched_ts(self):
+        with pytest.raises(ValueError):
+            MatchResponse(request_ts=1.0, kind=MatchKind.MATCH)
+
+    def test_pending_must_not_carry_match(self):
+        with pytest.raises(ValueError):
+            MatchResponse(request_ts=1.0, kind=MatchKind.PENDING, matched_ts=0.5)
+
+    def test_final_answer_never_pending(self):
+        with pytest.raises(ValueError):
+            FinalAnswer(request_ts=1.0, kind=MatchKind.PENDING)
+
+    def test_is_definitive(self):
+        assert match().is_definitive
+        assert no_match().is_definitive
+        assert not pending().is_definitive
+
+
+class TestFiveLegalCases:
+    def test_all_match(self):
+        a = aggregate_responses([match(), match(), match()])
+        assert a is not None and a.kind is MatchKind.MATCH and a.matched_ts == 19.6
+
+    def test_all_no_match(self):
+        a = aggregate_responses([no_match(), no_match()])
+        assert a is not None and a.kind is MatchKind.NO_MATCH
+
+    def test_all_pending_stays_open(self):
+        assert aggregate_responses([pending(), pending()]) is None
+
+    def test_pending_plus_match_is_match(self):
+        a = aggregate_responses([pending(), match(), pending()])
+        assert a is not None and a.kind is MatchKind.MATCH and a.matched_ts == 19.6
+
+    def test_pending_plus_no_match_is_no_match(self):
+        a = aggregate_responses([no_match(), pending()])
+        assert a is not None and a.kind is MatchKind.NO_MATCH
+
+
+class TestIllegalCases:
+    def test_match_plus_no_match_violates(self):
+        with pytest.raises(CollectiveViolationError, match="Property 1"):
+            aggregate_responses([match(), no_match()])
+
+    def test_differing_matched_timestamps_violate(self):
+        with pytest.raises(CollectiveViolationError, match="different timestamps"):
+            aggregate_responses([match(m=19.6), match(m=18.6)])
+
+    def test_mixed_request_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="mixed request timestamps"):
+            aggregate_responses([match(ts=20.0), match(ts=40.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_responses([])
+
+
+class TestStabilityUnderPartialInformation:
+    """The buddy-help soundness argument: any subset with a definitive
+    response aggregates to the same final answer as the full set."""
+
+    @given(
+        n_pending=st.integers(0, 6),
+        n_definitive=st.integers(1, 6),
+        is_match=st.booleans(),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_subset_agreement(self, n_pending, n_definitive, is_match, data):
+        definitive = [match() if is_match else no_match() for _ in range(n_definitive)]
+        responses = definitive + [pending() for _ in range(n_pending)]
+        full = aggregate_responses(responses)
+        assert full is not None
+        # any subset containing at least one definitive response:
+        subset_size = data.draw(st.integers(1, len(responses)))
+        subset = responses[:subset_size]
+        if not any(r.is_definitive for r in subset):
+            subset = subset + [definitive[0]]
+        partial = aggregate_responses(subset)
+        assert partial == full

@@ -1,0 +1,194 @@
+"""Tests for ExportHistory and MatchEngine — Section 3.1 semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.match.engine import ExportHistory, MatchEngine
+from repro.match.policies import MatchPolicy, PolicyKind
+from repro.match.result import MatchKind
+
+
+def regl(tol=2.5):
+    return MatchEngine(MatchPolicy(PolicyKind.REGL, tol))
+
+
+class TestExportHistory:
+    def test_strictly_increasing_enforced(self):
+        h = ExportHistory()
+        h.add(1.0)
+        h.add(2.0)
+        with pytest.raises(ValueError, match="must increase"):
+            h.add(2.0)
+        with pytest.raises(ValueError):
+            h.add(1.5)
+
+    def test_latest(self):
+        h = ExportHistory()
+        assert h.latest == -math.inf
+        h.add(3.5)
+        assert h.latest == 3.5
+
+    def test_in_interval(self):
+        h = ExportHistory()
+        for ts in (1.0, 2.0, 3.0, 4.0):
+            h.add(ts)
+        assert h.in_interval(1.5, 3.5) == [2.0, 3.0]
+        assert h.in_interval(2.0, 3.0) == [2.0, 3.0]  # closed interval
+        assert h.in_interval(5.0, 9.0) == []
+
+    def test_close_blocks_further_exports(self):
+        h = ExportHistory()
+        h.add(1.0)
+        h.close()
+        assert h.closed
+        with pytest.raises(ValueError, match="closed"):
+            h.add(2.0)
+
+    def test_len_and_all(self):
+        h = ExportHistory()
+        h.add(1.0)
+        h.add(2.0)
+        assert len(h) == 2
+        assert h.all_timestamps() == [1.0, 2.0]
+
+
+class TestEvaluate:
+    def test_pending_until_stream_reaches_request(self):
+        e = regl()
+        for k in range(14):
+            e.record_export(1.6 + k)  # up to 14.6
+        r = e.evaluate(20.0)
+        assert r.kind is MatchKind.PENDING
+        assert r.latest_export_ts == 14.6
+        assert r.matched_ts is None
+
+    def test_match_once_decidable(self):
+        e = regl()
+        for k in range(20):
+            e.record_export(1.6 + k)  # up to 20.6 > 20
+        r = e.evaluate(20.0)
+        assert r.kind is MatchKind.MATCH
+        assert r.matched_ts == 19.6
+
+    def test_exact_boundary_is_decidable_and_best(self):
+        e = regl()
+        e.record_export(17.5)
+        e.record_export(20.0)
+        r = e.evaluate(20.0)
+        assert r.kind is MatchKind.MATCH
+        assert r.matched_ts == 20.0
+
+    def test_no_match_when_region_empty(self):
+        e = regl(tol=0.5)
+        e.record_export(10.0)
+        e.record_export(30.0)
+        r = e.evaluate(20.0)
+        assert r.kind is MatchKind.NO_MATCH
+
+    def test_closed_stream_decides_pending(self):
+        e = regl()
+        e.record_export(18.0)
+        e.close_stream()
+        r = e.evaluate(20.0)
+        assert r.kind is MatchKind.MATCH
+        assert r.matched_ts == 18.0
+
+    def test_closed_stream_no_match(self):
+        e = regl(tol=1.0)
+        e.record_export(5.0)
+        e.close_stream()
+        assert e.evaluate(20.0).kind is MatchKind.NO_MATCH
+
+    def test_empty_closed_stream(self):
+        e = regl()
+        e.close_stream()
+        assert e.evaluate(20.0).kind is MatchKind.NO_MATCH
+
+    def test_request_order_enforced(self):
+        e = regl()
+        e.record_export(100.0)
+        e.evaluate(20.0)
+        with pytest.raises(ValueError, match="must increase"):
+            e.evaluate(20.0)
+        with pytest.raises(ValueError):
+            e.evaluate(10.0)
+
+    def test_reevaluation_does_not_record(self):
+        e = regl()
+        e.record_export(10.0)
+        assert e.evaluate(20.0).kind is MatchKind.PENDING
+        # Slow-path re-evaluation of the same request is allowed.
+        e.record_export(19.0)
+        e.record_export(21.0)
+        r = e.evaluate(20.0, record=False)
+        assert r.kind is MatchKind.MATCH
+        assert r.matched_ts == 19.0
+
+    def test_shared_history_across_engines(self):
+        h = ExportHistory()
+        a = MatchEngine(MatchPolicy(PolicyKind.REGL, 2.5), history=h)
+        b = MatchEngine(MatchPolicy(PolicyKind.REGU, 2.5), history=h)
+        h.add(19.6)
+        h.add(20.2)
+        ra = a.evaluate(20.0)
+        rb = b.evaluate(20.0)
+        assert ra.matched_ts == 19.6   # REGL: closest below
+        assert rb.matched_ts == 20.2   # REGU: closest above
+
+
+class TestEngineProperties:
+    @given(
+        exports=st.lists(
+            st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=60, unique=True
+        ),
+        request=st.floats(0.1, 100, allow_nan=False),
+        tol=st.floats(0, 20, allow_nan=False),
+        kind=st.sampled_from([PolicyKind.REGL, PolicyKind.REGU, PolicyKind.REG]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_definitive_answers_are_stable_under_more_exports(
+        self, exports, request, tol, kind
+    ):
+        """Once decidable, later exports can never change the answer.
+
+        This is the soundness property that makes Property 1 and
+        buddy-help correct: a definitive response is final.
+        """
+        exports = sorted(exports)
+        policy = MatchPolicy(kind, tol)
+        engine = MatchEngine(policy)
+        answered = None
+        for i, ts in enumerate(exports):
+            engine.record_export(ts)
+            r = engine.evaluate(request, record=False)
+            if r.is_definitive and answered is None:
+                answered = r
+            elif answered is not None:
+                assert r.kind is answered.kind
+                assert r.matched_ts == answered.matched_ts
+        del i
+
+    @given(
+        exports=st.lists(
+            st.floats(0.1, 100, allow_nan=False), min_size=0, max_size=40, unique=True
+        ),
+        request=st.floats(0.1, 100, allow_nan=False),
+        tol=st.floats(0, 10, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_match_is_best_in_region(self, exports, request, tol):
+        exports = sorted(exports)
+        policy = MatchPolicy(PolicyKind.REGL, tol)
+        engine = MatchEngine(policy)
+        for ts in exports:
+            engine.record_export(ts)
+        engine.close_stream()
+        r = engine.evaluate(request)
+        in_region = [t for t in exports if policy.in_region(t, request)]
+        if in_region:
+            assert r.kind is MatchKind.MATCH
+            assert r.matched_ts == max(in_region)  # REGL: closest to request
+        else:
+            assert r.kind is MatchKind.NO_MATCH

@@ -1,0 +1,157 @@
+"""Tests for match policies: regions, best-candidate, decidability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.match.policies import MatchPolicy, PolicyKind, parse_policy
+
+ts_floats = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestRegions:
+    def test_regl(self):
+        p = MatchPolicy(PolicyKind.REGL, 2.5)
+        assert p.region(20.0) == (17.5, 20.0)
+
+    def test_regu(self):
+        p = MatchPolicy(PolicyKind.REGU, 0.3)
+        assert p.region(10.0) == (10.0, 10.3)
+
+    def test_reg(self):
+        p = MatchPolicy(PolicyKind.REG, 0.1)
+        assert p.region(5.0) == pytest.approx((4.9, 5.1))
+
+    def test_exact(self):
+        p = MatchPolicy(PolicyKind.EXACT)
+        assert p.region(5.0) == (5.0, 5.0)
+        assert p.in_region(5.0, 5.0)
+        assert not p.in_region(5.0001, 5.0)
+
+    def test_exact_rejects_tolerance(self):
+        with pytest.raises(ValueError):
+            MatchPolicy(PolicyKind.EXACT, 1.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            MatchPolicy(PolicyKind.REGL, -1.0)
+
+    def test_in_region_boundaries_inclusive(self):
+        p = MatchPolicy(PolicyKind.REGL, 2.5)
+        assert p.in_region(17.5, 20.0)
+        assert p.in_region(20.0, 20.0)
+        assert not p.in_region(17.49, 20.0)
+        assert not p.in_region(20.01, 20.0)
+
+
+class TestSelectBest:
+    def test_regl_picks_closest_below(self):
+        p = MatchPolicy(PolicyKind.REGL, 2.5)
+        assert p.select_best([17.0, 18.6, 19.6], 20.0) == 19.6
+
+    def test_regl_ignores_out_of_region(self):
+        p = MatchPolicy(PolicyKind.REGL, 2.5)
+        assert p.select_best([1.0, 16.0, 21.0], 20.0) is None
+
+    def test_regu_picks_closest_above(self):
+        p = MatchPolicy(PolicyKind.REGU, 5.0)
+        assert p.select_best([10.5, 12.0, 14.0], 10.0) == 10.5
+
+    def test_reg_tie_resolves_lower(self):
+        p = MatchPolicy(PolicyKind.REG, 5.0)
+        assert p.select_best([9.0, 11.0], 10.0) == 9.0
+
+    def test_reg_closest_wins(self):
+        p = MatchPolicy(PolicyKind.REG, 5.0)
+        assert p.select_best([7.0, 10.4, 12.0], 10.0) == 10.4
+
+    def test_empty_candidates(self):
+        p = MatchPolicy(PolicyKind.REGL, 1.0)
+        assert p.select_best([], 10.0) is None
+
+    @given(
+        kind=st.sampled_from(list(PolicyKind)),
+        tol=st.floats(0, 50, allow_nan=False),
+        request=ts_floats,
+        candidates=st.lists(ts_floats, max_size=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_best_is_in_region_and_minimal_distance(
+        self, kind, tol, request, candidates
+    ):
+        if kind is PolicyKind.EXACT:
+            tol = 0.0
+        p = MatchPolicy(kind, tol)
+        best = p.select_best(candidates, request)
+        in_region = [c for c in candidates if p.in_region(c, request)]
+        if not in_region:
+            assert best is None
+        else:
+            assert best is not None
+            assert p.in_region(best, request)
+            assert abs(best - request) == min(abs(c - request) for c in in_region)
+
+
+class TestDecidability:
+    @pytest.mark.parametrize(
+        "kind", [PolicyKind.REGL, PolicyKind.REGU, PolicyKind.REG, PolicyKind.EXACT]
+    )
+    def test_decidable_iff_stream_reached_request(self, kind):
+        tol = 0.0 if kind is PolicyKind.EXACT else 2.0
+        p = MatchPolicy(kind, tol)
+        assert not p.decidable(9.9, 10.0)
+        assert p.decidable(10.0, 10.0)
+        assert p.decidable(11.0, 10.0)
+
+    def test_future_low(self):
+        assert MatchPolicy(PolicyKind.REGL, 2.5).future_low(20.0) == 17.5
+        assert MatchPolicy(PolicyKind.REG, 2.5).future_low(20.0) == 17.5
+        assert MatchPolicy(PolicyKind.REGU, 2.5).future_low(20.0) == 20.0
+        assert MatchPolicy(PolicyKind.EXACT).future_low(20.0) == 20.0
+
+    @given(
+        kind=st.sampled_from(list(PolicyKind)),
+        tol=st.floats(0, 10, allow_nan=False),
+        request=ts_floats,
+        future_request=ts_floats,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_future_low_bounds_future_regions(
+        self, kind, tol, request, future_request
+    ):
+        """No future request's region dips below future_low(current)."""
+        if kind is PolicyKind.EXACT:
+            tol = 0.0
+        if future_request <= request:
+            return
+        p = MatchPolicy(kind, tol)
+        low, _high = p.region(future_request)
+        assert low >= p.future_low(request) or low == pytest.approx(p.future_low(request))
+
+
+class TestParsePolicy:
+    def test_parse_regl(self):
+        p = parse_policy("REGL 0.2")
+        assert p.kind is PolicyKind.REGL
+        assert p.tolerance == 0.2
+
+    def test_parse_case_insensitive(self):
+        assert parse_policy("regu 1.5").kind is PolicyKind.REGU
+
+    def test_parse_exact(self):
+        assert parse_policy("EXACT").kind is PolicyKind.EXACT
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="unknown match policy"):
+            parse_policy("BOGUS 1.0")
+        with pytest.raises(ValueError, match="needs exactly one tolerance"):
+            parse_policy("REGL")
+        with pytest.raises(ValueError, match="bad tolerance"):
+            parse_policy("REGL abc")
+        with pytest.raises(ValueError):
+            parse_policy("EXACT 1.0")
+        with pytest.raises(ValueError):
+            parse_policy("")
+
+    def test_str_roundtrip(self):
+        for text in ("REGL 0.2", "REGU 0.3", "REG 0.1", "EXACT"):
+            assert str(parse_policy(text)) == text

@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVersion:
+    def test_prints_version(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert "1.0" in out
+
+
+class TestFigure4:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["figure4", "--u-procs", "32", "--exports", "101", "--runs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4: U=32" in out
+        assert "skip%" in out
+        assert "shape:" in out
+
+    def test_no_buddy_flag(self, capsys):
+        rc = main(
+            ["figure4", "--u-procs", "4", "--exports", "61", "--runs", "1", "--no-buddy"]
+        )
+        assert rc == 0
+        assert "buddy-help off" in capsys.readouterr().out
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "fig4.json"
+        rc = main(
+            ["figure4", "--u-procs", "16", "--exports", "61", "--runs", "2",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["spec"]["u_procs"] == 16
+        assert len(payload["runs"]) == 2
+        assert len(payload["runs"][0]["series"]) == 61
+
+
+class TestTraces:
+    def test_all_figures(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Figure 7" in out
+        assert "Figure 8" in out
+        assert "receive buddy-help {D@20, YES, D@19.6}." in out
+
+    def test_single_figure(self, capsys):
+        assert main(["traces", "--figure", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "Figure 5" not in out
+
+
+class TestScenarios:
+    def test_runs(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out
+        assert "buddy on" in out and "buddy off" in out
+
+
+class TestValidateConfig:
+    def test_valid_file(self, tmp_path, capsys):
+        cfg = tmp_path / "ok.cfg"
+        cfg.write_text("A c /x 2\nB c /y 2\n#\nA.r B.r REGL 0.5\n")
+        assert main(["validate-config", str(cfg)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 2 programs, 1 connections" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        cfg = tmp_path / "bad.cfg"
+        cfg.write_text("A c /x 2\nA.r GHOST.r REGL 0.5\n")
+        assert main(["validate-config", str(cfg)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["validate-config", "/nonexistent/x.cfg"]) == 1
+
+    def test_warning_surfaced(self, tmp_path, capsys):
+        # A syntactically valid config with no connections -> no warnings,
+        # but exercise the plain-OK path.
+        cfg = tmp_path / "warn.cfg"
+        cfg.write_text("A c /x 2\n")
+        assert main(["validate-config", str(cfg)]) == 0
+
+
+class TestExperimentsReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = main(["experiments", "--exports", "81", "--runs", "1",
+                   "--out", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert "# Measured reproduction report" in text
+        assert "Figure 4" in text
+        assert "Figure 5: skip runs of 4 then 7" in text
+
+    def test_report_to_stdout(self, capsys):
+        rc = main(["experiments", "--exports", "81", "--runs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| U procs |" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run green.
+
+Examples are user-facing documentation; a stale example is a bug.  Each
+is executed in a subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_examples_directory_is_populated():
+    assert len(SCRIPTS) >= 3, SCRIPTS
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_clean(script):
+    result = run_example(script)
+    assert result.returncode == 0, (
+        f"{script} failed:\nSTDOUT:\n{result.stdout[-2000:]}\n"
+        f"STDERR:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+class TestExampleContent:
+    def test_quickstart_shows_matches(self):
+        out = run_example("quickstart.py").stdout
+        assert "matched" in out
+        assert "zero-overhead path" in out
+
+    def test_coupled_diffusion_verifies_physics(self):
+        out = run_example("coupled_diffusion.py").stdout
+        assert "max |distributed - serial reference| = 0.000e+00" in out
+
+    def test_buddy_help_traces_match_paper(self):
+        out = run_example("buddy_help_traces.py").stdout
+        assert "receive buddy-help {D@20, YES, D@19.6}." in out
+        assert "export D@15.6, skip memcpy." in out
+
+    def test_figure4_sweep_shows_four_regimes(self):
+        out = run_example("figure4_sweep.py").stdout
+        assert "4(a)" in out and "4(d)" in out
+        assert "never" in out  # U=4/8 never reach the optimal state

@@ -1,0 +1,129 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Histogram, OnlineStats, SeriesSummary
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_sample(self):
+        s = OnlineStats()
+        s.add(3.5)
+        assert s.mean == 3.5
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 3.5
+
+    def test_known_values(self):
+        s = OnlineStats()
+        s.add_many([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.variance == pytest.approx(1.25)
+        assert s.sample_variance == pytest.approx(5.0 / 3.0)
+        assert s.stddev == pytest.approx(math.sqrt(1.25))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, xs):
+        s = OnlineStats()
+        s.add_many(xs)
+        assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(xs), rel=1e-6, abs=1e-6)
+        assert s.minimum == min(xs)
+        assert s.maximum == max(xs)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb, sc = OnlineStats(), OnlineStats(), OnlineStats()
+        sa.add_many(a)
+        sb.add_many(b)
+        sc.add_many(a + b)
+        merged = sa.merge(sb)
+        assert merged.count == sc.count
+        assert merged.mean == pytest.approx(sc.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        sa = OnlineStats()
+        sa.add_many([1.0, 2.0])
+        empty = OnlineStats()
+        assert sa.merge(empty).mean == 1.5
+        assert empty.merge(sa).mean == 1.5
+
+
+class TestSeriesSummary:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeriesSummary.from_series([])
+
+    def test_head_body_tail_partition(self):
+        series = [2.0] * 10 + [1.0] * 80 + [0.5] * 10
+        s = SeriesSummary.from_series(series, head=10, tail=10)
+        assert s.head_mean == 2.0
+        assert s.body_mean == 1.0
+        assert s.tail_mean == 0.5
+        assert s.count == 100
+
+    def test_short_series_clamps_segments(self):
+        s = SeriesSummary.from_series([1.0, 2.0], head=10, tail=10)
+        assert s.count == 2
+        assert s.mean == 1.5
+
+    def test_flat_series(self):
+        s = SeriesSummary.from_series([3.0] * 50)
+        assert s.stddev == 0.0
+        assert s.minimum == s.maximum == 3.0
+
+
+class TestHistogram:
+    def test_counts_in_bins(self):
+        h = Histogram(0.0, 10.0, nbins=10)
+        h.add_many([0.5, 1.5, 1.6, 9.9])
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+        assert h.total == 4
+
+    def test_out_of_range_folds_into_edge_bins(self):
+        h = Histogram(0.0, 1.0, nbins=4)
+        h.add(-5.0)
+        h.add(99.0)
+        assert h.counts[0] == 1
+        assert h.counts[3] == 1
+        assert h.total == 2
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 1.0, nbins=4)
+        assert h.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_mode_bin(self):
+        h = Histogram(0.0, 3.0, nbins=3)
+        h.add_many([0.1, 1.1, 1.2, 2.5])
+        assert h.mode_bin() == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 0.0, nbins=4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, nbins=0)
+
+    @given(st.lists(st.floats(0, 10, allow_nan=False), max_size=100))
+    def test_total_always_equals_samples(self, xs):
+        h = Histogram(0.0, 10.0, nbins=7)
+        h.add_many(xs)
+        assert h.total == len(xs)

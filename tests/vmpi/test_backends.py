@@ -1,0 +1,278 @@
+"""Backend tests: DES and threaded communicators must agree.
+
+The collectives themselves are validated in test_plans; here we check
+the backend plumbing — p2p matching, tags, wildcards, collective
+results through real mailboxes, split, and cross-backend agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    SUM,
+    MAX,
+    DesWorld,
+    ThreadWorld,
+)
+
+
+def run_des(nprocs, main):
+    """SPMD-run *main* (a generator fn) on a DES program; return results."""
+    world = DesWorld(latency=1e-6)
+    world.create_program("P", nprocs)
+    results = {}
+
+    def wrapper(comm):
+        results[comm.rank] = yield from main(comm)
+
+    world.spawn_all("P", wrapper)
+    world.run()
+    assert len(results) == nprocs, "some ranks never finished (deadlock?)"
+    return [results[r] for r in range(nprocs)]
+
+
+def run_threads(nprocs, main):
+    world = ThreadWorld(default_timeout=20.0)
+    world.create_program("P", nprocs)
+    return world.run_program("P", main)
+
+
+class TestDesPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1, tag=7)
+                return None
+            msg = yield comm.recv(source=0, tag=7)
+            return msg.payload
+
+        results = run_des(2, main)
+        assert results[1] == {"x": 1}
+
+    def test_wildcard_source_and_tag(self):
+        def main(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, dest=0, tag=comm.rank)
+                return None
+            got = []
+            for _ in range(comm.size - 1):
+                msg = yield comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append((msg.src, msg.payload))
+            return sorted(got)
+
+        results = run_des(4, main)
+        assert results[0] == [(1, 1), (2, 2), (3, 3)]
+
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = yield comm.recv(source=0, tag=2)
+            first = yield comm.recv(source=0, tag=1)
+            return (first.payload, second.payload)
+
+        results = run_des(2, main)
+        assert results[1] == ("a", "b")
+
+    def test_any_tag_skips_internal_collective_traffic(self):
+        def main(comm):
+            # rank 1 lags; rank 0's bcast sends land in rank 1's mailbox
+            # before its user recv is posted.  ANY_TAG must not steal them.
+            if comm.rank == 0:
+                val = yield from comm.bcast("internal", root=0)
+                comm.send("user", dest=1, tag=5)
+                return val
+            msg = yield comm.recv(source=0, tag=ANY_TAG)
+            val = yield from comm.bcast(None, root=0)
+            return (msg.payload, val)
+
+        results = run_des(2, main)
+        assert results[1] == ("user", "internal")
+
+    def test_sendrecv(self):
+        def main(comm):
+            peer = 1 - comm.rank
+            msg = yield from comm.sendrecv(f"from{comm.rank}", dest=peer, source=peer)
+            return msg.payload
+
+        assert run_des(2, main) == ["from1", "from0"]
+
+    def test_numpy_payload_sizes_charged(self):
+        world = DesWorld(latency=0.0, bandwidth=1000.0)
+        world.create_program("P", 2)
+        arrival = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(125, dtype=np.uint8), dest=1)
+            else:
+                yield comm.recv(source=0)
+                arrival["t"] = world.sim.now
+
+        world.spawn_all("P", main)
+        world.run()
+        # 125 payload + 64 header bytes at 1000 B/s
+        assert arrival["t"] == pytest.approx(0.189)
+
+
+class TestDesCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_allreduce_and_bcast(self, size):
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank + 1, SUM)
+            top = yield from comm.bcast("root-data" if comm.rank == 0 else None)
+            return (total, top)
+
+        results = run_des(size, main)
+        assert all(r == (size * (size + 1) // 2, "root-data") for r in results)
+
+    def test_gather_scatter_alltoall(self):
+        def main(comm):
+            g = yield from comm.gather(comm.rank * 3, root=1)
+            s = yield from comm.scatter(
+                [10, 20, 30, 40] if comm.rank == 1 else None, root=1
+            )
+            a = yield from comm.alltoall([comm.rank * 10 + c for c in range(comm.size)])
+            return (g, s, a)
+
+        results = run_des(4, main)
+        assert results[1][0] == [0, 3, 6, 9]
+        assert [r[1] for r in results] == [10, 20, 30, 40]
+        assert results[2][2] == [2, 12, 22, 32]
+
+    def test_barrier_synchronizes_times(self):
+        world = DesWorld(latency=1e-3)
+        world.create_program("P", 3)
+        after = {}
+
+        def main(comm):
+            yield world.sim.timeout(comm.rank * 1.0)  # staggered arrivals
+            yield from comm.barrier()
+            after[comm.rank] = world.sim.now
+
+        world.spawn_all("P", main)
+        world.run()
+        # Nobody exits the barrier before the last (rank 2) entered at t=2.
+        assert all(t >= 2.0 for t in after.values())
+
+    def test_scan(self):
+        def main(comm):
+            result = yield from comm.scan(comm.rank + 1, SUM)
+            return result
+
+        assert run_des(5, main) == [1, 3, 6, 10, 15]
+
+    def test_split_subgroups(self):
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            total = yield from sub.allreduce(comm.rank, SUM)
+            return (sub.size, sub.rank, total)
+
+        results = run_des(6, main)
+        evens = [r for i, r in enumerate(results) if i % 2 == 0]
+        odds = [r for i, r in enumerate(results) if i % 2 == 1]
+        assert all(r[0] == 3 for r in results)
+        assert all(r[2] == 0 + 2 + 4 for r in evens)
+        assert all(r[2] == 1 + 3 + 5 for r in odds)
+        assert [r[1] for r in evens] == [0, 1, 2]
+
+    def test_consecutive_collectives_do_not_collide(self):
+        def main(comm):
+            out = []
+            for i in range(5):
+                v = yield from comm.allreduce(i * (comm.rank + 1), SUM)
+                out.append(v)
+            return out
+
+        size = 4
+        expected = [i * (1 + 2 + 3 + 4) for i in range(5)]
+        assert run_des(size, main) == [expected] * size
+
+
+class TestThreadBackend:
+    def test_p2p(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=3)
+                return None
+            return comm.recv(source=0, tag=3).payload
+
+        assert run_threads(2, main)[1] == "payload"
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 5])
+    def test_collectives(self, size):
+        def main(comm):
+            total = comm.allreduce(1, SUM)
+            top = comm.bcast(comm.rank == 0 and "hello" or None)
+            comm.barrier()
+            parts = comm.allgather(comm.rank)
+            return (total, top, parts)
+
+        results = run_threads(size, main)
+        assert all(
+            r == (size, "hello" if size else None, list(range(size)))
+            for r in results
+        )
+
+    def test_max_reduce(self):
+        def main(comm):
+            return comm.allreduce(float(comm.rank), MAX)
+
+        assert run_threads(4, main) == [3.0] * 4
+
+    def test_split(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank // 2)
+            return (sub.size, sub.allreduce(comm.rank, SUM))
+
+        results = run_threads(4, main)
+        assert results[0] == (2, 1)
+        assert results[3] == (2, 5)
+
+    def test_worker_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("worker died")
+            return None
+
+        world = ThreadWorld(default_timeout=5.0)
+        world.create_program("P", 2)
+        with pytest.raises(RuntimeError, match="rank 1"):
+            world.run_program("P", main)
+
+    def test_recv_timeout(self):
+        from repro.vmpi.thread_backend import MailboxTimeout
+
+        def main(comm):
+            if comm.rank == 0:
+                try:
+                    comm.recv(source=1, tag=9, timeout=0.05)
+                except MailboxTimeout:
+                    return "timed out"
+            return None
+
+        assert run_threads(2, main)[0] == "timed out"
+
+
+class TestCrossBackendAgreement:
+    """The same SPMD logic must produce identical values on both backends."""
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_reduction_pipeline(self, size):
+        def des_main(comm):
+            a = yield from comm.allreduce(comm.rank + 1, SUM)
+            b = yield from comm.allgather(a * (comm.rank + 1))
+            c = yield from comm.scan(comm.rank, SUM)
+            return (a, b, c)
+
+        def thread_main(comm):
+            a = comm.allreduce(comm.rank + 1, SUM)
+            b = comm.allgather(a * (comm.rank + 1))
+            c = comm.scan(comm.rank, SUM)
+            return (a, b, c)
+
+        assert run_des(size, des_main) == run_threads(size, thread_main)

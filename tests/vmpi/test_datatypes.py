@@ -1,0 +1,102 @@
+"""Tests for wire-size accounting and reduce-op algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vmpi.datatypes import nbytes_of
+from repro.vmpi.reduce_ops import BY_NAME, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM
+
+
+class TestNbytesOf:
+    def test_none_is_zero(self):
+        assert nbytes_of(None) == 0
+
+    def test_numpy_exact(self):
+        assert nbytes_of(np.zeros((10, 10), dtype=np.float64)) == 800
+        assert nbytes_of(np.zeros(3, dtype=np.int32)) == 12
+
+    def test_numpy_scalar(self):
+        assert nbytes_of(np.float64(1.5)) == 8
+
+    def test_bytes_exact(self):
+        assert nbytes_of(b"abcd") == 4
+        assert nbytes_of(bytearray(10)) == 10
+
+    def test_str_utf8(self):
+        assert nbytes_of("abc") == 3
+        assert nbytes_of("é") == 2
+
+    def test_scalars(self):
+        assert nbytes_of(5) == 8
+        assert nbytes_of(1.5) == 8
+        assert nbytes_of(True) == 8
+        assert nbytes_of(1 + 2j) == 16
+
+    def test_containers_recursive(self):
+        flat = nbytes_of([1.0, 2.0])
+        assert flat == 2 * 8 + 2 * 8  # elements + per-slot overhead
+        assert nbytes_of({"a": 1}) == nbytes_of("a") + 8 + 16
+
+    def test_wire_nbytes_protocol(self):
+        class Handle:
+            wire_nbytes = 12345
+
+        class CallableHandle:
+            def wire_nbytes(self):
+                return 999
+
+        assert nbytes_of(Handle()) == 12345
+        assert nbytes_of(CallableHandle()) == 999
+
+    @given(st.integers(0, 10**6))
+    def test_monotone_in_array_length(self, n):
+        assert nbytes_of(np.zeros(n, dtype=np.uint8)) == n
+
+
+class TestReduceOps:
+    def test_sum_scalars_and_arrays(self):
+        assert SUM(2, 3) == 5
+        np.testing.assert_array_equal(SUM(np.ones(3), np.ones(3)), np.full(3, 2.0))
+
+    def test_prod(self):
+        assert PROD(3, 4) == 12
+
+    def test_max_min(self):
+        assert MAX(2, 9) == 9
+        assert MIN(2, 9) == 2
+        np.testing.assert_array_equal(
+            MAX(np.array([1, 5]), np.array([4, 2])), np.array([4, 5])
+        )
+
+    def test_logical(self):
+        assert LAND(True, False) is False
+        assert LOR(True, False) is True
+        np.testing.assert_array_equal(
+            LAND(np.array([True, True]), np.array([True, False])),
+            np.array([True, False]),
+        )
+
+    def test_maxloc_minloc_tie_breaking(self):
+        # Equal values resolve to the smaller location (MPI semantics).
+        assert MAXLOC((5.0, 3), (5.0, 1)) == (5.0, 1)
+        assert MINLOC((5.0, 3), (5.0, 1)) == (5.0, 1)
+        assert MAXLOC((1.0, 0), (2.0, 1)) == (2.0, 1)
+        assert MINLOC((1.0, 0), (2.0, 1)) == (1.0, 0)
+
+    def test_reduce_sequence(self):
+        assert SUM.reduce_sequence([1, 2, 3]) == 6
+        with pytest.raises(ValueError):
+            SUM.reduce_sequence([])
+
+    def test_registry(self):
+        assert BY_NAME["sum"] is SUM
+        assert set(BY_NAME) == {
+            "sum", "prod", "max", "min", "land", "lor", "maxloc", "minloc",
+        }
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=20)
+    )
+    def test_sum_associative_fold_matches_builtin(self, xs):
+        assert SUM.reduce_sequence(xs) == pytest.approx(sum(xs), rel=1e-9, abs=1e-9)

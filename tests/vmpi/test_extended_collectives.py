@@ -1,0 +1,154 @@
+"""Tests for exscan, reduce_scatter and iprobe."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmpi import (
+    ANY_TAG,
+    SUM,
+    DesWorld,
+    ThreadWorld,
+    plan_exscan,
+    plan_reduce_scatter,
+    simulate_plans,
+)
+from repro.vmpi.reduce_ops import ReduceOp
+
+SIZES = list(range(1, 14))
+
+
+class TestExscanPlans:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_exclusive_prefix_sum(self, size):
+        plans = [plan_exscan(r, size, r + 1, SUM, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results[0] is None
+        for r in range(1, size):
+            assert results[r] == r * (r + 1) // 2
+
+    def test_non_commutative_order(self):
+        concat = ReduceOp("concat", lambda a, b: a + b, commutative=False)
+        size = 7
+        plans = [plan_exscan(r, size, [r], concat, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results[0] is None
+        for r in range(1, size):
+            assert results[r] == list(range(r))
+
+    @given(size=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_exscan_shifts_scan(self, size):
+        from repro.vmpi import plan_scan
+
+        inc = simulate_plans([plan_scan(r, size, r * 3, SUM, "a") for r in range(size)])
+        exc = simulate_plans([plan_exscan(r, size, r * 3, SUM, "b") for r in range(size)])
+        for r in range(1, size):
+            assert exc[r] == inc[r - 1]
+
+
+class TestReduceScatterPlans:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_blockwise_sum(self, size):
+        plans = [
+            plan_reduce_scatter(
+                r, size, [r * 100 + c for c in range(size)], SUM, "k"
+            )
+            for r in range(size)
+        ]
+        results = simulate_plans(plans)
+        col_base = sum(r * 100 for r in range(size))
+        for i in range(size):
+            assert results[i] == col_base + i * size
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_reduce_scatter(0, 4, [1, 2], SUM, "k")
+
+    def test_non_commutative_rank_order(self):
+        concat = ReduceOp("concat", lambda a, b: a + b, commutative=False)
+        size = 5
+        plans = [
+            plan_reduce_scatter(r, size, [[(r, c)] for c in range(size)], concat, "k")
+            for r in range(size)
+        ]
+        results = simulate_plans(plans)
+        for i in range(size):
+            assert results[i] == [(r, i) for r in range(size)]
+
+
+class TestBackendIntegration:
+    def test_des_exscan_and_reduce_scatter(self):
+        world = DesWorld()
+        world.create_program("P", 5)
+        out = {}
+
+        def main(comm):
+            ex = yield from comm.exscan(comm.rank + 1, SUM)
+            rs = yield from comm.reduce_scatter(
+                [comm.rank * 10 + c for c in range(comm.size)], SUM
+            )
+            out[comm.rank] = (ex, rs)
+
+        world.spawn_all("P", main)
+        world.run()
+        assert out[0][0] is None
+        assert out[3][0] == 1 + 2 + 3
+        col_base = sum(r * 10 for r in range(5))
+        assert out[2][1] == col_base + 2 * 5
+
+    def test_thread_exscan_and_reduce_scatter(self):
+        world = ThreadWorld(default_timeout=10.0)
+        world.create_program("P", 4)
+
+        def main(comm):
+            return (
+                comm.exscan(comm.rank + 1, SUM),
+                comm.reduce_scatter([comm.rank] * comm.size, SUM),
+            )
+
+        results = world.run_program("P", main)
+        assert results[0][0] is None
+        assert results[3][0] == 6
+        assert all(r[1] == 0 + 1 + 2 + 3 for r in results)
+
+
+class TestIprobe:
+    def test_probe_sees_waiting_message(self):
+        world = DesWorld()
+        world.create_program("P", 2)
+        seen = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=5)
+                return
+            # Let the message arrive first.
+            yield world.sim.timeout(0.001)
+            seen["before"] = comm.iprobe(source=0, tag=5)
+            seen["wrong_tag"] = comm.iprobe(source=0, tag=6)
+            yield comm.recv(source=0, tag=5)
+            seen["after"] = comm.iprobe(source=0, tag=5)
+
+        world.spawn_all("P", main)
+        world.run()
+        assert seen == {"before": True, "wrong_tag": False, "after": False}
+
+    def test_probe_ignores_internal_collective_traffic(self):
+        world = DesWorld()
+        world.create_program("P", 2)
+        seen = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                v = yield from comm.bcast("data", root=0)
+                return v
+            yield world.sim.timeout(0.001)
+            # The bcast message for us is waiting, but ANY_TAG iprobe
+            # must not report internal traffic.
+            seen["any"] = comm.iprobe(tag=ANY_TAG)
+            v = yield from comm.bcast(None, root=0)
+            return v
+
+        world.spawn_all("P", main)
+        world.run()
+        assert seen["any"] is False

@@ -1,0 +1,274 @@
+"""Property and example tests for the collective communication plans.
+
+Every algorithm is validated for all sizes 1..17 via the pure
+in-memory executor — independent of any backend.  The Hypothesis
+properties check the collective contracts themselves (correct result,
+matched sends/receives, no deadlock).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmpi import (
+    MAX,
+    MAXLOC,
+    MIN,
+    PROD,
+    SUM,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_barrier,
+    plan_bcast,
+    plan_gather,
+    plan_reduce,
+    plan_scan,
+    plan_scatter,
+    simulate_plans,
+)
+from repro.vmpi.plans import PlanDeadlock, RecvAction, SendAction
+from repro.vmpi.reduce_ops import ReduceOp
+
+SIZES = list(range(1, 18))
+
+
+def _values(size):
+    return [(r + 1) * 10 for r in range(size)]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_all_ranks_get_root_value(self, size):
+        for root in {0, size // 2, size - 1}:
+            plans = [
+                plan_bcast(r, size, root, "payload" if r == root else None, "k")
+                for r in range(size)
+            ]
+            assert simulate_plans(plans) == ["payload"] * size
+
+    def test_message_count_is_size_minus_one(self):
+        size = 16
+        plans = [plan_bcast(r, size, 0, 0, "k") for r in range(size)]
+        total_sends = sum(len(p.sends()) for p in plans)
+        assert total_sends == size - 1
+
+    def test_depth_is_logarithmic(self):
+        # Each rank receives at most once and sends at most log2(size).
+        size = 16
+        for r in range(size):
+            p = plan_bcast(r, size, 0, 0, "k")
+            assert len(p.recvs()) <= 1
+            assert len(p.sends()) <= 4
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_sum_to_root(self, size):
+        for root in {0, size - 1}:
+            plans = [
+                plan_reduce(r, size, root, _values(size)[r], SUM, "k")
+                for r in range(size)
+            ]
+            results = simulate_plans(plans)
+            for r in range(size):
+                if r == root:
+                    assert results[r] == sum(_values(size))
+                else:
+                    assert results[r] is None
+
+    @pytest.mark.parametrize("op,expect", [(MAX, 170), (MIN, 10), (PROD, None)])
+    def test_other_ops(self, op, expect):
+        size = 17
+        plans = [plan_reduce(r, size, 0, _values(size)[r], op, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        if expect is not None:
+            assert results[0] == expect
+        else:
+            assert float(results[0]) == pytest.approx(
+                float(np.prod([float(v) for v in _values(size)]))
+            )
+
+    def test_maxloc(self):
+        size = 8
+        plans = [
+            plan_reduce(r, size, 0, (float(r % 5), r), MAXLOC, "k")
+            for r in range(size)
+        ]
+        results = simulate_plans(plans)
+        assert results[0] == (4.0, 4)
+
+    def test_non_commutative_rank_order(self):
+        concat = ReduceOp("concat", lambda a, b: a + b, commutative=False)
+        size = 7
+        plans = [plan_reduce(r, size, 2, [r], concat, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results[2] == list(range(size))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_sum_everywhere(self, size):
+        plans = [plan_allreduce(r, size, r + 1, SUM, "k") for r in range(size)]
+        assert simulate_plans(plans) == [size * (size + 1) // 2] * size
+
+    def test_power_of_two_uses_recursive_doubling(self):
+        # log2(8) = 3 rounds -> exactly 3 sends per rank.
+        plans = [plan_allreduce(r, 8, r, SUM, "k") for r in range(8)]
+        assert all(len(p.sends()) == 3 for p in plans)
+
+    def test_non_power_of_two_falls_back(self):
+        plans = [plan_allreduce(r, 6, r, SUM, "k") for r in range(6)]
+        assert simulate_plans(plans) == [15] * 6
+
+    def test_arrays(self):
+        size = 4
+        plans = [
+            plan_allreduce(r, size, np.full(3, float(r)), SUM, "k")
+            for r in range(size)
+        ]
+        results = simulate_plans(plans)
+        for out in results:
+            np.testing.assert_allclose(out, [6.0, 6.0, 6.0])
+
+    def test_non_commutative_rank_order_preserved(self):
+        concat = ReduceOp("concat", lambda a, b: a + b, commutative=False)
+        for size in (4, 8):  # power of two would pick recursive doubling
+            plans = [plan_allreduce(r, size, [r], concat, "k") for r in range(size)]
+            assert simulate_plans(plans) == [list(range(size))] * size
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_completes_for_all_sizes(self, size):
+        plans = [plan_barrier(r, size, "k") for r in range(size)]
+        assert simulate_plans(plans) == [None] * size
+
+    def test_dissemination_rounds(self):
+        plans = [plan_barrier(r, 9, "k") for r in range(9)]
+        # ceil(log2(9)) = 4 rounds, one send per round.
+        assert all(len(p.sends()) == 4 for p in plans)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        root = size - 1
+        plans = [plan_gather(r, size, root, r * 2, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results[root] == [r * 2 for r in range(size)]
+        assert all(results[r] is None for r in range(size) if r != root)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        root = 0
+        values = [f"item{r}" for r in range(size)]
+        plans = [
+            plan_scatter(r, size, root, values if r == root else None, "k")
+            for r in range(size)
+        ]
+        assert simulate_plans(plans) == values
+
+    def test_scatter_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_scatter(0, 4, 0, [1, 2], "k")
+
+    def test_gather_then_scatter_roundtrip(self):
+        size = 5
+        gathered = simulate_plans(
+            [plan_gather(r, size, 0, r + 100, "k") for r in range(size)]
+        )
+        scattered = simulate_plans(
+            [
+                plan_scatter(r, size, 0, gathered[0] if r == 0 else None, "k2")
+                for r in range(size)
+            ]
+        )
+        assert scattered == [r + 100 for r in range(size)]
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        plans = [plan_allgather(r, size, r * r, "k") for r in range(size)]
+        expected = [r * r for r in range(size)]
+        assert simulate_plans(plans) == [expected] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_alltoall_is_transpose(self, size):
+        plans = [
+            plan_alltoall(r, size, [r * 100 + c for c in range(size)], "k")
+            for r in range(size)
+        ]
+        results = simulate_plans(plans)
+        for r in range(size):
+            assert results[r] == [c * 100 + r for c in range(size)]
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_inclusive_prefix_sum(self, size):
+        plans = [plan_scan(r, size, r + 1, SUM, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results == [(r + 1) * (r + 2) // 2 for r in range(size)]
+
+    def test_non_commutative_order(self):
+        concat = ReduceOp("concat", lambda a, b: a + b, commutative=False)
+        size = 9
+        plans = [plan_scan(r, size, [r], concat, "k") for r in range(size)]
+        results = simulate_plans(plans)
+        assert results == [list(range(r + 1)) for r in range(size)]
+
+
+class TestPlanStructure:
+    @given(size=st.integers(1, 24), root=st.integers(0, 23))
+    @settings(max_examples=60, deadline=None)
+    def test_sends_and_recvs_pair_up(self, size, root):
+        """Every send has exactly one matching recv, for every plan kind."""
+        root = root % size
+        families = [
+            [plan_bcast(r, size, root, 0, "k") for r in range(size)],
+            [plan_reduce(r, size, root, r, SUM, "k") for r in range(size)],
+            [plan_allreduce(r, size, r, SUM, "k") for r in range(size)],
+            [plan_barrier(r, size, "k") for r in range(size)],
+            [plan_allgather(r, size, r, "k") for r in range(size)],
+            [plan_scan(r, size, r, SUM, "k") for r in range(size)],
+        ]
+        for plans in families:
+            sends = {}
+            recvs = {}
+            for p in plans:
+                for a in p.actions:
+                    if isinstance(a, SendAction):
+                        key = (p.rank, a.peer, a.key)
+                        sends[key] = sends.get(key, 0) + 1
+                    elif isinstance(a, RecvAction):
+                        key = (a.peer, p.rank, a.key)
+                        recvs[key] = recvs.get(key, 0) + 1
+            assert sends == recvs, f"unmatched traffic in {plans[0].name}"
+
+    @given(size=st.integers(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_no_deadlock_any_size(self, size):
+        plans = [plan_allreduce(r, size, 1, SUM, "k") for r in range(size)]
+        assert simulate_plans(plans) == [size] * size
+
+    def test_simulator_detects_deadlock(self):
+        # A hand-built broken plan: rank 0 waits for a message nobody sends.
+        from repro.vmpi.plans import CollectivePlan
+
+        broken = CollectivePlan(
+            name="broken",
+            rank=0,
+            size=1,
+            actions=[RecvAction(peer=0, key="never", slot="x")],
+            slots={},
+        )
+        with pytest.raises(PlanDeadlock):
+            simulate_plans([broken])
+
+    def test_rank_bounds_validated(self):
+        with pytest.raises(ValueError):
+            plan_bcast(5, 4, 0, 0, "k")
+        with pytest.raises(ValueError):
+            plan_bcast(0, 4, 9, 0, "k")
