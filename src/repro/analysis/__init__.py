@@ -1,0 +1,42 @@
+"""Collective-semantics verification (static and online).
+
+The paper's buddy-help optimization is sound only because of
+Property 1 — every process of a program issues the same collective
+export/import sequence — and because the rep's aggregate of per-process
+responses stays within the five legal cases (Section 4).  The runtime
+detects violations *reactively*; this package proves (or refutes)
+collective discipline *proactively*, in three coordinated passes:
+
+* :mod:`repro.analysis.graph` — static analysis of a coupling
+  configuration without running it (dangling endpoints, tolerance /
+  cadence incompatibilities, import-request deadlock cycles, dead
+  buddy-help connections);
+* :mod:`repro.analysis.astlint` — an ``ast``-based lint of user
+  coupling programs for *rank-dependent* collective operations, the
+  static shadow of Property 1;
+* :mod:`repro.analysis.sanitizer` — an opt-in online interposer on rep
+  state transitions and the trace stream that turns silent protocol
+  corruption into immediate, located failures.
+
+All three passes share the findings model of
+:mod:`repro.analysis.report` (severity, rule code, locus, paper-section
+citation) with text and JSON renderers, and are exposed on the command
+line as ``repro lint``.
+"""
+
+from repro.analysis.report import Finding, Report, Severity
+from repro.analysis.graph import analyze_config, analyze_config_text
+from repro.analysis.astlint import lint_path, lint_source
+from repro.analysis.sanitizer import ProtocolSanitizer, SanitizerError
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Severity",
+    "analyze_config",
+    "analyze_config_text",
+    "lint_path",
+    "lint_source",
+    "ProtocolSanitizer",
+    "SanitizerError",
+]

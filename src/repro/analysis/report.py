@@ -1,0 +1,200 @@
+"""Shared findings model for the three verification passes.
+
+Every check — static coupling-graph analysis, AST lint, and the online
+sanitizer — reports through the same vocabulary: a :class:`Finding`
+carries a severity, a stable rule code, a *locus* (file/line for static
+passes, program/rank for the online pass), a human explanation, and a
+citation of the paper section whose rule it enforces.  A
+:class:`Report` collects findings and renders them as text or JSON so
+both humans and CI tooling consume one format.
+
+Rule-code namespaces:
+
+* ``G1xx`` — coupling-graph checks (:mod:`repro.analysis.graph`);
+* ``P1xx`` — Property-1 AST lint (:mod:`repro.analysis.astlint`);
+* ``S3xx`` — online protocol sanitizer (:mod:`repro.analysis.sanitizer`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+#: JSON schema version stamped into rendered reports.
+SCHEMA_VERSION = 1
+
+#: Short form of the source used in citations.
+PAPER = "Wu & Sussman, IPDPS 2007"
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe configurations or programs the protocol
+    cannot execute correctly; ``WARNING`` findings are legal but almost
+    certainly unintended (e.g. a tolerance that can never produce a
+    MATCH); ``INFO`` findings are observations (e.g. a connection whose
+    buddy-help can never fire — correct, just pointless).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Ordering key: higher is worse."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified observation of one pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule code (``G101``, ``P102``, ``S301``, ...).
+    severity:
+        See :class:`Severity`.
+    message:
+        Human explanation, grounded in the protocol.
+    paper:
+        The paper section whose rule this finding enforces, e.g.
+        ``"§4 (Property 1)"``.
+    file, line:
+        Source locus for the static passes (``None`` for online
+        findings).
+    program, rank:
+        Runtime locus for the sanitizer (``None`` for static findings).
+    connection:
+        The connection id involved, when one is.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    paper: str
+    file: str | None = None
+    line: int | None = None
+    program: str | None = None
+    rank: int | None = None
+    connection: str | None = None
+
+    def locus(self) -> str:
+        """Human-readable position: file:line or program/rank."""
+        parts: list[str] = []
+        if self.file is not None:
+            parts.append(self.file if self.line is None else f"{self.file}:{self.line}")
+        if self.program is not None:
+            who = self.program if self.rank is None else f"{self.program}.p{self.rank}"
+            parts.append(who)
+        if self.connection is not None:
+            parts.append(f"[{self.connection}]")
+        return " ".join(parts) if parts else "<global>"
+
+    def render(self) -> str:
+        """One text line: ``locus: severity RULE message (citation)``."""
+        return (
+            f"{self.locus()}: {self.severity} {self.rule} {self.message} "
+            f"[{PAPER} {self.paper}]"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of this finding."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "paper": self.paper,
+            "citation": f"{PAPER} {self.paper}",
+            "file": self.file,
+            "line": self.line,
+            "program": self.program,
+            "rank": self.rank,
+            "connection": self.connection,
+        }
+
+
+@dataclass
+class Report:
+    """An ordered collection of findings from one or more passes."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Number of files/configs examined (for the "clean" summary line).
+    examined: int = 0
+
+    def add(self, finding: Finding) -> Finding:
+        """Append one finding and return it."""
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: Report | Iterable[Finding]) -> None:
+        """Merge another report (or bare findings) into this one."""
+        if isinstance(other, Report):
+            self.findings.extend(other.findings)
+            self.examined += other.examined
+        else:
+            self.findings.extend(other)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        """Findings with the given rule code."""
+        return [f for f in self.findings if f.rule == rule]
+
+    def worst(self) -> Severity | None:
+        """The highest severity present (``None`` when clean)."""
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings), key=lambda s: s.rank)
+
+    def has_errors(self) -> bool:
+        """Whether any finding is an :data:`Severity.ERROR`."""
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def counts(self) -> dict[str, int]:
+        """Findings per severity name."""
+        out = {str(s): 0 for s in Severity}
+        for f in self.findings:
+            out[str(f.severity)] += 1
+        return out
+
+    # -- renderers ---------------------------------------------------------
+    def render_text(self) -> str:
+        """Multi-line text report, worst findings first."""
+        if not self.findings:
+            return f"OK: no findings ({self.examined} target(s) examined)"
+        ordered = sorted(
+            self.findings, key=lambda f: (-f.severity.rank, f.rule, f.locus())
+        )
+        lines = [f.render() for f in ordered]
+        c = self.counts()
+        lines.append(
+            f"{len(self.findings)} finding(s): "
+            f"{c['error']} error(s), {c['warning']} warning(s), {c['info']} info"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of the whole report."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "examined": self.examined,
+            "summary": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_json(self, indent: int | None = 1) -> str:
+        """The JSON report as a string."""
+        return json.dumps(self.to_dict(), indent=indent)

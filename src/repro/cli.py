@@ -11,6 +11,10 @@ Commands
     Run the Figure-3 buffering scenarios.
 ``validate-config``
     Parse and validate a coupling configuration file.
+``lint``
+    Static analysis: coupling-graph checks over configuration files
+    and Property-1 AST lint over coupling programs (see
+    ``docs/static_analysis.md``).
 ``version``
     Print the package version.
 """
@@ -159,6 +163,44 @@ def _cmd_validate_config(args: argparse.Namespace) -> int:
     return 0
 
 
+#: File suffixes treated as coupling configuration files by ``lint``.
+_CONFIG_SUFFIXES = (".cfg", ".conf", ".cpl")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import analyze_config_text, lint_path
+    from repro.analysis.report import Report
+
+    report = Report()
+    for raw in args.paths:
+        p = Path(raw)
+        if not p.exists():
+            print(f"error: no such path: {raw}", file=sys.stderr)
+            return 2
+        if p.is_dir():
+            report.extend(lint_path(p))
+            for suffix in _CONFIG_SUFFIXES:
+                for cfg in sorted(p.rglob(f"*{suffix}")):
+                    report.extend(
+                        analyze_config_text(
+                            cfg.read_text(encoding="utf-8"), path=str(cfg)
+                        )
+                    )
+        elif p.suffix == ".py":
+            report.extend(lint_path(p))
+        else:
+            report.extend(
+                analyze_config_text(p.read_text(encoding="utf-8"), path=str(p))
+            )
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 1 if report.has_errors() else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -186,6 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")
     pv.set_defaults(fn=_cmd_validate_config)
+
+    pl = sub.add_parser(
+        "lint",
+        help="static analysis: config graph checks + Property-1 AST lint",
+    )
+    pl.add_argument(
+        "paths",
+        nargs="+",
+        help="Python files/directories to lint and/or config files to analyze",
+    )
+    pl.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format"
+    )
+    pl.set_defaults(fn=_cmd_lint)
 
     pe = sub.add_parser(
         "experiments", help="run all experiments; emit a markdown report"

@@ -42,6 +42,7 @@ paper measures it — inside the export call.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
@@ -354,7 +355,9 @@ class ProcessContext:
         elif outcome.decision is ExportDecision.SKIP:
             charge = coupler.preset.memory.skip_time()
             if tracer.enabled:
-                tracer.record(tracing.EXPORT_SKIP, self.who, t0, timestamp=ts)
+                tracer.record(
+                    tracing.EXPORT_SKIP, self.who, t0, timestamp=ts, region=region
+                )
         else:  # NOOP: unconnected region
             charge = 0.0
         if outcome.replaced:
@@ -533,6 +536,14 @@ class CoupledSimulation:
         :class:`~repro.core.properties.OperationLog` so Property-1
         conformance can be checked after the run
         (:meth:`check_property1`).
+    sanitize:
+        Enable the online protocol sanitizer
+        (:mod:`repro.analysis.sanitizer`): ``True`` or ``"strict"``
+        raises :class:`~repro.analysis.sanitizer.SanitizerError` at the
+        first invariant violation; ``"report"`` only accumulates
+        findings in :attr:`sanitizer`.  Default (``None``) consults the
+        ``REPRO_SANITIZE`` environment variable (``1``/``strict`` or
+        ``report``; empty/``0`` disables).
     """
 
     def __init__(
@@ -545,6 +556,7 @@ class CoupledSimulation:
         buffer_capacity_bytes: int | None = None,
         buffer_policy: str = "error",
         record_operations: bool = False,
+        sanitize: bool | str | None = None,
     ) -> None:
         require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
         self.config = parse_config(config) if isinstance(config, str) else config
@@ -553,6 +565,27 @@ class CoupledSimulation:
         self.buddy_help = buddy_help
         self.rng = RngRegistry(seed=seed)
         self.tracer = tracer if tracer is not None else NullTracer()
+        if sanitize is None:
+            env = os.environ.get("REPRO_SANITIZE", "")
+            if env in ("", "0"):
+                sanitize = False
+            elif env == "report":
+                sanitize = "report"
+            else:  # "1", "strict", or any other opt-in value
+                sanitize = "strict"
+        require(
+            sanitize in (False, True, "strict", "report"),
+            "sanitize: True/'strict', 'report', or False",
+        )
+        #: The online sanitizer, when enabled (findings in ``.report``).
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: the core stays importable without the
+            # analysis package and pays nothing when sanitizing is off.
+            from repro.analysis.sanitizer import ProtocolSanitizer
+
+            self.sanitizer = ProtocolSanitizer(self.config, strict=sanitize != "report")
+            self.tracer = self.sanitizer.wrap_tracer(self.tracer)
         self.buffer_capacity_bytes = buffer_capacity_bytes
         self.buffer_policy = buffer_policy
         #: Poll interval while stalled on a full buffer.
@@ -694,6 +727,8 @@ class CoupledSimulation:
                 prog.exp_rep = ExporterRep(
                     prog.name, prog.nprocs, exp_cids, buddy_help=self.buddy_help
                 )
+                if self.sanitizer is not None:
+                    prog.exp_rep = self.sanitizer.wrap_rep(prog.exp_rep)
             if imp_cids:
                 prog.imp_rep = ImporterRep(prog.name, prog.nprocs, imp_cids)
             prog.contexts = [
@@ -763,6 +798,7 @@ class CoupledSimulation:
                 tracing.REQUEST_REPLY,
                 ctx.who,
                 self.sim.now,
+                cid=cid,
                 request=response.request_ts,
                 answer=str(response.kind),
                 latest=(None if response.latest_export_ts == float("-inf")
@@ -795,6 +831,7 @@ class CoupledSimulation:
                         tracing.REQUEST_RECV,
                         ctx.who,
                         self.sim.now,
+                        cid=msg.connection_id,
                         request=msg.request_ts,
                     )
                 outcome = st.on_request(msg.connection_id, msg.request_ts)
@@ -812,6 +849,7 @@ class CoupledSimulation:
                         tracing.BUDDY_RECV,
                         ctx.who,
                         self.sim.now,
+                        cid=msg.connection_id,
                         request=msg.answer.request_ts,
                         answer="YES" if msg.answer.is_match else "NO",
                         match=msg.answer.matched_ts

@@ -7,12 +7,20 @@ same order.  The runtime detects violations *reactively* (inconsistent
 responses reach the rep); this module checks recorded operation logs
 *exhaustively* after a run — used by the integration tests and
 available to users as a debugging aid.
+
+Divergences are reported *per rank*: every rank that deviates from the
+reference sequence contributes its first point of divergence, so one
+:class:`~repro.core.exceptions.PropertyViolationError` shows the whole
+damage picture at once instead of the first mismatch found.  The same
+per-rank formatting (:func:`format_per_rank`) is reused by the online
+protocol sanitizer (:mod:`repro.analysis.sanitizer`) when it reports
+illegal aggregate mixtures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.core.exceptions import PropertyViolationError
 
@@ -48,6 +56,96 @@ class OperationLog:
         return sorted(self.records)
 
 
+@dataclass(frozen=True)
+class Divergence:
+    """One rank's first departure from the reference sequence."""
+
+    program: str
+    rank: int
+    ref_rank: int
+    index: int
+    #: What the rank logged at *index* (``None`` beyond its sequence —
+    #: impossible here since prefixes are conformant, kept for clarity).
+    got: Operation | None
+    #: What the reference logged at *index* (``None`` when the rank
+    #: logged *extra* operations beyond the reference).
+    expected: Operation | None
+
+    def describe(self) -> str:
+        """Human description of this single divergence."""
+        if self.expected is None:
+            return (
+                f"logged extra operation {self.got} at position {self.index} "
+                f"beyond rank {self.ref_rank}'s sequence"
+            )
+        return (
+            f"operation {self.index} is {self.got}, but rank {self.ref_rank} "
+            f"logged {self.expected}"
+        )
+
+
+def format_per_rank(header: str, per_rank: Mapping[int, str]) -> str:
+    """Render per-rank diagnostics as an aligned multi-line block.
+
+    Shared formatting between the offline checker and the online
+    sanitizer: a header line followed by one ``rank N: ...`` line per
+    rank, in rank order.
+    """
+    lines = [header]
+    for rank in sorted(per_rank):
+        lines.append(f"  rank {rank}: {per_rank[rank]}")
+    return "\n".join(lines)
+
+
+def find_divergences(
+    log: OperationLog, programs: Iterable[str] | None = None
+) -> list[Divergence]:
+    """All ranks' first divergences from their program's reference.
+
+    The reference is the longest recorded sequence of the program
+    (slower processes legitimately lag, so a shorter sequence that is a
+    prefix of the reference is conformant).  Every non-reference rank
+    contributes at most one divergence — its first.
+    """
+    divergences: list[Divergence] = []
+    names = list(programs) if programs is not None else log.programs()
+    for program in names:
+        ranks = log.records.get(program, {})
+        if len(ranks) < 2:
+            continue
+        ref_rank = max(sorted(ranks), key=lambda r: len(ranks[r]))
+        reference = ranks[ref_rank]
+        for rank, ops in sorted(ranks.items()):
+            if rank == ref_rank:
+                continue
+            for i, op in enumerate(ops):
+                if i >= len(reference):
+                    divergences.append(
+                        Divergence(
+                            program=program,
+                            rank=rank,
+                            ref_rank=ref_rank,
+                            index=i,
+                            got=op,
+                            expected=None,
+                        )
+                    )
+                    break
+                if op != reference[i]:
+                    divergences.append(
+                        Divergence(
+                            program=program,
+                            rank=rank,
+                            ref_rank=ref_rank,
+                            index=i,
+                            got=op,
+                            expected=reference[i],
+                        )
+                    )
+                    break
+    return divergences
+
+
 def check_property1(
     log: OperationLog,
     programs: Iterable[str] | None = None,
@@ -55,40 +153,24 @@ def check_property1(
 ) -> list[str]:
     """Verify that every program's processes logged identical sequences.
 
-    Returns a list of human-readable violation descriptions (empty when
-    conformant).  With ``raise_on_violation`` (default) a non-empty
-    result raises :class:`PropertyViolationError` instead.
-
-    Processes may be at different *positions* in the sequence when the
-    run is cut off (slower processes lag); therefore a shorter sequence
-    that is a prefix of the longest one is conformant — only genuine
-    mismatches are violations.
+    Returns a list of human-readable violation descriptions — one per
+    divergent rank, each describing that rank's *first* divergence —
+    empty when conformant.  With ``raise_on_violation`` (default) a
+    non-empty result raises :class:`PropertyViolationError` whose
+    message lists *all* divergent ranks program by program.
     """
-    violations: list[str] = []
-    names = list(programs) if programs is not None else log.programs()
-    for program in names:
-        ranks = log.records.get(program, {})
-        if len(ranks) < 2:
-            continue
-        # Use the longest sequence as the reference.
-        ref_rank = max(ranks, key=lambda r: len(ranks[r]))
-        reference = ranks[ref_rank]
-        for rank, ops in sorted(ranks.items()):
-            if rank == ref_rank:
-                continue
-            for i, op in enumerate(ops):
-                if i >= len(reference):
-                    violations.append(
-                        f"{program}: rank {rank} logged extra operation {op} "
-                        f"beyond rank {ref_rank}'s sequence"
-                    )
-                    break
-                if op != reference[i]:
-                    violations.append(
-                        f"{program}: rank {rank} operation {i} is {op}, but "
-                        f"rank {ref_rank} logged {reference[i]}"
-                    )
-                    break
+    divergences = find_divergences(log, programs)
+    violations = [f"{d.program}: rank {d.rank} {d.describe()}" for d in divergences]
     if violations and raise_on_violation:
-        raise PropertyViolationError("; ".join(violations))
+        by_program: dict[str, dict[int, str]] = {}
+        for d in divergences:
+            by_program.setdefault(d.program, {})[d.rank] = d.describe()
+        blocks = [
+            format_per_rank(
+                f"{program}: {len(per_rank)} rank(s) diverge (Property 1 violated):",
+                per_rank,
+            )
+            for program, per_rank in sorted(by_program.items())
+        ]
+        raise PropertyViolationError("\n".join(blocks))
     return violations

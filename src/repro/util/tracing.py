@@ -6,6 +6,11 @@ memcpy.`` / ``receive buddy-help {D@20, YES, D@19.6}.`` and so on.  To
 *regenerate* those figures we record every framework decision as a
 :class:`TraceEvent` and render the stream in the paper's notation.
 
+Event kinds are validated at record time: the canonical kinds below are
+always accepted, and user extensions must be declared once with
+:func:`register_kind` — a typo'd kind then fails loudly at the emission
+site instead of silently producing events nothing ever filters for.
+
 Tracing is on the export hot path, so the default :class:`NullTracer`
 does nothing and costs a single dynamic dispatch.
 """
@@ -16,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 #: Canonical trace event kinds emitted by the framework.  Kept as plain
-#: strings (not an Enum) so user extensions can add their own kinds.
+#: strings (not an Enum) so user extensions can add their own kinds
+#: (see :func:`register_kind`).
 EXPORT_MEMCPY = "export_memcpy"
 EXPORT_SKIP = "export_skip"
 EXPORT_SEND = "export_send"
@@ -45,6 +51,31 @@ KNOWN_KINDS = frozenset(
     }
 )
 
+#: User-registered extension kinds (see :func:`register_kind`).
+_extension_kinds: set[str] = set()
+
+
+def register_kind(kind: str) -> str:
+    """Register a user extension event kind.
+
+    Returns *kind* so the call doubles as the constant definition::
+
+        MY_EVENT = register_kind("my_event")
+
+    Registering a canonical kind is a no-op; the registration is
+    idempotent.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"trace kind must be a non-empty string, got {kind!r}")
+    if kind not in KNOWN_KINDS:
+        _extension_kinds.add(kind)
+    return kind
+
+
+def known_kinds() -> frozenset[str]:
+    """All currently valid kinds: canonical plus registered extensions."""
+    return KNOWN_KINDS | frozenset(_extension_kinds)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -53,7 +84,8 @@ class TraceEvent:
     Attributes
     ----------
     kind:
-        One of the module-level kind constants (or a user extension).
+        One of the module-level kind constants (or a registered user
+        extension).
     who:
         Identity of the acting process, e.g. ``"F.p_s"``.
     time:
@@ -74,48 +106,98 @@ class TraceEvent:
 
     def render(self, object_name: str = "D") -> str:
         """Render this event one line in the paper's notation."""
+        renderer = _RENDERERS.get(self.kind)
         ts = f"{object_name}@{self.timestamp:g}" if self.timestamp is not None else ""
-        d = self.detail
-        if self.kind == EXPORT_MEMCPY:
-            return f"export {ts}, call memcpy."
-        if self.kind == EXPORT_SKIP:
-            return f"export {ts}, skip memcpy."
-        if self.kind == EXPORT_SEND:
-            return f"send {ts} out."
-        if self.kind == BUFFER_REMOVE:
-            lo, hi = d.get("low"), d.get("high")
-            if lo is not None and hi is not None and lo != hi:
-                return f"remove {object_name}@{lo:g}, ..., {object_name}@{hi:g}."
-            return f"remove {ts}."
-        if self.kind == REQUEST_RECV:
-            return f"receive request for {object_name}@{d['request']:g}."
-        if self.kind == REQUEST_REPLY:
-            answer = d.get("answer", "?")
-            latest = d.get("latest")
-            latest_s = f", {object_name}@{latest:g}" if latest is not None else ""
-            return (
-                f"reply {{{object_name}@{d['request']:g}, {answer}{latest_s}}}."
-            )
-        if self.kind == BUDDY_RECV:
-            return (
-                f"receive buddy-help {{{object_name}@{d['request']:g}, "
-                f"{d.get('answer', 'YES')}, {object_name}@{d['match']:g}}}."
-            )
-        if self.kind == BUDDY_SEND:
-            return (
-                f"send buddy-help {{{object_name}@{d['request']:g}, "
-                f"{d.get('answer', 'YES')}, {object_name}@{d['match']:g}}}."
-            )
-        if self.kind == IMPORT_REQUEST:
-            return f"request {object_name}@{d['request']:g}."
-        if self.kind == IMPORT_COMPLETE:
-            return f"import {ts} complete."
-        if self.kind == REP_FINALIZE:
-            return (
-                f"rep finalize {{{object_name}@{d['request']:g}, "
-                f"{d.get('answer', '?')}}}."
-            )
-        return f"{self.kind} {ts} {d}"  # fallback for extension kinds
+        if renderer is None:  # fallback for extension kinds
+            return f"{self.kind} {ts} {self.detail}"
+        return renderer(self, object_name, ts)
+
+
+# -- the renderer table -------------------------------------------------------
+# One entry per canonical kind; enumerating the table is kept complete
+# by the module self-check below (a new kind without a renderer fails
+# at import time, not at render time).
+
+def _render_export_memcpy(e: TraceEvent, name: str, ts: str) -> str:
+    return f"export {ts}, call memcpy."
+
+
+def _render_export_skip(e: TraceEvent, name: str, ts: str) -> str:
+    return f"export {ts}, skip memcpy."
+
+
+def _render_export_send(e: TraceEvent, name: str, ts: str) -> str:
+    return f"send {ts} out."
+
+
+def _render_buffer_remove(e: TraceEvent, name: str, ts: str) -> str:
+    lo, hi = e.detail.get("low"), e.detail.get("high")
+    if lo is not None and hi is not None and lo != hi:
+        return f"remove {name}@{lo:g}, ..., {name}@{hi:g}."
+    return f"remove {ts}."
+
+
+def _render_request_recv(e: TraceEvent, name: str, ts: str) -> str:
+    return f"receive request for {name}@{e.detail['request']:g}."
+
+
+def _render_request_reply(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    answer = d.get("answer", "?")
+    latest = d.get("latest")
+    latest_s = f", {name}@{latest:g}" if latest is not None else ""
+    return f"reply {{{name}@{d['request']:g}, {answer}{latest_s}}}."
+
+
+def _render_buddy_recv(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return (
+        f"receive buddy-help {{{name}@{d['request']:g}, "
+        f"{d.get('answer', 'YES')}, {name}@{d['match']:g}}}."
+    )
+
+
+def _render_buddy_send(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return (
+        f"send buddy-help {{{name}@{d['request']:g}, "
+        f"{d.get('answer', 'YES')}, {name}@{d['match']:g}}}."
+    )
+
+
+def _render_import_request(e: TraceEvent, name: str, ts: str) -> str:
+    return f"request {name}@{e.detail['request']:g}."
+
+
+def _render_import_complete(e: TraceEvent, name: str, ts: str) -> str:
+    return f"import {ts} complete."
+
+
+def _render_rep_finalize(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return f"rep finalize {{{name}@{d['request']:g}, {d.get('answer', '?')}}}."
+
+
+_RENDERERS: dict[str, Callable[[TraceEvent, str, str], str]] = {
+    EXPORT_MEMCPY: _render_export_memcpy,
+    EXPORT_SKIP: _render_export_skip,
+    EXPORT_SEND: _render_export_send,
+    BUFFER_REMOVE: _render_buffer_remove,
+    REQUEST_RECV: _render_request_recv,
+    REQUEST_REPLY: _render_request_reply,
+    BUDDY_RECV: _render_buddy_recv,
+    BUDDY_SEND: _render_buddy_send,
+    IMPORT_REQUEST: _render_import_request,
+    IMPORT_COMPLETE: _render_import_complete,
+    REP_FINALIZE: _render_rep_finalize,
+}
+
+# Every canonical kind must have a renderer (and vice versa): keep the
+# table and KNOWN_KINDS from drifting apart when kinds are added.
+assert frozenset(_RENDERERS) == KNOWN_KINDS, (
+    "renderer table out of sync with KNOWN_KINDS: "
+    f"{sorted(frozenset(_RENDERERS) ^ KNOWN_KINDS)}"
+)
 
 
 class Tracer:
@@ -148,7 +230,19 @@ class Tracer:
         timestamp: float | None = None,
         **detail: Any,
     ) -> None:
-        """Record one event."""
+        """Record one event.
+
+        The kind must be canonical or registered via
+        :func:`register_kind`; anything else raises ``ValueError`` so a
+        typo'd emission site fails at the first event, not in whatever
+        downstream code silently filters the stream.
+        """
+        if kind not in KNOWN_KINDS and kind not in _extension_kinds:
+            raise ValueError(
+                f"unregistered trace kind {kind!r}; canonical kinds are "
+                f"{sorted(KNOWN_KINDS)} — declare extensions with "
+                "repro.util.tracing.register_kind()"
+            )
         ev = TraceEvent(kind=kind, who=who, time=time, timestamp=timestamp, detail=detail)
         if self._predicate is None or self._predicate(ev):
             self.events.append(ev)

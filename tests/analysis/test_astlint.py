@@ -1,0 +1,257 @@
+"""Tests for the Property-1 AST lint (astlint.py)."""
+
+import textwrap
+
+from repro.analysis.astlint import lint_path, lint_source
+from repro.analysis.report import Severity
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), filename="prog.py")
+
+
+def rules(report):
+    return sorted(f.rule for f in report)
+
+
+class TestP101RankConditionalCollective:
+    def test_export_under_rank_branch(self):
+        report = lint(
+            """
+            def main(ctx):
+                for step in range(10):
+                    if ctx.rank == 0:
+                        yield from ctx.export("r", float(step))
+            """
+        )
+        assert rules(report) == ["P101"]
+        finding = report.findings[0]
+        assert finding.severity is Severity.ERROR
+        assert "five-legal-cases" in finding.message
+        assert finding.paper == "§4 (Property 1)"
+
+    def test_tainted_variable_branch(self):
+        report = lint(
+            """
+            def main(ctx):
+                leader = ctx.rank == 0
+                if leader:
+                    yield from ctx.import_("r", 1.0)
+            """
+        )
+        assert "P101" in rules(report)
+
+    def test_rank_guarded_print_is_fine(self):
+        report = lint(
+            """
+            def main(ctx):
+                for step in range(10):
+                    yield from ctx.export("r", float(step))
+                    if ctx.rank == 0:
+                        print("progress", step)
+            """
+        )
+        assert rules(report) == []
+
+    def test_collective_in_else_of_rank_branch_flagged(self):
+        report = lint(
+            """
+            def main(ctx):
+                if ctx.rank < 2:
+                    pass
+                else:
+                    yield from ctx.export("r", 1.0)
+            """
+        )
+        assert "P101" in rules(report)
+
+
+class TestP102RankDependentTripCount:
+    def test_rank_bounded_loop(self):
+        report = lint(
+            """
+            def main(ctx):
+                for k in range(ctx.rank + 5):
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert rules(report) == ["P102"]
+        assert "numbers of operations" in report.findings[0].message
+
+    def test_rank_tainted_while(self):
+        report = lint(
+            """
+            def main(ctx):
+                k = ctx.rank
+                while k < 10:
+                    yield from ctx.export("r", 1.0)
+                    k += 1
+            """
+        )
+        assert "P102" in rules(report)
+
+    def test_uniform_loop_is_fine(self):
+        report = lint(
+            """
+            def main(ctx):
+                for k in range(10):
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert rules(report) == []
+
+
+class TestP103RankTaintedTimestamp:
+    def test_direct_rank_in_ts(self):
+        report = lint(
+            """
+            def main(ctx):
+                yield from ctx.export("r", 1.0 + 0.1 * ctx.rank)
+            """
+        )
+        assert rules(report) == ["P103"]
+        assert "timestamps are not" in report.findings[0].message
+
+    def test_tainted_ts_variable(self):
+        report = lint(
+            """
+            def main(ctx):
+                offset = ctx.rank * 0.25
+                ts = 1.0 + offset
+                yield from ctx.import_("r", ts)
+            """
+        )
+        assert "P103" in rules(report)
+
+    def test_ts_keyword_argument(self):
+        report = lint(
+            """
+            def main(ctx):
+                yield from ctx.export("r", ts=float(ctx.rank))
+            """
+        )
+        assert "P103" in rules(report)
+
+    def test_solver_constructor_idiom_is_fine(self):
+        # The universal SPMD pattern: the rank picks this process's
+        # block, but solver.time is identical on every rank.
+        report = lint(
+            """
+            def main(ctx):
+                solver = HeatSolver2D(decomp, ctx.rank, dt=0.2)
+                for step in range(10):
+                    solver.step()
+                    ts = round(solver.time, 6)
+                    yield from ctx.export("r", ts, data=solver.local.copy())
+            """
+        )
+        assert rules(report) == []
+
+    def test_rank_scaled_compute_is_fine(self):
+        report = lint(
+            """
+            def main(ctx):
+                slow = 2.0 if ctx.rank == 3 else 1.0
+                for k in range(10):
+                    yield from ctx.compute(0.01 * slow)
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert rules(report) == []
+
+
+class TestP104RankDependentEarlyExit:
+    def test_rank_conditioned_break_in_collective_loop(self):
+        report = lint(
+            """
+            def main(ctx):
+                for k in range(10):
+                    if ctx.rank == 3 and k > 5:
+                        break
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert "P104" in rules(report)
+        assert "cuts short" in report.by_rule("P104")[0].message
+
+    def test_rank_conditioned_return_in_collective_function(self):
+        report = lint(
+            """
+            def main(ctx):
+                yield from ctx.export("r", 1.0)
+                if ctx.rank == 0:
+                    return
+                yield from ctx.export("r", 2.0)
+            """
+        )
+        assert "P104" in rules(report)
+
+    def test_break_in_non_collective_loop_is_fine(self):
+        report = lint(
+            """
+            def main(ctx):
+                for attempt in range(3):
+                    if ctx.rank == 0 and attempt > 1:
+                        break
+                    log(attempt)
+                for k in range(10):
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert rules(report) == []
+
+    def test_uniform_break_is_fine(self):
+        report = lint(
+            """
+            def main(ctx):
+                for k in range(10):
+                    if k > 5:
+                        break
+                    yield from ctx.export("r", float(k))
+            """
+        )
+        assert rules(report) == []
+
+
+class TestFramework:
+    def test_syntax_error_is_p100(self):
+        report = lint_source("def broken(:\n", filename="broken.py")
+        assert report.has_errors()
+        assert report.findings[0].rule == "P100"
+
+    def test_nested_functions_are_linted_separately(self):
+        report = lint(
+            """
+            def make_main(log):
+                def main(ctx):
+                    if ctx.rank == 0:
+                        yield from ctx.export("r", 1.0)
+                return main
+            """
+        )
+        assert "P101" in rules(report)
+
+    def test_lint_path_directory(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "def main(ctx):\n"
+            "    if ctx.rank == 0:\n"
+            "        ctx.export('r', 1.0)\n"
+        )
+        report = lint_path(tmp_path)
+        assert report.examined == 2
+        assert [f.rule for f in report] == ["P101"]
+        assert report.findings[0].file.endswith("bad.py")
+
+    def test_finding_carries_file_and_line(self):
+        report = lint(
+            """
+            def main(ctx):
+                if ctx.rank == 0:
+                    ctx.export("r", 1.0)
+            """
+        )
+        finding = report.findings[0]
+        assert finding.file == "prog.py"
+        assert finding.line == 4
+        assert "prog.py:4" in finding.render()

@@ -1,0 +1,214 @@
+"""Tests for the static coupling-graph pass (graph.py)."""
+
+import json
+
+from repro.analysis.graph import analyze_config_text
+from repro.analysis.report import Severity
+
+GOOD = """
+F c0 /bin/F 4
+U c1 /bin/U 16
+#
+F.forcing U.forcing REGL 2.5
+"""
+
+
+def rules(report):
+    return sorted({f.rule for f in report})
+
+
+class TestCleanConfig:
+    def test_shipped_style_config_is_clean(self):
+        report = analyze_config_text(GOOD, path="good.cfg")
+        assert not report.has_errors()
+        assert rules(report) == []
+
+    def test_with_compatible_cadences_still_clean(self):
+        text = GOOD + (
+            "#@ export F.forcing period=2.0 start=1.6\n"
+            "#@ import U.forcing period=5.0 start=5.0\n"
+        )
+        report = analyze_config_text(text, path="good.cfg")
+        assert rules(report) == []
+
+
+class TestDanglingNames:
+    def test_unknown_program_is_g101_error(self):
+        text = """
+F c0 /bin/F 4
+#
+F.forcing GHOST.forcing REGL 2.5
+"""
+        report = analyze_config_text(text, path="bad.cfg")
+        g101 = report.by_rule("G101")
+        assert g101 and g101[0].severity is Severity.ERROR
+        assert "GHOST" in g101[0].message
+
+    def test_dangling_directive_region_is_g101_warning(self):
+        text = GOOD + "#@ export F.forcng period=2.0\n"  # typo'd region
+        report = analyze_config_text(text, path="typo.cfg")
+        g101 = report.by_rule("G101")
+        assert g101 and g101[0].severity is Severity.WARNING
+        assert "dangling region name" in g101[0].message
+        assert not report.has_errors()
+
+    def test_unparsable_config_is_g101(self):
+        report = analyze_config_text("not a config at all", path="broken.cfg")
+        assert report.has_errors()
+        assert report.by_rule("G101")
+
+    def test_malformed_directive_is_g100(self):
+        text = GOOD + "#@ export F.forcing frequency=2.0\n"
+        report = analyze_config_text(text, path="bad-directive.cfg")
+        g100 = report.by_rule("G100")
+        assert g100 and "unknown key" in g100[0].message
+
+    def test_duplicate_directive_is_g100(self):
+        text = GOOD + (
+            "#@ export F.forcing period=2.0\n#@ export F.forcing period=3.0\n"
+        )
+        report = analyze_config_text(text, path="dup.cfg")
+        assert any("duplicate" in f.message for f in report.by_rule("G100"))
+
+
+class TestScheduleCompatibility:
+    def test_never_matching_schedules_is_g102_error(self):
+        # Exports at 0.3, 1.3, 2.3, ...; REGL 0.5 requests at 1.0, 2.0,
+        # ...: every acceptable region [t-0.5, t] falls between grid
+        # points, so the connection resolves NO_MATCH forever.
+        text = """
+F c0 /bin/F 4
+U c1 /bin/U 4
+#
+F.r U.r REGL 0.5
+#@ export F.r period=1.0 start=0.3
+#@ import U.r period=1.0 start=1.0
+"""
+        report = analyze_config_text(text, path="never.cfg")
+        g102 = report.by_rule("G102")
+        assert g102 and g102[0].severity is Severity.ERROR
+        assert "can ever MATCH" in g102[0].message
+        assert g102[0].connection == "F.r->U.r"
+        assert "§5" in g102[0].paper
+
+    def test_partial_misses_is_g102_warning(self):
+        # Requests at 1.0, 1.5, 2.0, ...: regions [0.5,1.0] miss the
+        # 0.3+k grid, [0.8,1.3] hit it — a mixed schedule.
+        text = """
+F c0 /bin/F 4
+U c1 /bin/U 4
+#
+F.r U.r REGL 0.5
+#@ export F.r period=1.0 start=0.3
+#@ import U.r period=0.5 start=1.0 count=8
+"""
+        report = analyze_config_text(text, path="partial.cfg")
+        g102 = report.by_rule("G102")
+        assert g102 and g102[0].severity is Severity.WARNING
+        assert "NO_MATCH forever" in g102[0].message
+
+    def test_no_cadences_no_check(self):
+        report = analyze_config_text(GOOD, path="good.cfg")
+        assert report.by_rule("G102") == []
+
+    def test_exact_policy_aligned_grid_is_clean(self):
+        text = """
+F c0 /bin/F 4
+U c1 /bin/U 4
+#
+F.r U.r EXACT
+#@ export F.r period=0.5 start=0.5
+#@ import U.r period=2.0 start=2.0
+"""
+        report = analyze_config_text(text, path="exact.cfg")
+        assert report.by_rule("G102") == []
+
+
+class TestImportCycles:
+    def test_mutual_blocking_imports_is_g103(self):
+        text = """
+A c0 /bin/A 2
+B c0 /bin/B 2
+#
+A.x B.x REGL 1.0
+B.y A.y REGL 1.0
+"""
+        report = analyze_config_text(text, path="cycle.cfg")
+        g103 = report.by_rule("G103")
+        assert g103 and g103[0].severity is Severity.WARNING
+        assert "deadlock" in g103[0].message
+        assert "A" in g103[0].message and "B" in g103[0].message
+
+    def test_three_program_cycle_detected(self):
+        text = """
+A c0 /bin/A 2
+B c0 /bin/B 2
+C c0 /bin/C 2
+#
+A.x B.x REGL 1.0
+B.y C.y REGL 1.0
+C.z A.z REGL 1.0
+"""
+        report = analyze_config_text(text, path="cycle3.cfg")
+        assert len(report.by_rule("G103")) == 1
+
+    def test_chain_is_acyclic(self):
+        text = """
+A c0 /bin/A 2
+B c0 /bin/B 2
+C c0 /bin/C 2
+#
+A.x B.x REGL 1.0
+B.y C.y REGL 1.0
+"""
+        report = analyze_config_text(text, path="chain.cfg")
+        assert report.by_rule("G103") == []
+
+
+class TestStructuralRules:
+    def test_duplicate_connection_is_g105(self):
+        text = """
+F c0 /bin/F 4
+U c1 /bin/U 4
+#
+F.r U.r REGL 1.0
+F.r U.r REGL 2.0
+"""
+        report = analyze_config_text(text, path="dup.cfg")
+        # The duplicate import target also trips G108; both are errors.
+        assert report.by_rule("G105")
+        assert report.by_rule("G108")
+
+    def test_self_coupling_is_g106(self):
+        text = """
+F c0 /bin/F 4
+#
+F.a F.b REGL 1.0
+"""
+        report = analyze_config_text(text, path="self.cfg")
+        assert report.by_rule("G106")
+
+    def test_single_process_exporter_is_g104_info(self):
+        text = """
+F c0 /bin/F 1
+U c1 /bin/U 4
+#
+F.r U.r REGL 1.0
+"""
+        report = analyze_config_text(text, path="solo.cfg")
+        g104 = report.by_rule("G104")
+        assert g104 and g104[0].severity is Severity.INFO
+        assert "buddy-help can never fire" in g104[0].message
+        assert not report.has_errors()
+
+
+class TestRenderers:
+    def test_text_and_json_both_carry_code_and_citation(self):
+        text = GOOD + "#@ export F.forcng period=2.0\n"
+        report = analyze_config_text(text, path="typo.cfg")
+        rendered = report.render_text()
+        assert "G101" in rendered
+        assert "Wu & Sussman, IPDPS 2007" in rendered
+        d = json.loads(report.render_json())
+        assert d["findings"][0]["rule"] == "G101"
+        assert "Wu & Sussman" in d["findings"][0]["citation"]

@@ -1,0 +1,94 @@
+"""Tests for the shared findings model (report.py)."""
+
+import json
+
+from repro.analysis.report import PAPER, SCHEMA_VERSION, Finding, Report, Severity
+
+
+def f(rule="G101", severity=Severity.ERROR, **kw):
+    defaults = dict(
+        message="something is wrong",
+        paper="§4 (Property 1)",
+    )
+    defaults.update(kw)
+    return Finding(rule=rule, severity=severity, **defaults)
+
+
+class TestFinding:
+    def test_render_contains_code_and_citation(self):
+        line = f(file="cfg.cfg", line=3).render()
+        assert "G101" in line
+        assert "error" in line
+        assert f"{PAPER} §4 (Property 1)" in line
+        assert line.startswith("cfg.cfg:3:")
+
+    def test_locus_file_only(self):
+        assert f(file="a.py").locus() == "a.py"
+
+    def test_locus_program_rank(self):
+        assert f(program="F", rank=2).locus() == "F.p2"
+
+    def test_locus_with_connection(self):
+        assert "[F.r->U.r]" in f(program="F", connection="F.r->U.r").locus()
+
+    def test_locus_global(self):
+        assert f().locus() == "<global>"
+
+    def test_to_dict_carries_citation(self):
+        d = f().to_dict()
+        assert d["rule"] == "G101"
+        assert d["severity"] == "error"
+        assert d["citation"] == f"{PAPER} §4 (Property 1)"
+
+
+class TestReport:
+    def test_clean_report(self):
+        r = Report(examined=3)
+        assert not r.has_errors()
+        assert r.worst() is None
+        assert "OK" in r.render_text()
+        assert "3 target(s)" in r.render_text()
+
+    def test_text_orders_worst_first(self):
+        r = Report()
+        r.add(f(rule="G104", severity=Severity.INFO))
+        r.add(f(rule="G102", severity=Severity.WARNING))
+        r.add(f(rule="G101", severity=Severity.ERROR))
+        lines = r.render_text().splitlines()
+        assert "G101" in lines[0]
+        assert "G102" in lines[1]
+        assert "G104" in lines[2]
+        assert "1 error(s), 1 warning(s), 1 info" in lines[3]
+
+    def test_counts_and_worst(self):
+        r = Report()
+        r.add(f(severity=Severity.WARNING))
+        assert r.worst() is Severity.WARNING
+        assert not r.has_errors()
+        r.add(f(severity=Severity.ERROR))
+        assert r.worst() is Severity.ERROR
+        assert r.has_errors()
+        assert r.counts() == {"error": 1, "warning": 1, "info": 0}
+
+    def test_extend_merges_examined(self):
+        a = Report(examined=2)
+        b = Report(examined=1)
+        b.add(f())
+        a.extend(b)
+        assert a.examined == 3
+        assert len(a) == 1
+
+    def test_by_rule(self):
+        r = Report()
+        r.add(f(rule="P101"))
+        r.add(f(rule="P103"))
+        assert [x.rule for x in r.by_rule("P103")] == ["P103"]
+
+    def test_json_round_trip(self):
+        r = Report(examined=1)
+        r.add(f(file="x.py", line=7))
+        d = json.loads(r.render_json())
+        assert d["schema"] == SCHEMA_VERSION
+        assert d["examined"] == 1
+        assert d["summary"]["error"] == 1
+        assert d["findings"][0]["line"] == 7

@@ -83,6 +83,68 @@ class TestIllegalCases:
             aggregate_responses([])
 
 
+class TestIllegalMixturesParametrized:
+    """Every ordering / padding of an illegal mixture must be rejected
+    identically — the aggregation rule is a set property, not a
+    sequence property."""
+
+    @pytest.mark.parametrize(
+        "responses",
+        [
+            pytest.param([match(), no_match()], id="match-then-no_match"),
+            pytest.param([no_match(), match()], id="no_match-then-match"),
+            pytest.param(
+                [pending(), match(), no_match()], id="pending-padded-mixture"
+            ),
+            pytest.param(
+                [no_match(), pending(), pending(), match()],
+                id="mixture-split-by-pendings",
+            ),
+            pytest.param(
+                [match(), no_match(), match(), no_match()], id="repeated-mixture"
+            ),
+        ],
+    )
+    def test_match_no_match_mixture_rejected(self, responses):
+        with pytest.raises(CollectiveViolationError, match="Property 1"):
+            aggregate_responses(responses)
+
+    @pytest.mark.parametrize(
+        "matched",
+        [
+            pytest.param([19.6, 18.6], id="two-distinct"),
+            pytest.param([19.6, 19.6, 18.6], id="majority-agrees"),
+            pytest.param([17.6, 18.6, 19.6], id="all-distinct"),
+            pytest.param([19.6, 19.6000001], id="nearly-equal"),
+        ],
+    )
+    def test_differing_matched_timestamps_rejected(self, matched):
+        responses = [match(m=m) for m in matched]
+        with pytest.raises(CollectiveViolationError, match="different timestamps"):
+            aggregate_responses(responses)
+
+    @pytest.mark.parametrize(
+        "pad_pending", [0, 1, 3], ids=["bare", "one-pending", "three-pending"]
+    )
+    def test_differing_matches_rejected_despite_pendings(self, pad_pending):
+        responses = [match(m=19.6), match(m=18.6)] + [
+            pending() for _ in range(pad_pending)
+        ]
+        with pytest.raises(CollectiveViolationError):
+            aggregate_responses(responses)
+
+    @pytest.mark.parametrize(
+        "responses",
+        [
+            pytest.param([], id="empty-list"),
+            pytest.param((), id="empty-tuple"),
+        ],
+    )
+    def test_empty_responses_rejected(self, responses):
+        with pytest.raises(ValueError, match="zero responses"):
+            aggregate_responses(list(responses))
+
+
 class TestStabilityUnderPartialInformation:
     """The buddy-help soundness argument: any subset with a definitive
     response aggregates to the same final answer as the full set."""

@@ -45,6 +45,50 @@ class TestTracer:
         assert len(t) == 0
 
 
+class TestKindRegistry:
+    def test_unregistered_kind_rejected_at_record_time(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="unregistered trace kind"):
+            t.record("export_memcpyy", "a", 0.0)  # the classic typo
+        assert len(t) == 0
+
+    def test_registered_extension_kind_records(self):
+        kind = tracing.register_kind("test_checkpoint_extension")
+        assert kind == "test_checkpoint_extension"
+        t = Tracer()
+        t.record(kind, "a", 0.0, timestamp=1.0)
+        assert t.events[0].kind == kind
+
+    def test_register_is_idempotent_and_covers_canonical(self):
+        tracing.register_kind("test_idempotent_extension")
+        tracing.register_kind("test_idempotent_extension")
+        assert tracing.register_kind(tracing.EXPORT_SKIP) == tracing.EXPORT_SKIP
+        kinds = tracing.known_kinds()
+        assert "test_idempotent_extension" in kinds
+        assert tracing.KNOWN_KINDS <= kinds
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            tracing.register_kind("")
+
+    def test_every_canonical_kind_has_a_renderer(self):
+        # The render table must enumerate all kinds — including the
+        # import-side and rep kinds — with no fallback line.
+        for kind in tracing.KNOWN_KINDS:
+            e = TraceEvent(
+                kind,
+                "x",
+                0.0,
+                timestamp=1.0,
+                detail={"request": 2.0, "answer": "YES", "match": 1.6},
+            )
+            out = e.render()
+            assert kind not in out, f"{kind} fell back to the generic renderer"
+
+    def test_null_tracer_skips_validation(self):
+        NullTracer().record("totally-bogus-kind", "a", 0.0)  # must not raise
+
+
 class TestRendering:
     def test_export_memcpy(self):
         e = TraceEvent(tracing.EXPORT_MEMCPY, "F.p_s", 0.0, timestamp=1.6)
@@ -89,6 +133,25 @@ class TestRendering:
     def test_remove_single(self):
         e = TraceEvent(tracing.BUFFER_REMOVE, "F.p_s", 0.0, timestamp=5.6)
         assert e.render() == "remove D@5.6."
+
+    def test_import_request(self):
+        e = TraceEvent(
+            tracing.IMPORT_REQUEST, "U.p0", 0.0, detail={"request": 20.0}
+        )
+        assert e.render() == "request D@20."
+
+    def test_import_complete(self):
+        e = TraceEvent(tracing.IMPORT_COMPLETE, "U.p0", 0.0, timestamp=19.6)
+        assert e.render() == "import D@19.6 complete."
+
+    def test_rep_finalize(self):
+        e = TraceEvent(
+            tracing.REP_FINALIZE,
+            "F.rep",
+            0.0,
+            detail={"request": 20.0, "answer": "MATCH"},
+        )
+        assert e.render() == "rep finalize {D@20, MATCH}."
 
     def test_custom_object_name(self):
         e = TraceEvent(tracing.EXPORT_MEMCPY, "x", 0.0, timestamp=1.0)
