@@ -39,6 +39,9 @@ fi
 
 run python -m repro lint examples/
 
+# Chaos smoke: answers under faults must match the fault-free run.
+run python -m repro chaos --iterations 50 --seed 7
+
 if [ "$fast" -eq 0 ]; then
     run python -m pytest -x -q
 fi

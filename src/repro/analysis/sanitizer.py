@@ -24,6 +24,15 @@ the protocol invariants the paper's correctness argument rests on:
   ``policy.region(t)[1]`` — so a flagged skip is a genuine divergence
   between the framework's decision and the protocol's rules, never a
   modelling artifact.
+* **S304** — repeated final answers for the same request must agree.
+  Retransmitted and duplicated control messages are *legal* under the
+  resilient protocol (``repro.faults``): the rep state machines
+  re-answer idempotently, so the sanitizer tolerates repeats — S301
+  mirrors accumulate across retransmissions instead of resetting, and
+  an identical repeated answer is never flagged.  What it does flag is
+  a repeat that *disagrees* with the recorded answer: that is not
+  message chaos but a genuine protocol bug (a corrupted answer cache
+  or a Property-1 violation surfacing through retransmission).
 
 Enable it with ``CoupledSimulation(..., sanitize=True)`` or by setting
 ``REPRO_SANITIZE=1`` in the environment.  In strict mode (the default)
@@ -40,8 +49,8 @@ from repro.analysis.report import Finding, Report, Severity
 from repro.core.config import ConnectionSpec, CouplingConfig
 from repro.core.exceptions import FrameworkError
 from repro.core.properties import format_per_rank
-from repro.core.rep import BuddyHelp, Directive, ExporterRep
-from repro.match.result import MatchKind, MatchResponse
+from repro.core.rep import BuddyHelp, Directive, ExporterRep, ImporterRep
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util import tracing
 
 
@@ -102,6 +111,10 @@ class ProtocolSanitizer:
     def wrap_rep(self, rep: ExporterRep) -> "SanitizedExporterRep":
         """Interpose on one program's exporter rep (S301/S302)."""
         return SanitizedExporterRep(rep, self)
+
+    def wrap_imp_rep(self, rep: ImporterRep) -> "SanitizedImporterRep":
+        """Interpose on one program's importer rep (S304)."""
+        return SanitizedImporterRep(rep, self)
 
     def wrap_tracer(self, tracer: tracing.Tracer) -> "SanitizingTracer":
         """Interpose on the trace event stream (S303)."""
@@ -176,6 +189,39 @@ class ProtocolSanitizer:
                         connection=connection_id,
                     )
                 )
+
+    # -- S304: duplicate-answer agreement ----------------------------------
+    def check_duplicate_answer(
+        self,
+        program: str,
+        connection_id: str,
+        previous: FinalAnswer,
+        incoming: FinalAnswer,
+    ) -> None:
+        """S304: a repeated answer must equal the recorded one.
+
+        Identical repeats (retransmissions, wire duplicates, cache
+        re-answers) are legal and pass silently.
+        """
+        if previous == incoming:
+            return
+        self._emit(
+            Finding(
+                rule="S304",
+                severity=Severity.ERROR,
+                message=(
+                    f"request @{incoming.request_ts:g} was answered twice with "
+                    f"disagreeing verdicts: first "
+                    f"{previous.kind}/{previous.matched_ts}, then "
+                    f"{incoming.kind}/{incoming.matched_ts} — retransmitted "
+                    "answers must be identical (final-answer cache or "
+                    "Property 1 is broken)"
+                ),
+                paper="§3-4 (answer finality under Property 1)",
+                program=program,
+                connection=connection_id,
+            )
+        )
 
     # -- S303: trace-side skip-justification check -------------------------
     def _raise_mirror(self, who: str, cid: str, value: float) -> None:
@@ -272,7 +318,10 @@ class SanitizedExporterRep:
         self._mirrors: dict[tuple[str, float], _RequestMirror] = {}
 
     def on_request(self, connection_id: str, request_ts: float) -> list[Directive]:
-        self._mirrors[(connection_id, request_ts)] = _RequestMirror()
+        # setdefault, not assignment: a retransmitted request must not
+        # reset the mirror — responses legitimately accumulate across
+        # re-asks under the resilient protocol.
+        self._mirrors.setdefault((connection_id, request_ts), _RequestMirror())
         return self._inner.on_request(connection_id, request_ts)
 
     def on_response(
@@ -292,6 +341,39 @@ class SanitizedExporterRep:
             self._inner.program, connection_id, mirror, response.request_ts, directives
         )
         return directives
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class SanitizedImporterRep:
+    """Composition proxy around :class:`ImporterRep` (S304).
+
+    Records the first final answer per request and checks every later
+    one against it *before* delegating, so a disagreeing duplicate is
+    reported with both verdicts instead of the rep's bare exception.
+    """
+
+    def __init__(self, inner: ImporterRep, sanitizer: ProtocolSanitizer) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+        self._answers: dict[tuple[str, float], FinalAnswer] = {}
+
+    def on_process_request(
+        self, connection_id: str, request_ts: float, rank: int
+    ) -> list[Directive]:
+        return self._inner.on_process_request(connection_id, request_ts, rank)
+
+    def on_answer(self, connection_id: str, answer: FinalAnswer) -> list[Directive]:
+        key = (connection_id, answer.request_ts)
+        known = self._answers.get(key)
+        if known is None:
+            self._answers[key] = answer
+        else:
+            self._sanitizer.check_duplicate_answer(
+                self._inner.program, connection_id, known, answer
+            )
+        return self._inner.on_answer(connection_id, answer)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)

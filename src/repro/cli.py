@@ -9,6 +9,10 @@ Commands
     Print the Figure 5/7/8 event traces in the paper's notation.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
+``chaos``
+    Resilience sweep: run the coupled scenario under fault injection
+    across drop rates and verify the answers never change (see
+    ``docs/resilience.md``).
 ``validate-config``
     Parse and validate a coupling configuration file.
 ``lint``
@@ -131,6 +135,49 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bench.resilience import run_resilience_sweep
+
+    requests = max(1, (args.iterations - 1) // 2)
+    print(
+        f"chaos sweep: {args.iterations} exports, {requests} requests, "
+        f"seed {args.seed}, dup {args.dup:g}, jitter {args.jitter:g}"
+    )
+    sweep = run_resilience_sweep(
+        drop_rates=tuple(args.drop_rates),
+        exports=args.iterations,
+        requests=requests,
+        seed=args.seed,
+        dup=args.dup,
+        delay_jitter=args.jitter,
+    )
+    base = sweep.baseline
+    rows = []
+    for run in sweep.runs:
+        label = "baseline" if run is base else f"{run.drop:g}"
+        rows.append([
+            label,
+            "yes" if run.answers_match(base) else "NO",
+            f"{run.mean_answer_latency * 1e3:.3f}",
+            f"{run.t_ub * 1e3:.3f}",
+            run.skip_count,
+            run.retransmissions,
+            run.dup_discards,
+            f"{run.sim_time:.4f}",
+        ])
+    print(format_table(
+        ["drop", "same answers", "latency ms", "T_ub ms", "skips",
+         "retrans", "dup disc", "sim t"],
+        rows,
+    ))
+    if sweep.answers_consistent:
+        print("OK: every chaos run reproduced the fault-free answers")
+        return 0
+    print("FAIL: answers diverged under faults", file=sys.stderr)
+    return 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench.experiments_report import generate_report
 
@@ -224,6 +271,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("scenarios", help="run the Figure-3 scenarios")
     ps.set_defaults(fn=_cmd_scenarios)
+
+    pc = sub.add_parser(
+        "chaos", help="fault-injection sweep: answers must not change"
+    )
+    pc.add_argument(
+        "--iterations", type=int, default=40,
+        help="exporter iterations (exports) per run",
+    )
+    pc.add_argument("--seed", type=int, default=7, help="fault-plan seed")
+    pc.add_argument(
+        "--drop-rates", type=float, nargs="+", default=[0.0, 0.05, 0.2],
+        metavar="P", help="control-plane drop probabilities to sweep",
+    )
+    pc.add_argument("--dup", type=float, default=0.1, help="duplication probability")
+    pc.add_argument(
+        "--jitter", type=float, default=5e-5, help="max extra delivery delay (s)"
+    )
+    pc.set_defaults(fn=_cmd_chaos)
 
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")

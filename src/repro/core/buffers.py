@@ -91,6 +91,7 @@ class BufferManager:
             require(capacity_bytes > 0, "capacity_bytes must be positive")
         self.capacity_bytes = capacity_bytes
         self._entries: dict[float, BufferEntry] = {}
+        self._sent_ts: set[float] = set()
         self._live_bytes = 0
         # -- counters ----------------------------------------------------
         self.buffered_count = 0
@@ -121,6 +122,16 @@ class BufferManager:
     def has(self, ts: float) -> bool:
         """Whether an object with timestamp *ts* is buffered."""
         return ts in self._entries
+
+    def was_sent(self, ts: float) -> bool:
+        """Whether *ts* was ever transferred (survives freeing).
+
+        Under retransmission an object can be re-sent by the agent and
+        evicted while the export call that created it is still mid
+        virtual-time charge; the runtime uses this record to treat the
+        stale send as the duplicate it is instead of an error.
+        """
+        return ts in self._sent_ts
 
     def get(self, ts: float) -> BufferEntry:
         """The entry for *ts* (KeyError if absent)."""
@@ -193,6 +204,7 @@ class BufferManager:
         """Record that the buffered object at *ts* was transferred."""
         entry = self._entries[ts]
         entry.sent = True
+        self._sent_ts.add(ts)
         self.sent_count += 1
         return entry
 

@@ -42,6 +42,7 @@ paper measures it — inside the export call.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
@@ -66,7 +67,7 @@ from repro.costs import ClusterPreset, FAST_TEST
 from repro.data.decomposition import BlockDecomposition
 from repro.data.region import RectRegion
 from repro.data.schedule import CommSchedule
-from repro.des import Event, Simulator
+from repro.des import AnyOf, Event, Simulator
 from repro.des.channel import Delivery
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util.rng import RngRegistry
@@ -240,7 +241,10 @@ class ProcessContext:
             exp_conns = coupler.config.connections_exporting(self.program, rname)
             if exp_conns:
                 self.export_states[rname] = RegionExportState(
-                    rname, exp_conns, capacity_bytes=coupler.buffer_capacity_bytes
+                    rname,
+                    exp_conns,
+                    capacity_bytes=coupler.buffer_capacity_bytes,
+                    strict_order=coupler.strict_order,
                 )
             imp_conns = coupler.config.connections_importing(self.program, rname)
             if imp_conns:
@@ -446,11 +450,13 @@ class ProcessContext:
         cid = handle.connection_id
         ts = handle.ts
         conn_rt = coupler._connections[cid]
-        delivery = yield coupler._cpl_mailbox(self.program, self.rank).get_matching(
+        box = coupler._cpl_mailbox(self.program, self.rank)
+        answer_ev = box.get_matching(
             lambda d: isinstance(d.payload, _AnswerToProc)
             and d.payload.connection_id == cid
             and d.payload.answer.request_ts == ts
         )
+        delivery = yield from self._await_with_retransmit(answer_ev, handle)
         answer: FinalAnswer = delivery.payload.answer
         ist.on_answer(handle.record, answer, self.sim.now)
         handle.done = True
@@ -462,21 +468,75 @@ class ProcessContext:
         schedule = conn_rt.schedule
         assert schedule is not None
         expected = schedule.recvs_for(self.rank)
-        pieces: list[_DataPiece] = []
-        for _ in expected:
-            d = yield coupler._cpl_mailbox(self.program, self.rank).get_matching(
+        # Keyed by (src_rank, region) so duplicated and re-sent pieces
+        # collapse to one piece per scheduled transfer.
+        pieces: dict[tuple[int, RectRegion], _DataPiece] = {}
+        while len(pieces) < len(expected):
+            piece_ev = box.get_matching(
                 lambda d: isinstance(d.payload, _DataPiece)
                 and d.payload.connection_id == cid
                 and d.payload.match_ts == m
             )
-            pieces.append(d.payload)
-        block = self._assemble(handle.region, pieces)
+            d = yield from self._await_with_retransmit(piece_ev, handle)
+            pieces.setdefault((d.payload.src_rank, d.payload.region), d.payload)
+        block = self._assemble(handle.region, list(pieces.values()))
         ist.complete(handle.record, self.sim.now)
         if coupler.tracer.enabled:
             coupler.tracer.record(
                 tracing.IMPORT_COMPLETE, self.who, self.sim.now, timestamp=m
             )
         return (m, block)
+
+    def _await_with_retransmit(
+        self, get_ev: Event, handle: "ImportHandle"
+    ) -> Generator[Event, Any, Any]:
+        """Wait for *get_ev*; retransmit the request on timeout.
+
+        Without a retransmission timeout this is a plain wait (the
+        classic reliable-network protocol).  With one, the importing
+        process owns the single retransmission timer of its request:
+        on expiry it re-sends the :class:`ImpProcRequest` (a fresh
+        send, fresh sequence number) and every hop recovers
+        idempotently — the rep re-drives the cross-program request, the
+        exporter rep re-answers from its final-answer cache, and agents
+        re-send buffered pieces.  Backoff doubles per attempt.
+        """
+        coupler = self._coupler
+        rto = coupler._rto
+        if rto is None:
+            result = yield get_ev
+            return result
+        attempt = 0
+        while True:
+            timer = self.sim.timeout(rto * (2 ** min(attempt, 6)))
+            yield AnyOf(self.sim, [get_ev, timer])
+            if get_ev.triggered:
+                return get_ev.value
+            attempt += 1
+            if attempt > coupler.max_retransmits:
+                raise FrameworkError(
+                    f"{self.who}: request {handle.connection_id}@{handle.ts:g} "
+                    f"unanswered after {coupler.max_retransmits} retransmissions"
+                )
+            coupler.retransmissions += 1
+            if coupler.tracer.enabled:
+                coupler.tracer.record(
+                    tracing.RETRANSMIT,
+                    self.who,
+                    self.sim.now,
+                    request=handle.ts,
+                    attempt=attempt,
+                    rto=rto * (2 ** min(attempt, 6)),
+                )
+            coupler._net_send(
+                ("cpl", self.program, self.rank),
+                ("rep", self.program),
+                _ImpProcRequest(
+                    connection_id=handle.connection_id,
+                    request_ts=handle.ts,
+                    rank=self.rank,
+                ),
+            )
 
     def import_(
         self, region: str, ts: float
@@ -544,6 +604,20 @@ class CoupledSimulation:
         findings in :attr:`sanitizer`.  Default (``None``) consults the
         ``REPRO_SANITIZE`` environment variable (``1``/``strict`` or
         ``report``; empty/``0`` disables).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; the coupler's network
+        becomes a :class:`repro.faults.network.FaultyNetwork` executing
+        it, and the protocol switches to resilient mode (relaxed
+        request ordering, idempotent reps, request retransmission).
+    retransmit_timeout:
+        Base request-timeout (virtual seconds) of the importer-side
+        retransmission loop; backoff doubles it per attempt.  ``None``
+        derives a bound from the network latency and the fault plan's
+        delay knobs when a plan is given, else disables retransmission
+        (the classic reliable-network protocol).
+    max_retransmits:
+        Retransmission attempts per request before the importer gives
+        up with :class:`FrameworkError`.
     """
 
     def __init__(
@@ -557,6 +631,9 @@ class CoupledSimulation:
         buffer_policy: str = "error",
         record_operations: bool = False,
         sanitize: bool | str | None = None,
+        fault_plan: Any = None,
+        retransmit_timeout: float | None = None,
+        max_retransmits: int = 12,
     ) -> None:
         require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
         self.config = parse_config(config) if isinstance(config, str) else config
@@ -599,7 +676,49 @@ class CoupledSimulation:
             bandwidth=preset.network.bandwidth,
             congestion=preset.network.congestion,
             seed=seed,
+            fault_plan=fault_plan,
         )
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            # The faulty network narrates drops/dups/delays into the
+            # same (possibly sanitizer-wrapped) tracer as the protocol.
+            self.world.network.tracer = self.tracer
+        #: Resilient mode: relaxed ordering + idempotent reps + (when a
+        #: timeout applies) importer-side retransmission.
+        self.resilient = fault_plan is not None or retransmit_timeout is not None
+        self.strict_order = not self.resilient
+        require_positive(max_retransmits, "max_retransmits")
+        self.max_retransmits = max_retransmits
+        if retransmit_timeout is not None:
+            require_positive(retransmit_timeout, "retransmit_timeout")
+            self._rto: float | None = retransmit_timeout
+        elif fault_plan is not None:
+            # Comfortably above one fault-free round trip plus the worst
+            # jitter/reorder hold-back, so spurious retransmissions stay
+            # rare while lost requests still recover quickly.
+            lat = preset.network.latency
+            self._rto = max(
+                1e-3,
+                8.0
+                * (
+                    lat
+                    + fault_plan.delay_jitter
+                    + fault_plan.effective_reorder_delay(lat)
+                ),
+            )
+        else:
+            self._rto = None
+        #: Resilience counters (reported by the chaos benchmark).
+        self.retransmissions = 0
+        self.dup_discards = 0
+        #: Modelled framework traffic, split by plane kind.  Control
+        #: bytes include every retransmitted/duplicated control message
+        #: at full CTL_NBYTES — the DES timing model charges them all.
+        self.ctl_messages = 0
+        self.ctl_bytes = 0
+        self.data_messages = 0
+        self.data_bytes = 0
+        self._wire_seq = 0
         self.sim: Simulator = self.world.sim
         self._programs: dict[str, _ProgramRuntime] = {}
         self._connections: dict[str, _ConnRuntime] = {
@@ -725,12 +844,18 @@ class CoupledSimulation:
             ]
             if exp_cids:
                 prog.exp_rep = ExporterRep(
-                    prog.name, prog.nprocs, exp_cids, buddy_help=self.buddy_help
+                    prog.name,
+                    prog.nprocs,
+                    exp_cids,
+                    buddy_help=self.buddy_help,
+                    strict_order=self.strict_order,
                 )
                 if self.sanitizer is not None:
                     prog.exp_rep = self.sanitizer.wrap_rep(prog.exp_rep)
             if imp_cids:
                 prog.imp_rep = ImporterRep(prog.name, prog.nprocs, imp_cids)
+                if self.sanitizer is not None:
+                    prog.imp_rep = self.sanitizer.wrap_imp_rep(prog.imp_rep)
             prog.contexts = [
                 ProcessContext(self, prog, r) for r in range(prog.nprocs)
             ]
@@ -747,6 +872,15 @@ class CoupledSimulation:
 
     # -- network helpers ------------------------------------------------------
     def _net_send(self, src: Any, dst: Any, payload: Any, nbytes: int = _CTL_NBYTES) -> None:
+        if getattr(payload, "seq", None) == -1:
+            self._wire_seq += 1
+            payload = dataclasses.replace(payload, seq=self._wire_seq)
+        if isinstance(payload, _DataPiece):
+            self.data_messages += 1
+            self.data_bytes += nbytes
+        else:
+            self.ctl_messages += 1
+            self.ctl_bytes += nbytes
         self.world.network.send(src, dst, payload, nbytes=nbytes)
 
     def _cpl_mailbox(self, program: str, rank: int):
@@ -760,6 +894,17 @@ class CoupledSimulation:
         schedule = crt.schedule
         assert schedule is not None and crt.exp_def is not None
         st = ctx.export_states[region]
+        if not st.buffer.has(m):
+            if st.buffer.was_sent(m):
+                # Already transferred (a retransmission-driven re-send
+                # by the agent can beat this call and evict the entry);
+                # the importer deduplicates pieces, nothing to do.
+                return
+            raise FrameworkError(
+                f"{ctx.who}: match @{m:g} of {cid} is no longer buffered — "
+                "pipelined imports combined with control-message loss can "
+                "evict a pending match (see docs/resilience.md)"
+            )
         entry = st.buffer.get(m)
         if not entry.sent:
             st.buffer.mark_sent(m)
@@ -816,13 +961,35 @@ class CoupledSimulation:
         require(spec.exporter.program == prog, f"{cid} does not export from {prog}")
         return spec.exporter.region
 
+    def _seq_duplicate(self, msg: Any, seen: set[int], who: str) -> bool:
+        """Wire-level duplicate detection by sequence number."""
+        seq = getattr(msg, "seq", -1)
+        if seq < 0:
+            return False
+        if seq in seen:
+            self.dup_discards += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.DUP_DISCARD,
+                    who,
+                    self.sim.now,
+                    msg=type(msg).__name__,
+                    seq=seq,
+                )
+            return True
+        seen.add(seq)
+        return False
+
     def _agent_proc(self, ctx: ProcessContext) -> Generator[Event, Any, None]:
         """The framework service agent of one application process."""
         box = self.world.network.mailbox(("ctl", ctx.program, ctx.rank))
         free_time = self.preset.memory.free_time
+        seen: set[int] = set()
         while True:
             delivery: Delivery = yield box.get()
             msg = delivery.payload
+            if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
+                continue
             if isinstance(msg, _FwdRequest):
                 region = self._region_of_connection(ctx.program, msg.connection_id)
                 st = ctx.export_states[region]
@@ -882,9 +1049,12 @@ class CoupledSimulation:
     def _rep_proc(self, prog: _ProgramRuntime) -> Generator[Event, Any, None]:
         """The program's representative process."""
         box = self.world.network.mailbox(("rep", prog.name))
+        seen: set[int] = set()
         while True:
             delivery: Delivery = yield box.get()
             msg = delivery.payload
+            if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
+                continue
             if isinstance(msg, _ReqToExpRep):
                 assert prog.exp_rep is not None
                 directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)

@@ -83,6 +83,8 @@ class RequestOutcome:
     """Effects of a request arriving at this process."""
 
     response: MatchResponse
+    #: The request's window index, or ``-1`` for an idempotently
+    #: re-handled retransmission (no new window opened).
     window: int
     #: Local resolution triggered by the request being immediately
     #: decidable (fast process path).
@@ -112,11 +114,19 @@ class ExportOutcome:
 class ConnectionExportState:
     """Per-connection knowledge of one exporting process."""
 
-    def __init__(self, conn: ConnectionSpec, history: ExportHistory) -> None:
+    def __init__(
+        self,
+        conn: ConnectionSpec,
+        history: ExportHistory,
+        strict_order: bool = True,
+    ) -> None:
         self.conn = conn
         self.policy = conn.policy
         self.disjoint = conn.disjoint_regions
-        self.engine = MatchEngine(conn.policy, history=history)
+        #: Relaxed under resilient runtimes: a retransmitted request may
+        #: arrive after a later request already advanced the mark.
+        self.strict_order = strict_order
+        self.engine = MatchEngine(conn.policy, history=history, strict_order=strict_order)
         self.open_requests: dict[float, OpenRequest] = {}
         #: request ts -> resolved answer (local decision or buddy-help).
         self.answers: dict[float, FinalAnswer] = {}
@@ -129,7 +139,15 @@ class ConnectionExportState:
 
     # -- events ---------------------------------------------------------
     def on_request(self, request_ts: float) -> RequestOutcome:
-        """A request forwarded by the rep arrives at this process."""
+        """A request forwarded by the rep arrives at this process.
+
+        In relaxed mode a request at or below the engine's high-water
+        mark is a *re-ask* (retransmission after loss) and is handled
+        idempotently — it opens no new window and never double-counts
+        in the Eq. (2) ledger.
+        """
+        if not self.strict_order and request_ts <= self.engine.last_request_ts:
+            return self._on_reask(request_ts)
         response = self.engine.evaluate(request_ts, record=True)
         window = self.window_count
         self.window_count += 1
@@ -142,6 +160,37 @@ class ConnectionExportState:
         else:
             self.open_requests[request_ts] = OpenRequest(ts=request_ts, window=window)
         return RequestOutcome(response=response, window=window, applied=applied)
+
+    def _on_reask(self, request_ts: float) -> RequestOutcome:
+        """Handle a retransmitted request idempotently (``window == -1``).
+
+        * Already answered → repeat the recorded answer; if it was a
+          MATCH, ask the runtime to (re-)send the buffered data.
+        * Still open or never seen (this process may have missed the
+          original forward entirely) → re-evaluate without recording;
+          adopt it as an open request when undecidable so the normal
+          slow-process path resolves it later.
+        """
+        known = self.answers.get(request_ts)
+        if known is not None:
+            response = MatchResponse(
+                request_ts=request_ts,
+                kind=known.kind,
+                matched_ts=known.matched_ts,
+                latest_export_ts=self.engine.history.latest,
+            )
+            send_now = known.matched_ts if known.kind is MatchKind.MATCH else None
+            applied = ApplyOutcome(answer=known, send_now=send_now, was_news=False)
+            return RequestOutcome(response=response, window=-1, applied=applied)
+        response = self.engine.evaluate(request_ts, record=False)
+        if response.is_definitive:
+            applied = self.apply_answer(_answer_from(response), source="local")
+            return RequestOutcome(response=response, window=-1, applied=applied)
+        if request_ts not in self.open_requests:
+            self.open_requests[request_ts] = OpenRequest(
+                ts=request_ts, window=self.window_count
+            )
+        return RequestOutcome(response=response, window=-1, applied=None)
 
     def apply_answer(self, answer: FinalAnswer, source: str) -> ApplyOutcome:
         """Learn the final answer for a request (local decision or buddy).
@@ -313,11 +362,14 @@ class RegionExportState:
         region_name: str,
         connections: list[ConnectionSpec],
         capacity_bytes: int | None = None,
+        strict_order: bool = True,
     ) -> None:
         self.region_name = region_name
         self.history = ExportHistory()
         self.connections = {
-            c.connection_id: ConnectionExportState(c, self.history)
+            c.connection_id: ConnectionExportState(
+                c, self.history, strict_order=strict_order
+            )
             for c in connections
         }
         self.buffer = BufferManager(capacity_bytes=capacity_bytes)
@@ -336,6 +388,24 @@ class RegionExportState:
         """
         conn = self.connections[connection_id]
         outcome = conn.on_request(request_ts)
+        if outcome.window < 0:
+            # Re-ask: no new window to attribute, and the recorded
+            # match may have been sent and evicted already — only
+            # re-send data that is actually still buffered.
+            applied = outcome.applied
+            if (
+                applied is not None
+                and applied.send_now is not None
+                and not self.buffer.has(applied.send_now)
+            ):
+                outcome = RequestOutcome(
+                    response=outcome.response,
+                    window=outcome.window,
+                    applied=ApplyOutcome(
+                        answer=applied.answer, send_now=None, was_news=False
+                    ),
+                )
+            return outcome
         low, high = conn.policy.region(request_ts)
         self.buffer.attribute_window(low, high, outcome.window)
         return outcome

@@ -24,6 +24,7 @@ user would embed in real applications.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,7 +53,12 @@ from repro.match.result import FinalAnswer, MatchKind
 from repro.util import tracing
 from repro.util.tracing import NullTracer, Tracer
 from repro.util.validation import require, require_positive
-from repro.vmpi.thread_backend import ThreadCommunicator, ThreadMailbox, ThreadWorld
+from repro.vmpi.thread_backend import (
+    MailboxTimeout,
+    ThreadCommunicator,
+    ThreadMailbox,
+    ThreadWorld,
+)
 
 
 @dataclass
@@ -115,7 +121,9 @@ class LiveProcessContext:
         for rname in program.regions:
             exp = config.connections_exporting(self.program, rname)
             if exp:
-                self.export_states[rname] = RegionExportState(rname, exp)
+                self.export_states[rname] = RegionExportState(
+                    rname, exp, strict_order=runtime.strict_order
+                )
             imp = config.connections_importing(self.program, rname)
             if imp:
                 require(len(imp) == 1, f"region {rname}: one exporter only")
@@ -195,23 +203,34 @@ class LiveProcessContext:
     def import_(
         self, region: str, ts: float, timeout: float | None = None
     ) -> tuple[float | None, np.ndarray | None]:
-        """Request the region's object for *ts*; blocks until resolved."""
+        """Request the region's object for *ts*; blocks until resolved.
+
+        On a resilient runtime (``fault_injector`` or
+        ``retransmit_timeout`` set) each blocking receive runs under a
+        retransmission loop: a timed-out wait re-posts the
+        :class:`~repro.core.wire.ImpProcRequest` with exponential
+        backoff, and the rep/exporter chain re-answers idempotently.
+        """
         ist = self.import_states.get(region)
         require(ist is not None, f"{self.program} imports no region {region!r}")
         assert ist is not None
         rt = self._rt
         cid = ist.connection_id
         record = ist.start_request(ts, time.perf_counter())
-        rt._mailbox("rep", self.program).put(
-            wire.ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank)
+        rt._post(
+            ("rep", self.program),
+            wire.ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank),
         )
         box = rt._mailbox("cpl", self.program, self.rank)
         timeout = rt.default_timeout if timeout is None else timeout
-        answer_msg = box.get(
+        answer_msg = self._get_with_retransmit(
+            box,
             lambda m: isinstance(m, wire.AnswerToProc)
             and m.connection_id == cid
             and m.answer.request_ts == ts,
-            timeout=timeout,
+            cid,
+            ts,
+            timeout,
         )
         answer: FinalAnswer = answer_msg.answer
         ist.on_answer(record, answer, time.perf_counter())
@@ -222,18 +241,66 @@ class LiveProcessContext:
         assert m is not None
         schedule = rt._connections[cid].schedule
         assert schedule is not None
-        pieces = []
-        for _ in schedule.recvs_for(self.rank):
-            piece = box.get(
+        expected = list(schedule.recvs_for(self.rank))
+        # Keyed by (src_rank, region) so duplicated or re-driven pieces
+        # collapse instead of double-counting.
+        pieces: dict[tuple[int, RectRegion], wire.DataPiece] = {}
+        while len(pieces) < len(expected):
+            piece = self._get_with_retransmit(
+                box,
                 lambda msg: isinstance(msg, wire.DataPiece)
                 and msg.connection_id == cid
                 and msg.match_ts == m,
-                timeout=timeout,
+                cid,
+                ts,
+                timeout,
             )
-            pieces.append(piece)
-        block = self._assemble(region, pieces)
+            pieces.setdefault((piece.src_rank, piece.region), piece)
+        block = self._assemble(region, list(pieces.values()))
         ist.complete(record, time.perf_counter())
         return (m, block)
+
+    def _get_with_retransmit(
+        self,
+        box: ThreadMailbox,
+        pred: Callable[[Any], bool],
+        cid: str,
+        request_ts: float,
+        timeout: float | None,
+    ) -> Any:
+        """Blocking receive; on a resilient runtime, re-ask on timeout."""
+        rt = self._rt
+        if rt._rto is None:
+            return box.get(pred, timeout=timeout)
+        attempt = 0
+        while True:
+            rto = rt._rto * (2 ** min(attempt, 6))
+            try:
+                return box.get(pred, timeout=rto)
+            except MailboxTimeout:
+                attempt += 1
+                if attempt > rt.max_retransmits:
+                    raise FrameworkError(
+                        f"{self.who}: request {cid}@{request_ts:g} unanswered "
+                        f"after {rt.max_retransmits} retransmissions"
+                    ) from None
+                with rt._count_lock:
+                    rt.retransmissions += 1
+                if rt.tracer.enabled:
+                    rt.tracer.record(
+                        tracing.RETRANSMIT,
+                        self.who,
+                        time.perf_counter(),
+                        request=request_ts,
+                        attempt=attempt,
+                        rto=rto,
+                    )
+                rt._post(
+                    ("rep", self.program),
+                    wire.ImpProcRequest(
+                        connection_id=cid, request_ts=request_ts, rank=self.rank
+                    ),
+                )
 
     def _assemble(self, region: str, pieces: list[wire.DataPiece]) -> np.ndarray | None:
         rdef = self._program.regions[region]
@@ -260,6 +327,19 @@ class LiveCoupledSimulation:
         demos up).
     default_timeout:
         Blocking-receive timeout (deadlock diagnosis).
+    fault_injector:
+        A callable ``f(world, address, msg)`` installed as
+        :attr:`ThreadWorld.fault_hook` — typically a
+        :class:`repro.faults.injectors.LiveFaultInjector`.  Setting it
+        switches the runtime to resilient mode (relaxed request
+        ordering + retransmission).
+    retransmit_timeout:
+        Base retransmission timeout in wall seconds.  Defaults to
+        ``0.25`` when a fault injector is installed; set explicitly to
+        enable resilience without chaos.
+    max_retransmits:
+        Give-up bound per blocking receive (exponential backoff,
+        exponent capped at 6).
     """
 
     def __init__(
@@ -269,15 +349,32 @@ class LiveCoupledSimulation:
         time_scale: float = 1.0,
         default_timeout: float = 30.0,
         tracer: Tracer | None = None,
+        fault_injector: Callable[[ThreadWorld, Any, Any], None] | None = None,
+        retransmit_timeout: float | None = None,
+        max_retransmits: int = 8,
     ) -> None:
         self.config = parse_config(config) if isinstance(config, str) else config
         self.config.validate()
         require_positive(time_scale, "time_scale")
+        require(max_retransmits >= 0, "max_retransmits must be >= 0")
         self.buddy_help = buddy_help
         self.time_scale = time_scale
         self.default_timeout = default_timeout
         self.tracer = tracer if tracer is not None else NullTracer()
         self.world = ThreadWorld(default_timeout=default_timeout)
+        self.world.fault_hook = fault_injector
+        self.resilient = fault_injector is not None or retransmit_timeout is not None
+        self.strict_order = not self.resilient
+        if retransmit_timeout is not None:
+            require_positive(retransmit_timeout, "retransmit_timeout")
+            self._rto: float | None = retransmit_timeout
+        else:
+            self._rto = 0.25 if fault_injector is not None else None
+        self.max_retransmits = max_retransmits
+        self.retransmissions = 0
+        self.dup_discards = 0
+        self._count_lock = threading.Lock()
+        self._wire_seq = 0
         self._programs: dict[str, _LiveProgram] = {}
         self._connections = {
             c.connection_id: _LiveConn(c) for c in self.config.connections
@@ -424,7 +521,11 @@ class LiveCoupledSimulation:
             ]
             if exp_cids:
                 prog.exp_rep = ExporterRep(
-                    prog.name, prog.nprocs, exp_cids, buddy_help=self.buddy_help
+                    prog.name,
+                    prog.nprocs,
+                    exp_cids,
+                    buddy_help=self.buddy_help,
+                    strict_order=self.strict_order,
                 )
             if imp_cids:
                 prog.imp_rep = ImporterRep(prog.name, prog.nprocs, imp_cids)
@@ -435,9 +536,18 @@ class LiveCoupledSimulation:
     def _mailbox(self, *address: Any) -> ThreadMailbox:
         return self.world.mailbox(tuple(address))
 
+    def _post(self, address: tuple[Any, ...], msg: Any) -> None:
+        """Stamp a fresh sequence number and deliver via the fault hook."""
+        if getattr(msg, "seq", None) == -1:
+            with self._count_lock:
+                self._wire_seq += 1
+                msg = dataclasses.replace(msg, seq=self._wire_seq)
+        self.world.post(address, msg)
+
     def _send_response(self, ctx: LiveProcessContext, cid: str, response) -> None:
-        self._mailbox("rep", ctx.program).put(
-            wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        self._post(
+            ("rep", ctx.program),
+            wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response),
         )
 
     def _send_pieces(self, ctx: LiveProcessContext, region: str, cid: str, m: float) -> None:
@@ -445,6 +555,16 @@ class LiveCoupledSimulation:
         schedule = crt.schedule
         assert schedule is not None and crt.exp_def is not None
         st = ctx.export_states[region]
+        if not st.buffer.has(m):
+            if st.buffer.was_sent(m):
+                # Already transferred and evicted (a retransmission
+                # re-sent it); the importer deduplicates pieces.
+                return
+            raise FrameworkError(
+                f"{ctx.who}: match @{m:g} of {cid} is no longer buffered — "
+                "pipelined imports combined with control-message loss can "
+                "evict a pending match (see docs/resilience.md)"
+            )
         entry = st.buffer.get(m)
         if not entry.sent:
             st.buffer.mark_sent(m)
@@ -458,7 +578,8 @@ class LiveCoupledSimulation:
                 data = np.ascontiguousarray(
                     payload[item.region.to_slices(origin=local.lo)]
                 )
-            self._mailbox("cpl", imp_prog, item.dst_rank).put(
+            self._post(
+                ("cpl", imp_prog, item.dst_rank),
                 wire.DataPiece(
                     connection_id=cid,
                     match_ts=m,
@@ -466,7 +587,7 @@ class LiveCoupledSimulation:
                     region=item.region,
                     data=data,
                     nbytes=item.region.size * itemsize,
-                )
+                ),
             )
 
     def _region_of_connection(self, prog: str, cid: str) -> str:
@@ -474,12 +595,35 @@ class LiveCoupledSimulation:
         require(spec.exporter.program == prog, f"{cid} does not export from {prog}")
         return spec.exporter.region
 
+    def _seq_duplicate(self, msg: Any, seen: set[int], who: str) -> bool:
+        """Wire-level duplicate detection by sequence number."""
+        seq = getattr(msg, "seq", -1)
+        if seq < 0:
+            return False
+        if seq in seen:
+            with self._count_lock:
+                self.dup_discards += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.DUP_DISCARD,
+                    who,
+                    time.perf_counter(),
+                    msg=type(msg).__name__,
+                    seq=seq,
+                )
+            return True
+        seen.add(seq)
+        return False
+
     def _agent_loop(self, ctx: LiveProcessContext) -> None:
         box = self._mailbox("ctl", ctx.program, ctx.rank)
+        seen: set[int] = set()
         while True:
             msg = box.get(lambda _m: True, timeout=None)
             if isinstance(msg, wire.Shutdown):
                 return
+            if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
+                continue
             if isinstance(msg, wire.FwdRequest):
                 region = self._region_of_connection(ctx.program, msg.connection_id)
                 st = ctx.export_states[region]
@@ -515,10 +659,13 @@ class LiveCoupledSimulation:
 
     def _rep_loop(self, prog: _LiveProgram) -> None:
         box = self._mailbox("rep", prog.name)
+        seen: set[int] = set()
         while True:
             msg = box.get(lambda _m: True, timeout=None)
             if isinstance(msg, wire.Shutdown):
                 return
+            if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
+                continue
             with prog.rep_lock:
                 if isinstance(msg, wire.ReqToExpRep):
                     assert prog.exp_rep is not None
@@ -543,26 +690,31 @@ class LiveCoupledSimulation:
 
     def _execute_directive(self, prog: _LiveProgram, d: Any) -> None:
         if isinstance(d, ForwardRequest):
-            self._mailbox("ctl", prog.name, d.rank).put(
-                wire.FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts)
+            self._post(
+                ("ctl", prog.name, d.rank),
+                wire.FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
             )
         elif isinstance(d, AnswerImporter):
             imp_prog = self._connections[d.connection_id].spec.importer.program
-            self._mailbox("rep", imp_prog).put(
-                wire.AnswerToImpRep(connection_id=d.connection_id, answer=d.answer)
+            self._post(
+                ("rep", imp_prog),
+                wire.AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
             )
         elif isinstance(d, BuddyHelp):
-            self._mailbox("ctl", prog.name, d.rank).put(
-                wire.BuddyMsg(connection_id=d.connection_id, answer=d.answer)
+            self._post(
+                ("ctl", prog.name, d.rank),
+                wire.BuddyMsg(connection_id=d.connection_id, answer=d.answer),
             )
         elif isinstance(d, ForwardToExporter):
             exp_prog = self._connections[d.connection_id].spec.exporter.program
-            self._mailbox("rep", exp_prog).put(
-                wire.ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts)
+            self._post(
+                ("rep", exp_prog),
+                wire.ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
             )
         elif isinstance(d, DeliverAnswer):
-            self._mailbox("cpl", prog.name, d.rank).put(
-                wire.AnswerToProc(connection_id=d.connection_id, answer=d.answer)
+            self._post(
+                ("cpl", prog.name, d.rank),
+                wire.AnswerToProc(connection_id=d.connection_id, answer=d.answer),
             )
         else:  # pragma: no cover - defensive
             raise FrameworkError(f"unknown directive {d!r}")

@@ -110,6 +110,11 @@ class ExporterRep:
     buddy_help:
         Whether to disseminate final answers to PENDING processes (the
         paper's optimization; disable for the baseline comparison).
+    strict_order:
+        When ``False`` (resilient runtimes), a repeated request
+        timestamp is treated as a retransmission and re-answered
+        idempotently — from the final-answer cache once finalized —
+        instead of raising :class:`ProtocolError`.
     """
 
     def __init__(
@@ -118,11 +123,13 @@ class ExporterRep:
         nprocs: int,
         connection_ids: list[str],
         buddy_help: bool = True,
+        strict_order: bool = True,
     ) -> None:
         require(nprocs > 0, "nprocs must be positive")
         self.program = program
         self.nprocs = nprocs
         self.buddy_help = buddy_help
+        self.strict_order = strict_order
         self._requests: dict[str, dict[float, _ExpRequestState]] = {
             cid: {} for cid in connection_ids
         }
@@ -133,18 +140,52 @@ class ExporterRep:
         self.buddy_messages_sent = 0
         self.requests_seen = 0
         self.finalized_count = 0
+        self.duplicate_requests = 0
+        self.cached_answers_served = 0
 
     # -- events ------------------------------------------------------------
     def on_request(self, connection_id: str, request_ts: float) -> list[Directive]:
-        """A request arrives from the importer side; fan it out."""
+        """A request arrives from the importer side; fan it out.
+
+        A request already known (possible only with
+        ``strict_order=False``) is a retransmission: once finalized it
+        is re-answered from the final-answer cache so the importer
+        always hears the *same* answer, and — for a MATCH — re-forwarded
+        to every rank so the data pieces are re-driven too; while still
+        open it is re-forwarded to the ranks that have not answered
+        definitively (some may have missed the original forward).
+        """
         states = self._conn(connection_id)
+        st = states.get(request_ts)
+        if st is not None and not self.strict_order:
+            self.duplicate_requests += 1
+            if st.finalized is not None:
+                self.cached_answers_served += 1
+                directives: list[Directive] = [
+                    AnswerImporter(connection_id=connection_id, answer=st.finalized)
+                ]
+                if st.finalized.kind is MatchKind.MATCH:
+                    directives.extend(
+                        ForwardRequest(
+                            rank=r, connection_id=connection_id, request_ts=request_ts
+                        )
+                        for r in range(self.nprocs)
+                    )
+                return directives
+            return [
+                ForwardRequest(rank=r, connection_id=connection_id, request_ts=request_ts)
+                for r in range(self.nprocs)
+                if r not in st.definitive_ranks
+            ]
         last = self._last_request_ts[connection_id]
         if request_ts <= last:
-            raise ProtocolError(
-                f"{self.program} rep: request timestamps must increase on "
-                f"{connection_id}: got {request_ts} after {last}"
-            )
-        self._last_request_ts[connection_id] = request_ts
+            if self.strict_order:
+                raise ProtocolError(
+                    f"{self.program} rep: request timestamps must increase on "
+                    f"{connection_id}: got {request_ts} after {last}"
+                )
+        else:
+            self._last_request_ts[connection_id] = request_ts
         states[request_ts] = _ExpRequestState(request_ts=request_ts)
         self.requests_seen += 1
         return [
@@ -250,6 +291,9 @@ class ExporterRep:
 class _ImpRequestState:
     request_ts: float
     waiting: set[int] = field(default_factory=set)
+    #: Every rank that has asked (never cleared — distinguishes a
+    #: retransmitted ask from a late first ask).
+    asked: set[int] = field(default_factory=set)
     answer: FinalAnswer | None = None
 
 
@@ -264,6 +308,8 @@ class ImporterRep:
             cid: {} for cid in connection_ids
         }
         self.forwarded_count = 0
+        self.duplicate_asks = 0
+        self.duplicate_answers = 0
 
     def on_process_request(
         self, connection_id: str, request_ts: float, rank: int
@@ -273,7 +319,10 @@ class ImporterRep:
         The first process to ask triggers the cross-program request
         (so the request reaches the exporter as early as the *fastest*
         importer process gets there); later processes either wait or
-        get the already-known answer immediately.
+        get the already-known answer immediately.  A *repeated* ask by
+        a still-waiting rank is a retransmission (its answer, or the
+        original request, was lost): the cross-program request is
+        re-driven so the exporter side re-answers.
         """
         states = self._conn(connection_id)
         st = states.get(request_ts)
@@ -285,6 +334,16 @@ class ImporterRep:
             directives.append(
                 ForwardToExporter(connection_id=connection_id, request_ts=request_ts)
             )
+        elif rank in st.asked:
+            # A rank only asks twice when something it needs was lost —
+            # the answer, or (answer in hand) its data pieces.  Either
+            # way the cross-program request is re-driven; every hop on
+            # the exporter side recovers idempotently.
+            self.duplicate_asks += 1
+            directives.append(
+                ForwardToExporter(connection_id=connection_id, request_ts=request_ts)
+            )
+        st.asked.add(rank)
         if st.answer is not None:
             directives.append(
                 DeliverAnswer(rank=rank, connection_id=connection_id, answer=st.answer)
@@ -294,7 +353,12 @@ class ImporterRep:
         return directives
 
     def on_answer(self, connection_id: str, answer: FinalAnswer) -> list[Directive]:
-        """The exporter rep's final answer arrives; wake the waiters."""
+        """The exporter rep's final answer arrives; wake the waiters.
+
+        A repeated identical answer (retransmission, or a re-answer
+        from the exporter rep's cache) is discarded idempotently; a
+        *disagreeing* repeat is a protocol violation.
+        """
         states = self._conn(connection_id)
         st = states.get(answer.request_ts)
         if st is None:
@@ -303,9 +367,13 @@ class ImporterRep:
                 f"@{answer.request_ts} on {connection_id}"
             )
         if st.answer is not None:
+            if st.answer == answer:
+                self.duplicate_answers += 1
+                return []
             raise ProtocolError(
-                f"{self.program} rep: duplicate answer for request "
-                f"@{answer.request_ts} on {connection_id}"
+                f"{self.program} rep: conflicting duplicate answer for request "
+                f"@{answer.request_ts} on {connection_id}: "
+                f"{st.answer} then {answer}"
             )
         st.answer = answer
         woken = sorted(st.waiting)

@@ -12,6 +12,24 @@ Shared by the two runtimes — the DES coupler
 * exporter rep → importer rep:     :class:`AnswerToImpRep`
 * importer rep → importer process: :class:`AnswerToProc`
 * exporter process → importer process: :class:`DataPiece`
+* runtime → its own service loops:  :class:`Shutdown`  (no wire cost)
+
+Sequence numbers
+----------------
+Every message carries a ``seq`` field, stamped by the sending runtime
+from a per-coupler counter (``-1`` means "not stamped", e.g. in unit
+tests that build messages by hand).  Receivers discard a ``seq`` they
+have already processed, which makes *wire-level duplication* (a fault,
+or a duplicated delivery) harmless.  *Retransmissions* are new sends
+and get fresh sequence numbers — they are deduplicated one level up,
+by the rep state machines' idempotent request handling (see
+``docs/resilience.md``).
+
+``CTL_NBYTES`` models headers plus a few scalar fields — connection
+id, timestamp, rank, and the sequence word all fit comfortably, so the
+constant is unchanged by the seq field.  Retransmitted and duplicated
+control messages are real sends and are charged at full ``CTL_NBYTES``
+each, keeping the DES traffic/timing model honest under faults.
 """
 
 from __future__ import annotations
@@ -23,7 +41,8 @@ import numpy as np
 from repro.data.region import RectRegion
 from repro.match.result import FinalAnswer, MatchResponse
 
-#: Modelled wire size of a control message (headers + a few scalars).
+#: Modelled wire size of a control message (headers + a few scalars,
+#: including the sequence number).
 CTL_NBYTES = 64
 
 
@@ -33,6 +52,7 @@ class ReqToExpRep:
 
     connection_id: str
     request_ts: float
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -41,6 +61,7 @@ class FwdRequest:
 
     connection_id: str
     request_ts: float
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -50,6 +71,7 @@ class ProcResponse:
     connection_id: str
     rank: int
     response: MatchResponse
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,7 @@ class BuddyMsg:
 
     connection_id: str
     answer: FinalAnswer
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,7 @@ class AnswerToImpRep:
 
     connection_id: str
     answer: FinalAnswer
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -75,6 +99,7 @@ class ImpProcRequest:
     connection_id: str
     request_ts: float
     rank: int
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -83,6 +108,7 @@ class AnswerToProc:
 
     connection_id: str
     answer: FinalAnswer
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -95,8 +121,13 @@ class DataPiece:
     region: RectRegion
     data: np.ndarray | None
     nbytes: int
+    seq: int = -1
 
 
 @dataclass(frozen=True)
 class Shutdown:
-    """Runtime-internal: stop a service loop (live runtime only)."""
+    """Runtime-internal: stop a service loop (live runtime only).
+
+    Never crosses the modelled network, so it carries no sequence
+    number and no wire cost.
+    """

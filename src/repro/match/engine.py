@@ -81,7 +81,10 @@ class MatchEngine:
     """
 
     def __init__(
-        self, policy: MatchPolicy, history: ExportHistory | None = None
+        self,
+        policy: MatchPolicy,
+        history: ExportHistory | None = None,
+        strict_order: bool = True,
     ) -> None:
         #: The policy in force for this connection.
         self.policy = policy
@@ -89,7 +92,16 @@ class MatchEngine:
         #: region exported over several connections has one history and
         #: one engine per connection.
         self.history = history if history is not None else ExportHistory()
+        #: Under resilient (retransmitting) runtimes, re-asked requests
+        #: legitimately arrive at or below the high-water mark; relaxed
+        #: mode only advances the mark instead of rejecting them.
+        self.strict_order = strict_order
         self._last_request_ts = -math.inf
+
+    @property
+    def last_request_ts(self) -> float:
+        """High-water mark of request timestamps seen so far."""
+        return self._last_request_ts
 
     # -- export side ------------------------------------------------------
     def record_export(self, ts: float) -> None:
@@ -102,13 +114,21 @@ class MatchEngine:
 
     # -- request side ----------------------------------------------------
     def check_request_order(self, request_ts: float) -> None:
-        """Validate and record a new request timestamp."""
-        require(
-            request_ts > self._last_request_ts,
-            f"request timestamps must increase: {request_ts} after "
-            f"{self._last_request_ts}",
-        )
-        self._last_request_ts = request_ts
+        """Validate and record a new request timestamp.
+
+        In relaxed mode (``strict_order=False``) a timestamp at or
+        below the mark is accepted without advancing it — the caller
+        has already classified it as a re-ask.
+        """
+        if self.strict_order:
+            require(
+                request_ts > self._last_request_ts,
+                f"request timestamps must increase: {request_ts} after "
+                f"{self._last_request_ts}",
+            )
+            self._last_request_ts = request_ts
+        else:
+            self._last_request_ts = max(self._last_request_ts, request_ts)
 
     def evaluate(self, request_ts: float, *, record: bool = True) -> MatchResponse:
         """Evaluate *request_ts* against the current history.

@@ -34,6 +34,17 @@ BUDDY_SEND = "buddy_help_send"
 IMPORT_REQUEST = "import_request"
 IMPORT_COMPLETE = "import_complete"
 REP_FINALIZE = "rep_finalize"
+# Fault-injection and protocol-resilience kinds (repro.faults; see
+# docs/resilience.md).  The first four are emitted by the fault layer
+# itself, the last three by the hardened protocol reacting to faults.
+FAULT_DROP = "fault_drop"
+FAULT_DUP = "fault_dup"
+FAULT_DELAY = "fault_delay"
+FAULT_STALL = "fault_stall"
+FAULT_CRASH = "fault_crash"
+RETRANSMIT = "retransmit"
+DUP_DISCARD = "dup_discard"
+ANSWER_CACHE_HIT = "answer_cache_hit"
 
 KNOWN_KINDS = frozenset(
     {
@@ -48,6 +59,14 @@ KNOWN_KINDS = frozenset(
         IMPORT_REQUEST,
         IMPORT_COMPLETE,
         REP_FINALIZE,
+        FAULT_DROP,
+        FAULT_DUP,
+        FAULT_DELAY,
+        FAULT_STALL,
+        FAULT_CRASH,
+        RETRANSMIT,
+        DUP_DISCARD,
+        ANSWER_CACHE_HIT,
     }
 )
 
@@ -178,6 +197,57 @@ def _render_rep_finalize(e: TraceEvent, name: str, ts: str) -> str:
     return f"rep finalize {{{name}@{d['request']:g}, {d.get('answer', '?')}}}."
 
 
+def _fmt_msg(d: dict[str, Any]) -> str:
+    msg = d.get("msg", "?")
+    seq = d.get("seq")
+    return f"{msg}#{seq}" if seq is not None else str(msg)
+
+
+def _render_fault_drop(e: TraceEvent, name: str, ts: str) -> str:
+    return f"fault: drop {_fmt_msg(e.detail)} -> {e.detail.get('dst', '?')}."
+
+
+def _render_fault_dup(e: TraceEvent, name: str, ts: str) -> str:
+    return f"fault: duplicate {_fmt_msg(e.detail)} -> {e.detail.get('dst', '?')}."
+
+
+def _render_fault_delay(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return (
+        f"fault: delay {_fmt_msg(d)} -> {d.get('dst', '?')} "
+        f"by {d.get('delay', 0.0):g}."
+    )
+
+
+def _render_fault_stall(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return f"fault: stall for {d.get('duration', 0.0):g}."
+
+
+def _render_fault_crash(e: TraceEvent, name: str, ts: str) -> str:
+    return "fault: crash (fail-stop)."
+
+
+def _render_retransmit(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return (
+        f"re-send request {name}@{d['request']:g} "
+        f"(attempt {d.get('attempt', '?')}, rto {d.get('rto', 0.0):g})."
+    )
+
+
+def _render_dup_discard(e: TraceEvent, name: str, ts: str) -> str:
+    return f"discard duplicate {_fmt_msg(e.detail)}."
+
+
+def _render_answer_cache_hit(e: TraceEvent, name: str, ts: str) -> str:
+    d = e.detail
+    return (
+        f"re-answer request {name}@{d['request']:g} from cache "
+        f"({d.get('answer', '?')})."
+    )
+
+
 _RENDERERS: dict[str, Callable[[TraceEvent, str, str], str]] = {
     EXPORT_MEMCPY: _render_export_memcpy,
     EXPORT_SKIP: _render_export_skip,
@@ -190,6 +260,14 @@ _RENDERERS: dict[str, Callable[[TraceEvent, str, str], str]] = {
     IMPORT_REQUEST: _render_import_request,
     IMPORT_COMPLETE: _render_import_complete,
     REP_FINALIZE: _render_rep_finalize,
+    FAULT_DROP: _render_fault_drop,
+    FAULT_DUP: _render_fault_dup,
+    FAULT_DELAY: _render_fault_delay,
+    FAULT_STALL: _render_fault_stall,
+    FAULT_CRASH: _render_fault_crash,
+    RETRANSMIT: _render_retransmit,
+    DUP_DISCARD: _render_dup_discard,
+    ANSWER_CACHE_HIT: _render_answer_cache_hit,
 }
 
 # Every canonical kind must have a renderer (and vice versa): keep the

@@ -46,6 +46,11 @@ class DesWorld:
         Optional congestion factor function (see :class:`Network`).
     seed:
         Root seed for the world's :class:`RngRegistry`.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; when given, the
+        world's network is a :class:`repro.faults.network.FaultyNetwork`
+        executing it (framework control planes only — vmpi traffic is
+        never touched, see :func:`repro.faults.plan.classify_plane`).
     """
 
     def __init__(
@@ -55,11 +60,25 @@ class DesWorld:
         bandwidth: float = float("inf"),
         congestion: Callable[[int], float] | None = None,
         seed: int = 0,
+        fault_plan: Any = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
-        self.network = Network(
-            self.sim, latency=latency, bandwidth=bandwidth, congestion=congestion
-        )
+        if fault_plan is not None:
+            # Imported lazily: vmpi must not depend on repro.faults
+            # unless chaos is actually requested.
+            from repro.faults.network import FaultyNetwork
+
+            self.network: Network = FaultyNetwork(
+                self.sim,
+                fault_plan,
+                latency=latency,
+                bandwidth=bandwidth,
+                congestion=congestion,
+            )
+        else:
+            self.network = Network(
+                self.sim, latency=latency, bandwidth=bandwidth, congestion=congestion
+            )
         self.rng = RngRegistry(seed=seed)
         self._programs: dict[str, list["DesCommunicator"]] = {}
 

@@ -83,6 +83,21 @@ class ThreadWorld:
         self.default_timeout = default_timeout
         self._mailboxes: dict[Any, ThreadMailbox] = {}
         self._programs: dict[str, list["ThreadCommunicator"]] = {}
+        #: Optional fault hook ``f(world, address, msg)`` consulted by
+        #: :meth:`post` (set by the live coupler to inject chaos; see
+        #: :class:`repro.faults.injectors.LiveFaultInjector`).
+        self.fault_hook: Callable[["ThreadWorld", Any, Any], None] | None = None
+
+    def post(self, address: Any, msg: Any) -> None:
+        """Deliver *msg* to *address* through the fault hook, if any.
+
+        Framework senders use this instead of ``mailbox(addr).put`` so
+        a single assignment turns chaos on for the whole runtime.
+        """
+        if self.fault_hook is None:
+            self.mailbox(address).put(msg)
+        else:
+            self.fault_hook(self, address, msg)
 
     def create_program(self, name: str, nprocs: int) -> list["ThreadCommunicator"]:
         """Register a parallel program and return per-rank communicators."""

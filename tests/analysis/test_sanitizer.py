@@ -6,8 +6,8 @@ from repro.analysis.report import Severity
 from repro.analysis.sanitizer import ProtocolSanitizer, SanitizerError
 from repro.core.config import parse_config
 from repro.core.coupler import CoupledSimulation, RegionDef
-from repro.core.exceptions import PropertyViolationError
-from repro.core.rep import BuddyHelp, ExporterRep
+from repro.core.exceptions import PropertyViolationError, ProtocolError
+from repro.core.rep import BuddyHelp, ExporterRep, ImporterRep
 from repro.data.decomposition import BlockDecomposition
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util import tracing
@@ -302,3 +302,46 @@ class TestEndToEnd:
     def test_bad_sanitize_value_rejected(self):
         with pytest.raises(ValueError):
             CoupledSimulation(CFG, sanitize="loud")
+
+
+class TestS304DuplicateAnswerAgreement:
+    def wrapped(self, strict=True):
+        s = sanitizer(strict=strict)
+        rep = ImporterRep("U", nprocs=2, connection_ids=[CID])
+        return s, s.wrap_imp_rep(rep), rep
+
+    def answer(self, m=19.6):
+        return FinalAnswer(request_ts=20.0, kind=MatchKind.MATCH, matched_ts=m)
+
+    def test_identical_repeat_passes_silently(self):
+        s, wrapped, inner = self.wrapped()
+        wrapped.on_process_request(CID, 20.0, rank=0)
+        wrapped.on_answer(CID, self.answer())
+        assert wrapped.on_answer(CID, self.answer()) == []
+        assert inner.duplicate_answers == 1
+        assert len(s.report) == 0
+
+    def test_disagreeing_repeat_raises_in_strict_mode(self):
+        _s, wrapped, _inner = self.wrapped(strict=True)
+        wrapped.on_process_request(CID, 20.0, rank=0)
+        wrapped.on_answer(CID, self.answer(m=19.6))
+        with pytest.raises(SanitizerError, match="S304"):
+            wrapped.on_answer(CID, self.answer(m=18.6))
+
+    def test_disagreeing_repeat_reported_in_report_mode(self):
+        s, wrapped, _inner = self.wrapped(strict=False)
+        wrapped.on_process_request(CID, 20.0, rank=0)
+        wrapped.on_answer(CID, self.answer(m=19.6))
+        # The sanitizer records the disagreement; the rep itself still
+        # refuses to overwrite its answer.
+        with pytest.raises(ProtocolError, match="conflicting duplicate"):
+            wrapped.on_answer(CID, self.answer(m=18.6))
+        findings = [f for f in s.report if f.rule == "S304"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "disagreeing verdicts" in findings[0].message
+
+    def test_proxy_forwards_counters(self):
+        _s, wrapped, inner = self.wrapped()
+        wrapped.on_process_request(CID, 20.0, rank=0)
+        assert wrapped.forwarded_count == inner.forwarded_count == 1

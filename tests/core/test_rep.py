@@ -170,13 +170,25 @@ class TestImporterRep:
                 CID, FinalAnswer(request_ts=5.0, kind=MatchKind.NO_MATCH)
             )
 
-    def test_duplicate_answer_rejected(self):
+    def test_identical_duplicate_answer_discarded(self):
+        # Retransmissions make repeated identical answers legal: the
+        # rep discards them idempotently instead of raising.
         rep = ImporterRep("U", nprocs=1, connection_ids=[CID])
         rep.on_process_request(CID, 20.0, rank=0)
         ans = FinalAnswer(request_ts=20.0, kind=MatchKind.NO_MATCH)
         rep.on_answer(CID, ans)
-        with pytest.raises(ProtocolError, match="duplicate answer"):
-            rep.on_answer(CID, ans)
+        assert rep.on_answer(CID, ans) == []
+        assert rep.duplicate_answers == 1
+
+    def test_conflicting_duplicate_answer_rejected(self):
+        rep = ImporterRep("U", nprocs=1, connection_ids=[CID])
+        rep.on_process_request(CID, 20.0, rank=0)
+        rep.on_answer(CID, FinalAnswer(request_ts=20.0, kind=MatchKind.NO_MATCH))
+        with pytest.raises(ProtocolError, match="conflicting duplicate answer"):
+            rep.on_answer(
+                CID,
+                FinalAnswer(request_ts=20.0, kind=MatchKind.MATCH, matched_ts=19.6),
+            )
 
 
 class TestRepProperties:

@@ -1,0 +1,175 @@
+"""Tests for the deterministic chaos layer over the DES network."""
+
+import pytest
+
+from repro.core.wire import BuddyMsg, DataPiece, FwdRequest
+from repro.data.region import RectRegion
+from repro.des import Simulator
+from repro.faults import FaultPlan, FaultyNetwork
+from repro.match.result import FinalAnswer, MatchKind
+
+CTL = ("ctl", "F", 0)
+REP = ("rep", "F")
+APP = ("F", 0)
+
+
+def fwd(ts=20.0, seq=-1):
+    return FwdRequest(connection_id="c", request_ts=ts, seq=seq)
+
+
+def buddy(ts=20.0):
+    return BuddyMsg(
+        connection_id="c",
+        answer=FinalAnswer(request_ts=ts, kind=MatchKind.NO_MATCH),
+    )
+
+
+def piece():
+    return DataPiece(
+        connection_id="c", match_ts=1.0, src_rank=0,
+        region=RectRegion((0, 0), (1, 1)), data=None, nbytes=8,
+    )
+
+
+def build(plan, latency=0.0):
+    sim = Simulator()
+    net = FaultyNetwork(sim, plan, latency=latency)
+    for addr in (CTL, REP, APP, ("ctl", "F", 1)):
+        net.register(addr)
+    return sim, net
+
+
+def drain(sim, net, addr, n):
+    """Run the sim and collect up to *n* deliveries at *addr* in order."""
+    got = []
+
+    def receiver():
+        for _ in range(n):
+            delivery = yield net.mailbox(addr).get()
+            got.append(delivery.payload)
+
+    sim.process(receiver(), name="recv")
+    sim.run()
+    return got
+
+
+class TestPassThrough:
+    def test_application_plane_is_never_touched(self):
+        sim, net = build(FaultPlan(seed=1, drop=1.0, protect_data=False))
+        net.send(APP, APP, "payload", nbytes=8)
+        assert net.stats.eligible == 0
+        assert drain(sim, net, APP, 1) == ["payload"]
+
+    def test_noop_window_passes_messages(self):
+        # Plan active only in [10, 20): a send at t=0 draws nothing.
+        sim, net = build(FaultPlan(seed=1, drop=1.0, start=10.0, stop=20.0))
+        net.send(REP, CTL, fwd(), nbytes=64)
+        assert net.stats.eligible == 0
+        assert len(drain(sim, net, CTL, 1)) == 1
+
+
+class TestDrop:
+    def test_certain_drop_loses_control_messages(self):
+        sim, net = build(FaultPlan(seed=1, drop=1.0))
+        for i in range(5):
+            net.send(REP, CTL, fwd(ts=10.0 + i), nbytes=64)
+        sim.run()
+        assert net.stats.dropped == 5
+        assert net.stats.drops_by_plane == {"ctl": 5}
+        assert net.mailbox(CTL).is_empty
+
+    def test_protected_data_survives_certain_drop(self):
+        sim, net = build(FaultPlan(seed=1, drop=1.0))  # protect_data default
+        net.send(APP, CTL, piece(), nbytes=64)
+        assert len(drain(sim, net, CTL, 1)) == 1
+        assert net.stats.dropped == 0
+
+    def test_unprotected_data_can_drop(self):
+        sim, net = build(FaultPlan(seed=1, drop=1.0, protect_data=False))
+        net.send(APP, CTL, piece(), nbytes=64)
+        sim.run()
+        assert net.stats.dropped == 1
+
+
+class TestDuplicate:
+    def test_certain_dup_delivers_twice_with_same_seq(self):
+        sim, net = build(FaultPlan(seed=1, dup=1.0))
+        net.send(REP, CTL, fwd(seq=7), nbytes=64)
+        got = drain(sim, net, CTL, 2)
+        assert [m.seq for m in got] == [7, 7]
+        assert net.stats.duplicated == 1
+        # Duplicates are physical handoffs: the wire counters see both.
+        assert net.messages_sent == 2
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_per_pair_fifo_survives_jitter_and_reorder(self, seed):
+        plan = FaultPlan(seed=seed, delay_jitter=1e-3, reorder=0.8)
+        sim, net = build(plan, latency=1e-4)
+        n = 30
+        for i in range(n):
+            net.send(REP, CTL, fwd(ts=float(i)), nbytes=64)
+        got = drain(sim, net, CTL, n)
+        assert [m.request_ts for m in got] == [float(i) for i in range(n)]
+
+    def test_cross_pair_overtaking_happens(self):
+        # Pair A's messages are held back; pair B's are not: B's later
+        # send must be delivered before A's earlier one.
+        plan = FaultPlan(seed=3, reorder=1.0, reorder_delay=0.5)
+        sim, net = build(plan)
+        net.victim = lambda src, dst, p: dst == CTL  # only pair A held
+        arrivals = []
+
+        def recv(addr, tag):
+            yield net.mailbox(addr).get()
+            arrivals.append((tag, sim.now))
+
+        sim.process(recv(CTL, "A"), name="ra")
+        sim.process(recv(("ctl", "F", 1), "B"), name="rb")
+        net.send(REP, CTL, fwd(ts=1.0), nbytes=64)
+        net.send(REP, ("ctl", "F", 1), fwd(ts=2.0), nbytes=64)
+        sim.run()
+        order = [tag for tag, _t in sorted(arrivals, key=lambda x: x[1])]
+        assert order == ["B", "A"]
+
+
+class TestVictimPredicate:
+    def test_victim_narrows_faults_to_matching_messages(self):
+        sim, net = build(FaultPlan(seed=1, drop=1.0))
+        net.victim = lambda src, dst, p: isinstance(p, BuddyMsg)
+        net.send(REP, CTL, fwd(), nbytes=64)       # spared
+        net.send(REP, CTL, buddy(), nbytes=64)     # dropped
+        got = drain(sim, net, CTL, 1)
+        assert isinstance(got[0], FwdRequest)
+        assert net.stats.dropped == 1
+
+
+class TestDeterminism:
+    def run_stats(self, seed):
+        sim, net = build(FaultPlan(seed=seed, drop=0.3, dup=0.3,
+                                   delay_jitter=1e-3, reorder=0.3))
+        for i in range(60):
+            net.send(REP, CTL, fwd(ts=float(i)), nbytes=64)
+        deliveries = []
+
+        def receiver():
+            while True:
+                delivery = yield net.mailbox(CTL).get()
+                deliveries.append((delivery.payload.request_ts, sim.now))
+
+        sim.process(receiver(), name="recv")
+        sim.run()
+        return net.stats.as_dict(), deliveries
+
+    def test_same_seed_identical_chaos(self):
+        a_stats, a_del = self.run_stats(11)
+        b_stats, b_del = self.run_stats(11)
+        assert a_stats == b_stats
+        assert a_del == b_del
+        assert a_stats["dropped"] > 0  # the plan actually did something
+
+    def test_different_seed_differs(self):
+        a_stats, a_del = self.run_stats(11)
+        c_stats, c_del = self.run_stats(12)
+        assert (a_stats, a_del) != (c_stats, c_del)

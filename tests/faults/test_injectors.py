@@ -1,0 +1,192 @@
+"""Tests for per-process fault injectors (DES wrappers + live hook)."""
+
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.wire import DataPiece, FwdRequest, Shutdown
+from repro.data.region import RectRegion
+from repro.des import Simulator
+from repro.faults import LiveFaultInjector, ProcessFaultSpec, inject_main
+from repro.faults.injectors import live_stalled_main
+from repro.faults.plan import FaultPlan
+from repro.util import tracing
+from repro.util.tracing import Tracer
+from repro.util.validation import ValidationError
+from repro.vmpi.thread_backend import MailboxTimeout, ThreadWorld
+
+CTL = ("ctl", "F", 0)
+
+
+class TestProcessFaultSpec:
+    @pytest.mark.parametrize(
+        "kwargs", [{"stall_for": -1.0}, {"slowdown": 0.5}, {"slowdown": 0.0}]
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ProcessFaultSpec(**kwargs)
+
+    def test_noop_detection(self):
+        assert ProcessFaultSpec().is_noop
+        # A stall point with zero duration changes nothing.
+        assert ProcessFaultSpec(stall_at=1.0, stall_for=0.0).is_noop
+        assert not ProcessFaultSpec(stall_at=1.0, stall_for=0.5).is_noop
+        assert not ProcessFaultSpec(slowdown=2.0).is_noop
+        assert not ProcessFaultSpec(crash_at=3.0).is_noop
+
+
+def run_wrapped(spec, beats=4, tracer=None):
+    """Drive a 1-timeout-per-beat main under *spec*; return (ticks, sim)."""
+    sim = Simulator()
+    ticks = []
+
+    def main(ctx):
+        for _ in range(beats):
+            yield ctx.sim.timeout(1.0)
+            ticks.append(ctx.sim.now)
+
+    ctx = SimpleNamespace(sim=sim, who="F.p0")
+    sim.process(inject_main(main, spec, tracer)(ctx), name="F.p0")
+    sim.run()
+    return ticks, sim
+
+
+class TestInjectMain:
+    def test_noop_spec_returns_main_unwrapped(self):
+        def main(ctx):
+            yield ctx.sim.timeout(1.0)
+
+        assert inject_main(main, ProcessFaultSpec()) is main
+
+    def test_plain_run_is_untouched(self):
+        ticks, sim = run_wrapped(ProcessFaultSpec(slowdown=1.0, crash_at=None))
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stall_inserts_one_pause(self):
+        tracer = Tracer()
+        spec = ProcessFaultSpec(stall_at=2.0, stall_for=10.0)
+        ticks, sim = run_wrapped(spec, tracer=tracer)
+        assert sim.now == pytest.approx(14.0)  # 4 beats + one 10s stall
+        stalls = [e for e in tracer.events if e.kind == tracing.FAULT_STALL]
+        assert len(stalls) == 1
+        assert stalls[0].time == pytest.approx(2.0)
+        assert stalls[0].detail["duration"] == pytest.approx(10.0)
+
+    def test_slowdown_stretches_every_wait(self):
+        ticks, sim = run_wrapped(ProcessFaultSpec(slowdown=2.0), beats=3)
+        # Each 1s compute costs 2s of virtual time before the process
+        # resumes, so it observes the stretched instants.
+        assert ticks == [2.0, 4.0, 6.0]
+        assert sim.now == pytest.approx(6.0)
+
+    def test_crash_fail_stops_and_closes_generator(self):
+        sim = Simulator()
+        tracer = Tracer()
+        witness = {"closed": False, "beats": 0}
+
+        def main(ctx):
+            try:
+                while True:
+                    yield ctx.sim.timeout(1.0)
+                    witness["beats"] += 1
+            finally:
+                witness["closed"] = True
+
+        ctx = SimpleNamespace(sim=sim, who="F.p0")
+        spec = ProcessFaultSpec(crash_at=3.0)
+        sim.process(inject_main(main, spec, tracer)(ctx), name="F.p0")
+        sim.run()
+        assert witness["closed"]
+        # The wrapper cuts in *before* resuming the main at t=3, so the
+        # process never sees that beat.
+        assert witness["beats"] == 2
+        crashes = [e for e in tracer.events if e.kind == tracing.FAULT_CRASH]
+        assert len(crashes) == 1
+        assert crashes[0].time == pytest.approx(3.0)
+
+
+def make_world():
+    world = ThreadWorld(default_timeout=2.0)
+    world.create_program("F", 1)
+    world.register(CTL)
+    return world
+
+
+def take(box, timeout=1.0):
+    return box.get(lambda _m: True, timeout=timeout)
+
+
+class TestLiveFaultInjector:
+    def test_certain_drop_swallows_framework_messages(self):
+        world = make_world()
+        inj = LiveFaultInjector(FaultPlan(seed=1, drop=1.0))
+        world.fault_hook = inj
+        world.post(CTL, FwdRequest(connection_id="c", request_ts=1.0))
+        assert inj.dropped == 1
+        with pytest.raises(MailboxTimeout):
+            take(world.mailbox(CTL), timeout=0.05)
+
+    def test_shutdown_and_user_traffic_pass_through(self):
+        world = make_world()
+        inj = LiveFaultInjector(FaultPlan(seed=1, drop=1.0, protect_data=False))
+        world.fault_hook = inj
+        world.post(CTL, Shutdown())
+        world.post(("F", 0), "user-payload")
+        assert isinstance(take(world.mailbox(CTL)), Shutdown)
+        assert take(world.mailbox(("F", 0))) == "user-payload"
+        assert inj.dropped == 0
+
+    def test_protected_data_survives(self):
+        world = make_world()
+        inj = LiveFaultInjector(FaultPlan(seed=1, drop=1.0))
+        world.fault_hook = inj
+        piece = DataPiece(
+            connection_id="c", match_ts=1.0, src_rank=0,
+            region=RectRegion((0, 0), (1, 1)), data=None, nbytes=8,
+        )
+        world.post(CTL, piece)
+        assert take(world.mailbox(CTL)) is piece
+        assert inj.dropped == 0
+
+    def test_certain_dup_posts_two_copies(self):
+        world = make_world()
+        inj = LiveFaultInjector(FaultPlan(seed=1, dup=1.0))
+        world.fault_hook = inj
+        msg = FwdRequest(connection_id="c", request_ts=1.0)
+        world.post(CTL, msg)
+        box = world.mailbox(CTL)
+        assert take(box) is msg
+        assert take(box) is msg
+        assert inj.duplicated == 1
+
+    def test_delay_arrives_late_but_arrives(self):
+        world = make_world()
+        inj = LiveFaultInjector(
+            FaultPlan(seed=1, delay_jitter=1.0), delay_scale=0.02
+        )
+        world.fault_hook = inj
+        msg = FwdRequest(connection_id="c", request_ts=1.0)
+        world.post(CTL, msg)
+        assert inj.delayed >= 0  # delay of 0 is possible for tiny draws
+        assert take(world.mailbox(CTL), timeout=1.0) is msg
+
+    def test_bad_delay_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            LiveFaultInjector(FaultPlan(seed=1), delay_scale=0.0)
+
+
+class TestLiveStalledMain:
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValidationError):
+            live_stalled_main(lambda ctx: None, stall_for=-1.0)
+
+    def test_wrapped_main_sleeps_then_runs(self):
+        def main(ctx):
+            return ("ran", ctx)
+
+        wrapped = live_stalled_main(main, stall_for=0.05, time_scale=1.0)
+        t0 = time.monotonic()
+        result = wrapped("ctx")
+        assert time.monotonic() - t0 >= 0.04
+        assert result == ("ran", "ctx")
