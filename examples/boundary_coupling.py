@@ -22,8 +22,9 @@ Run:  python examples/boundary_coupling.py
 
 import numpy as np
 
+import repro
 from repro.apps.heat import HeatSolver2D
-from repro.core import CoupledSimulation, RegionDef
+from repro.core import RegionDef
 from repro.data import BlockDecomposition, RectRegion
 
 SHAPE = (64, 64)
@@ -76,14 +77,25 @@ def make_atmos_main(log):
 
 def main():
     log = []
-    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=4)
-    sim.add_program(
-        "OCEAN", main=ocean_main,
-        regions={"sst": RegionDef(BlockDecomposition(SHAPE, (2, 2)), section=STRIP)},
-    )
-    sim.add_program(
-        "ATMOS", main=make_atmos_main(log),
-        regions={"sst": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+    # build() (rather than run()) hands back the unstarted simulation so
+    # the communication schedule can be inspected mid-run below.
+    sim = repro.build(
+        CONFIG,
+        [
+            repro.Program(
+                "OCEAN", main=ocean_main,
+                regions={
+                    "sst": RegionDef(
+                        BlockDecomposition(SHAPE, (2, 2)), section=STRIP
+                    )
+                },
+            ),
+            repro.Program(
+                "ATMOS", main=make_atmos_main(log),
+                regions={"sst": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+            ),
+        ],
+        repro.RunOptions(buddy_help=True, seed=4),
     )
     print("Coupling OCEAN (4 ranks) -> ATMOS (2 ranks) through a 4x64 "
           "interface strip ...\n")

@@ -13,14 +13,12 @@ Two ways of generating them:
 Run:  python examples/buddy_help_traces.py
 """
 
-import numpy as np
-
+import repro
 from repro.bench.traces import (
     scenario_fig5,
     scenario_fig7_with_buddy,
     scenario_fig8_without_buddy,
 )
-from repro.core import CoupledSimulation
 from repro.core.coupler import RegionDef
 from repro.data import BlockDecomposition
 from repro.util.tracing import Tracer, format_trace
@@ -42,12 +40,16 @@ def emergent_trace():
             yield from ctx.compute(0.004)
             yield from ctx.import_("d", want)
 
-    sim = CoupledSimulation(config, buddy_help=True, tracer=tracer, seed=2)
     dec = BlockDecomposition((16, 16), (2, 1))
     deci = BlockDecomposition((16, 16), (1, 2))
-    sim.add_program("F", main=f_main, regions={"d": RegionDef(dec)})
-    sim.add_program("U", main=u_main, regions={"d": RegionDef(deci)})
-    sim.run()
+    repro.run(
+        config,
+        [
+            repro.Program("F", main=f_main, regions={"d": RegionDef(dec)}),
+            repro.Program("U", main=u_main, regions={"d": RegionDef(deci)}),
+        ],
+        repro.RunOptions(buddy_help=True, tracer=tracer, seed=2),
+    )
     return tracer
 
 

@@ -22,9 +22,9 @@ Run:  python examples/coupled_diffusion.py
 
 import numpy as np
 
+import repro
 from repro.apps.diffusion import WaveSolver2D, solve_reference
 from repro.apps.forcing import evaluate_on_region, rotating_source
-from repro.core import CoupledSimulation
 from repro.core.coupler import RegionDef
 from repro.data import BlockDecomposition, DistributedArray
 
@@ -106,17 +106,23 @@ def reference_solution(matched_log):
 def main():
     results = {}
     matched_log = []
-    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=3)
     u_decomp = BlockDecomposition(SHAPE, (2, 2))
     f_decomp = BlockDecomposition(SHAPE, (2, 2))
-    sim.add_program("F", main=f_main, regions={"forcing": RegionDef(f_decomp)})
-    sim.add_program(
-        "U", main=make_u_main(results, matched_log),
-        regions={"forcing": RegionDef(u_decomp)},
-    )
     print(f"Coupled wave solve: {SOLVER_STEPS} steps, importing every "
           f"{IMPORT_EVERY} steps with REGL {TOLERANCE} ...")
-    sim.run()
+    result = repro.run(
+        CONFIG,
+        [
+            repro.Program(
+                "F", main=f_main, regions={"forcing": RegionDef(f_decomp)}
+            ),
+            repro.Program(
+                "U", main=make_u_main(results, matched_log),
+                regions={"forcing": RegionDef(u_decomp)},
+            ),
+        ],
+        repro.RunOptions(buddy_help=True, seed=3),
+    )
 
     print("\nApproximate matches (requested -> matched forcing timestamp):")
     for want, got in matched_log:
@@ -128,8 +134,8 @@ def main():
     print(f"\nmax |distributed - serial reference| = {err:.3e}")
     assert err < 1e-12, "coupled solve diverged from the reference!"
     print(f"field energy: {float(np.sum(full**2)):.4f}")
-    print(f"virtual time elapsed: {sim.sim.now * 1e3:.1f} ms")
-    stats = sim.buffer_stats("F", 3, "forcing")
+    print(f"virtual time elapsed: {result.sim_time * 1e3:.1f} ms")
+    stats = result.buffer_stats("F", 3, "forcing")
     print(f"F.p3 buffer ledger: buffered={stats.buffered_count} "
           f"sent={stats.sent_count} T_ub={stats.t_ub:.3e} s")
 

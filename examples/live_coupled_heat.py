@@ -17,9 +17,10 @@ Run:  python examples/live_coupled_heat.py
 
 import numpy as np
 
+import repro
 from repro.apps.forcing import evaluate_on_region, rotating_source
 from repro.apps.heat import HeatSolver2D
-from repro.core import LiveCoupledSimulation, RegionDef
+from repro.core import RegionDef
 from repro.data import BlockDecomposition, DistributedArray
 
 SHAPE = (48, 48)
@@ -73,10 +74,19 @@ def make_heat_main(results):
 
 def main():
     results = {}
-    sim = LiveCoupledSimulation(CONFIG, buddy_help=True, default_timeout=30.0)
     dec = BlockDecomposition(SHAPE, (2, 2))
-    sim.add_program("SRC", main=src_main, regions={"q": RegionDef(dec)})
-    sim.add_program("HEAT", main=make_heat_main(results), regions={"q": RegionDef(dec)})
+    # build() rather than run(): the live runtime's join_timeout knob is
+    # only reachable on the simulation handle itself.
+    sim = repro.build(
+        CONFIG,
+        [
+            repro.Program("SRC", main=src_main, regions={"q": RegionDef(dec)}),
+            repro.Program(
+                "HEAT", main=make_heat_main(results), regions={"q": RegionDef(dec)}
+            ),
+        ],
+        repro.RunOptions(runtime="live", buddy_help=True, default_timeout=30.0),
+    )
     print("Running live coupled diffusion on 8 application threads ...")
     sim.run(join_timeout=120.0)
 

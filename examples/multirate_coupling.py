@@ -18,7 +18,7 @@ Run:  python examples/multirate_coupling.py
 
 import numpy as np
 
-from repro.core import CoupledSimulation
+import repro
 from repro.core.coupler import RegionDef
 from repro.data import BlockDecomposition
 
@@ -57,21 +57,25 @@ def make_importer(tag, period, count, log):
 
 def main():
     vis_log, ctrl_log = [], []
-    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=9)
-    sim.add_program(
-        "PROD", main=producer_main,
-        regions={"field": RegionDef(BlockDecomposition(SHAPE, (4, 1)))},
-    )
-    sim.add_program(
-        "VIS", main=make_importer("VIS", 10.0, 5, vis_log),
-        regions={"field": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
-    )
-    sim.add_program(
-        "CTRL", main=make_importer("CTRL", 3.0, 16, ctrl_log),
-        regions={"field": RegionDef(BlockDecomposition(SHAPE, (2, 1)))},
-    )
     print("Running one producer against two differently-paced importers ...\n")
-    sim.run()
+    result = repro.run(
+        CONFIG,
+        [
+            repro.Program(
+                "PROD", main=producer_main,
+                regions={"field": RegionDef(BlockDecomposition(SHAPE, (4, 1)))},
+            ),
+            repro.Program(
+                "VIS", main=make_importer("VIS", 10.0, 5, vis_log),
+                regions={"field": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+            ),
+            repro.Program(
+                "CTRL", main=make_importer("CTRL", 3.0, 16, ctrl_log),
+                regions={"field": RegionDef(BlockDecomposition(SHAPE, (2, 1)))},
+            ),
+        ],
+        repro.RunOptions(buddy_help=True, seed=9),
+    )
 
     print("VIS  (REGL 5.0, every 10.0):   CTRL (REGU 1.0, every 3.0):")
     for i in range(max(len(vis_log), len(ctrl_log))):
@@ -90,13 +94,13 @@ def main():
     assert all(got >= want for _t, want, got, _m in ctrl_log)
 
     print("\nSlow producer rank (p3) per-connection decisions:")
-    ctx = sim.context("PROD", 3)
+    ctx = result.context("PROD", 3)
     print(f"  {ctx.stats.decisions()}")
     state = ctx.export_states["field"]
     for cid, conn in state.connections.items():
         print(f"  {cid}: skip threshold {conn.skip_threshold:.2f}, "
               f"{len(conn.answers)} answers learned")
-    stats = sim.buffer_stats("PROD", 3, "field")
+    stats = result.buffer_stats("PROD", 3, "field")
     print(f"  buffer: buffered={stats.buffered_count} sent={stats.sent_count} "
           f"peak={stats.peak_bytes} B, T_ub={stats.t_ub:.3e} s")
 

@@ -17,7 +17,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import CoupledSimulation
+import repro
 from repro.core.coupler import RegionDef
 from repro.data import BlockDecomposition
 
@@ -61,34 +61,38 @@ def importer_main(ctx):
 
 
 def main():
-    sim = CoupledSimulation(CONFIG, buddy_help=True, seed=1)
-    sim.add_program(
-        "P0",
-        main=exporter_main,
-        regions={
-            "r1": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
-            "r2": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
-            "r3": RegionDef(BlockDecomposition(SHAPE, (2, 2))),
-        },
-    )
-    sim.add_program(
-        "P1",
-        main=importer_main,
-        regions={"r1": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
-    )
     print("Running the coupled system on the virtual clock...")
-    sim.run()
+    result = repro.run(
+        CONFIG,
+        [
+            repro.Program(
+                "P0",
+                main=exporter_main,
+                regions={
+                    "r1": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
+                    "r2": RegionDef(BlockDecomposition(SHAPE, (4, 1))),
+                    "r3": RegionDef(BlockDecomposition(SHAPE, (2, 2))),
+                },
+            ),
+            repro.Program(
+                "P1",
+                main=importer_main,
+                regions={"r1": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+            ),
+        ],
+        repro.RunOptions(buddy_help=True, seed=1),
+    )
 
     print("\nExporter-side framework counters (rank 0):")
-    stats = sim.buffer_stats("P0", 0, "r1")
-    decisions = sim.context("P0", 0).stats.decisions()
+    stats = result.buffer_stats("P0", 0, "r1")
+    decisions = result.context("P0", 0).stats.decisions()
     print(f"  export decisions: {decisions}")
     print(f"  buffered={stats.buffered_count}  sent={stats.sent_count}  "
           f"freed-unsent={stats.freed_unsent_count}")
     print(f"  unnecessary buffering time (Eq. 2 ledger): {stats.t_ub:.3e} s")
-    noop = sim.context("P0", 0).export_states["r2"].buffer.buffered_count
+    noop = result.context("P0", 0).export_states["r2"].buffer.buffered_count
     print(f"  unconnected region r2 buffered {noop} objects (zero-overhead path)")
-    print(f"\nVirtual time elapsed: {sim.sim.now * 1e3:.2f} ms")
+    print(f"\nVirtual time elapsed: {result.sim_time * 1e3:.2f} ms")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Regenerate the seed-replay golden fixtures.
+
+The fixtures pin the *observable outcomes* of three deterministic
+scenarios — final answers, skip counts, Eq. (1)-(2) ledgers, rendered
+traces and virtual completion times — so that performance work on the
+DES core, the data plane and the control plane can be proven
+behavior-preserving: any optimization that changes a single bit of
+these outputs fails ``tests/integration/test_seed_replay_golden.py``.
+
+Fixtures were first generated on the unoptimized (pre-overhaul) code
+and must only ever be regenerated deliberately, with a justification,
+when intended semantics change:
+
+    PYTHONPATH=src python scripts/gen_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.figure4 import Figure4Spec, run_figure4_once  # noqa: E402
+from repro.bench.resilience import run_once  # noqa: E402
+from repro.bench.traces import (  # noqa: E402
+    scenario_fig5,
+    scenario_fig7_with_buddy,
+    scenario_fig8_without_buddy,
+)
+from repro.faults import FaultPlan  # noqa: E402
+
+OUT = ROOT / "tests" / "golden" / "seed_replay.json"
+
+
+def _chaos_case(plan: FaultPlan | None) -> dict:
+    r = run_once(plan, exports=40, requests=15)
+    return {
+        "drop": r.drop,
+        "answers": {str(k): v for k, v in sorted(r.answers.items())},
+        "skip_count": r.skip_count,
+        "t_ub": r.t_ub,
+        "retransmissions": r.retransmissions,
+        "dup_discards": r.dup_discards,
+        "sim_time": r.sim_time,
+    }
+
+
+def _figure4_case(u_procs: int) -> dict:
+    spec = replace(Figure4Spec(u_procs=u_procs), exports=161, runs=1)
+    run = run_figure4_once(spec, run_index=0)
+    return {
+        "u_procs": u_procs,
+        "series": run.series,
+        "decisions": run.decisions,
+        "t_ub": run.t_ub,
+        "unnecessary_total": run.unnecessary_total,
+        "buddy_messages": run.buddy_messages,
+        "optimal_iteration": run.optimal_iteration,
+        "sim_time": run.sim_time,
+    }
+
+
+def main() -> None:
+    golden = {
+        "chaos": {
+            "baseline": _chaos_case(None),
+            "faulty": _chaos_case(
+                FaultPlan(seed=7, drop=0.2, dup=0.1, delay_jitter=5e-5, reorder=0.1)
+            ),
+        },
+        "figure4": [_figure4_case(16), _figure4_case(32)],
+        "traces": {
+            "fig5": scenario_fig5().rendered(),
+            "fig7": scenario_fig7_with_buddy().rendered(),
+            "fig8": scenario_fig8_without_buddy().rendered(),
+        },
+    }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

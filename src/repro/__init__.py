@@ -10,6 +10,9 @@ of data that can never be matched.
 
 Entry points:
 
+* :func:`repro.run` — the one-call facade: configuration +
+  :class:`repro.Program` declarations + frozen
+  :class:`repro.RunOptions` in, :class:`repro.RunResult` out.
 * :class:`repro.core.CoupledSimulation` — couple programs on the
   deterministic discrete-event runtime (all benchmarks run here).
 * :class:`repro.core.LiveCoupledSimulation` — the same protocol on OS
@@ -17,29 +20,50 @@ Entry points:
 * :mod:`repro.bench` — regenerate every figure of the paper.
 * ``python -m repro`` — command-line access to the experiments.
 
-See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
-record.
+See README.md for a tour, docs/api.md for the facade reference, and
+EXPERIMENTS.md for the paper-vs-measured record.
 """
 
 __version__ = "1.0.0"
 
+from repro.api import Program, RunOptions, RunResult, build, run
 from repro.core import (
     CoupledSimulation,
     LiveCoupledSimulation,
     RegionDef,
 )
+from repro.core.config import CouplingConfig, load_config, parse_config
 from repro.data import BlockDecomposition, CommSchedule, DistributedArray, RectRegion
+from repro.faults import FaultPlan
 from repro.match import MatchPolicy, PolicyKind
+from repro.util.tracing import NullTracer, Tracer
 
 __all__ = [
     "__version__",
+    # facade
+    "run",
+    "build",
+    "Program",
+    "RunOptions",
+    "RunResult",
+    # configuration
+    "CouplingConfig",
+    "load_config",
+    "parse_config",
+    # runtimes and declarations
     "CoupledSimulation",
     "LiveCoupledSimulation",
     "RegionDef",
+    # data plane
     "BlockDecomposition",
     "CommSchedule",
     "DistributedArray",
     "RectRegion",
+    # matching
     "MatchPolicy",
     "PolicyKind",
+    # faults and tracing
+    "FaultPlan",
+    "Tracer",
+    "NullTracer",
 ]

@@ -1,0 +1,184 @@
+"""One-call facade over the two coupled-simulation runtimes.
+
+:func:`run` takes a configuration (text, parsed object, or file path),
+a list of :class:`Program` declarations, and a frozen
+:class:`~repro.api.options.RunOptions`; it builds the right runtime,
+wires programs/regions/connections, drives the run to completion and
+returns a :class:`RunResult` handle over the finished simulation.
+
+    import repro
+
+    result = repro.run(
+        CONFIG_TEXT,
+        [
+            repro.Program("E", main=e_main, regions={"d": RegionDef(...)}),
+            repro.Program("I", main=i_main, regions={"d": RegionDef(...)}),
+        ],
+        repro.RunOptions(seed=3),
+    )
+    print(result.sim_time, result.counters["ctl_messages"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.api.options import RunOptions
+from repro.core.config import CouplingConfig, load_config
+from repro.core.coupler import CoupledSimulation
+from repro.core.live import LiveCoupledSimulation
+from repro.util.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class Program:
+    """Declaration of one program to couple.
+
+    Attributes
+    ----------
+    name:
+        Program name; must match the configuration (or pass *nprocs*
+        for programs absent from it).
+    main:
+        Per-process entry point — a generator function on the DES
+        runtime, a plain callable on the live runtime; ``None`` for
+        passive programs driven externally.
+    regions:
+        Region name → :class:`~repro.core.coupler.RegionDef` for every
+        region a connection endpoint of this program names.
+    nprocs:
+        Process count override (defaults to the configuration's).
+    """
+
+    name: str
+    main: Callable[..., Any] | None = None
+    regions: Mapping[str, Any] = field(default_factory=dict)
+    nprocs: int | None = None
+
+
+@dataclass
+class RunResult:
+    """Handle over a finished coupled-simulation run.
+
+    The full runtime object stays reachable via :attr:`simulation` for
+    anything not surfaced here.
+    """
+
+    simulation: CoupledSimulation | LiveCoupledSimulation
+    options: RunOptions
+    #: Virtual completion time (DES) or 0.0 (live runs on wall clock).
+    sim_time: float
+    #: Wire traffic and resilience counters of the run.
+    counters: dict[str, int]
+
+    def context(self, program: str, rank: int) -> Any:
+        """The per-process context of *program* rank *rank*."""
+        return self.simulation.context(program, rank)
+
+    def buffer_stats(self, program: str, rank: int, region: str) -> Any:
+        """The Eq. 1–2 buffer ledger of one rank's region."""
+        return self.simulation.buffer_stats(program, rank, region)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer that recorded the run."""
+        return self.simulation.tracer
+
+    @property
+    def fault_stats(self) -> dict[str, Any] | None:
+        """What the fault layer did, when one was installed (DES)."""
+        stats = getattr(self.simulation.world.network, "stats", None) if isinstance(
+            self.simulation, CoupledSimulation
+        ) else None
+        return stats.as_dict() if stats is not None else None
+
+    def check_property1(self, raise_on_violation: bool = True) -> list[str]:
+        """Check Property-1 conformance (needs ``record_operations``)."""
+        if not isinstance(self.simulation, CoupledSimulation):
+            raise TypeError("check_property1 is only available on the DES runtime")
+        return self.simulation.check_property1(raise_on_violation=raise_on_violation)
+
+
+def _counters(sim: CoupledSimulation | LiveCoupledSimulation) -> dict[str, int]:
+    names = (
+        "ctl_messages",
+        "ctl_bytes",
+        "data_messages",
+        "data_bytes",
+        "frames_sent",
+        "framed_messages",
+        "retransmissions",
+        "dup_discards",
+    )
+    return {n: int(getattr(sim, n)) for n in names if hasattr(sim, n)}
+
+
+def build(
+    config: CouplingConfig | str | Path,
+    programs: list[Program] | tuple[Program, ...],
+    options: RunOptions | None = None,
+) -> CoupledSimulation | LiveCoupledSimulation:
+    """Construct and wire a runtime without starting it.
+
+    :func:`run` is the usual entry point; ``build`` exists for callers
+    that need the unstarted simulation (custom drivers, tests).
+    """
+    opts = options if options is not None else RunOptions()
+    cfg = load_config(config) if isinstance(config, Path) else config
+    sim: CoupledSimulation | LiveCoupledSimulation
+    if opts.runtime == "live":
+        sim = LiveCoupledSimulation(
+            cfg,
+            options=opts,
+        )
+    else:
+        sim = CoupledSimulation(
+            cfg,
+            options=opts,
+        )
+    for p in programs:
+        sim.add_program(p.name, main=p.main, regions=dict(p.regions), nprocs=p.nprocs)
+    return sim
+
+
+def run(
+    config: CouplingConfig | str | Path,
+    programs: list[Program] | tuple[Program, ...],
+    options: RunOptions | None = None,
+    *,
+    until: float | None = None,
+) -> RunResult:
+    """Build, wire and drive a coupled simulation to completion.
+
+    Parameters
+    ----------
+    config:
+        Configuration text (Figure-2 format), a parsed
+        :class:`~repro.core.config.CouplingConfig`, or a
+        :class:`~pathlib.Path` to a configuration file.
+    programs:
+        The :class:`Program` declarations to couple.
+    options:
+        A :class:`~repro.api.options.RunOptions`; defaults to
+        ``RunOptions()`` (DES runtime, fast-test preset).
+    until:
+        Optional virtual-time horizon (DES runtime only).
+    """
+    opts = options if options is not None else RunOptions()
+    sim = build(config, programs, opts)
+    if isinstance(sim, LiveCoupledSimulation):
+        if until is not None:
+            raise ValueError("until= applies to the DES runtime only")
+        sim.run()
+        sim_time = 0.0
+    else:
+        sim.run(until=until)
+        sim_time = sim.sim.now
+    return RunResult(
+        simulation=sim,
+        options=opts,
+        sim_time=sim_time,
+        counters=_counters(sim),
+    )

@@ -1,0 +1,108 @@
+"""Frozen run configuration for the :mod:`repro.api` facade.
+
+One immutable :class:`RunOptions` value captures everything that used
+to travel as loose constructor keywords into
+:class:`~repro.core.coupler.CoupledSimulation` and
+:class:`~repro.core.live.LiveCoupledSimulation`.  Both runtimes accept
+``options=RunOptions(...)`` directly; the old keywords still work but
+emit a single :class:`DeprecationWarning` per construction.
+
+Being frozen, options values are safe to share between runs, stash in
+benchmark specs, and derive with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.costs import FAST_TEST, ClusterPreset
+from repro.faults import FaultPlan
+from repro.util.tracing import Tracer
+from repro.util.validation import require
+
+#: Runtimes :func:`repro.api.run` can drive.
+RUNTIMES = ("des", "live")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything configurable about one coupled-simulation run.
+
+    Attributes
+    ----------
+    runtime:
+        ``"des"`` (deterministic discrete-event runtime, the default)
+        or ``"live"`` (OS threads and wall-clock time).
+    preset:
+        Cost-model bundle for the DES runtime (ignored by ``"live"``).
+    buddy_help:
+        Enable the paper's buddy-help optimization.
+    seed:
+        Root RNG seed for compute jitter etc. (DES runtime).
+    tracer:
+        A :class:`~repro.util.tracing.Tracer` receiving protocol
+        events; ``None`` records nothing.
+    buffer_capacity_bytes:
+        Optional bound on each process's framework buffer.
+    buffer_policy:
+        ``"error"`` (raise when an export would exceed the capacity)
+        or ``"block"`` (backpressure until eviction frees space).
+    record_operations:
+        Record every export/import into an operation log so Property-1
+        conformance can be checked after the run.
+    sanitize:
+        Online protocol sanitizer mode: ``True``/``"strict"`` raises at
+        the first invariant violation, ``"report"`` only accumulates
+        findings, ``None`` consults the ``REPRO_SANITIZE`` environment
+        variable, ``False`` disables.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; the DES network then
+        executes it and the protocol switches to resilient mode.
+    fault_injector:
+        Live-runtime fault hook (``"live"`` only), typically a
+        :class:`repro.faults.injectors.LiveFaultInjector`.
+    retransmit_timeout:
+        Base request-retransmission timeout; ``None`` derives a bound
+        from the network model (DES, when a fault plan is given) or the
+        runtime default (live, when an injector is installed).
+    max_retransmits:
+        Retransmission attempts per request before giving up; ``None``
+        uses the runtime default (12 on DES, 8 on live).
+    batch_control:
+        Coalesce per-tick control-message fan-out into per-destination
+        :class:`~repro.core.wire.Frame` batches.  Answer-equivalent but
+        not trace-identical to unbatched runs (one wire latency per
+        frame); the fault layer then draws once per frame.
+    time_scale:
+        Live runtime: multiplier on ``ctx.compute`` sleeps.
+    default_timeout:
+        Live runtime: blocking-receive timeout in wall seconds.
+    """
+
+    runtime: str = "des"
+    preset: ClusterPreset = FAST_TEST
+    buddy_help: bool = True
+    seed: int = 0
+    tracer: Tracer | None = None
+    buffer_capacity_bytes: int | None = None
+    buffer_policy: str = "error"
+    record_operations: bool = False
+    sanitize: bool | str | None = None
+    fault_plan: FaultPlan | None = None
+    fault_injector: Callable[..., Any] | None = None
+    retransmit_timeout: float | None = None
+    max_retransmits: int | None = None
+    batch_control: bool = False
+    time_scale: float = 1.0
+    default_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        require(
+            self.runtime in RUNTIMES,
+            f"runtime must be one of {RUNTIMES}, got {self.runtime!r}",
+        )
+        require(
+            self.buffer_policy in ("error", "block"),
+            "buffer_policy: 'error' or 'block'",
+        )

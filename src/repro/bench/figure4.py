@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Generator
 
+from repro.api.options import RunOptions
 from repro.bench.reporting import summarize_runs
 from repro.core.coupler import CoupledSimulation, ProcessContext, RegionDef
 from repro.core.exporter import ExportDecision
@@ -217,10 +218,12 @@ def build_figure4_simulation(
     )
     cs = CoupledSimulation(
         config_text,
-        preset=spec.preset(),
-        buddy_help=spec.buddy_help,
-        seed=spec.seed if seed is None else seed,
-        tracer=tracer,
+        options=RunOptions(
+            preset=spec.preset(),
+            buddy_help=spec.buddy_help,
+            seed=spec.seed if seed is None else seed,
+            tracer=tracer,
+        ),
     )
     profile = one_slow_profile(spec.f_procs, factor=spec.slow_factor)
     f_grid = choose_process_grid(spec.f_procs, 2)

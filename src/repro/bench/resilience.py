@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
+from repro.api.options import RunOptions
 from repro.core.coupler import CoupledSimulation, ProcessContext, RegionDef
 from repro.costs import ClusterPreset
 from repro.costs.models import ComputeCostModel, MemoryCostModel, NetworkCostModel
@@ -44,6 +45,11 @@ class ResilienceRunResult:
     duplicate_requests: int
     fault_stats: dict[str, Any] | None
     sim_time: float
+    #: Physical control-plane wire messages (frames count as one).
+    ctl_messages: int = 0
+    #: Frames sent / logical messages carried when ``batch_control``.
+    frames_sent: int = 0
+    framed_messages: int = 0
 
     def answers_match(self, baseline: "ResilienceRunResult") -> bool:
         """Whether this run's answers are identical to *baseline*'s."""
@@ -84,6 +90,7 @@ def run_once(
     exports: int = 40,
     requests: int = 15,
     request_period: float = 2.0,
+    batch_control: bool = False,
 ) -> ResilienceRunResult:
     """One E(2) → I(2) run under *plan* (``None`` = fault-free)."""
     shape = (64, 64)
@@ -112,7 +119,15 @@ def run_once(
             got.append((ts, m))
         answers[ctx.rank] = got
 
-    cs = CoupledSimulation(config, preset=_preset(), seed=0, fault_plan=plan)
+    cs = CoupledSimulation(
+        config,
+        options=RunOptions(
+            preset=_preset(),
+            seed=0,
+            fault_plan=plan,
+            batch_control=batch_control,
+        ),
+    )
     cs.add_program(
         "E", main=e_main, regions={"d": RegionDef(BlockDecomposition(shape, (2, 1)))}
     )
@@ -141,6 +156,9 @@ def run_once(
         duplicate_requests=exp_rep.duplicate_requests if exp_rep else 0,
         fault_stats=stats.as_dict() if stats is not None else None,
         sim_time=cs.sim.now,
+        ctl_messages=cs.ctl_messages,
+        frames_sent=cs.frames_sent,
+        framed_messages=cs.framed_messages,
     )
 
 

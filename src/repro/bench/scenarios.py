@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
+from repro.api.options import RunOptions
 from repro.core.buffers import BufferStats
 from repro.core.coupler import CoupledSimulation, ProcessContext, RegionDef
 from repro.costs import ClusterPreset
@@ -98,7 +99,9 @@ def _run_scenario(
             yield from ctx.compute(importer_compute)
             yield from ctx.import_("d", request_period * j)
 
-    cs = CoupledSimulation(config, preset=_preset(), buddy_help=buddy_help, seed=42)
+    cs = CoupledSimulation(
+        config, options=RunOptions(preset=_preset(), buddy_help=buddy_help, seed=42)
+    )
     cs.add_program(
         "E", main=e_main, regions={"d": RegionDef(BlockDecomposition(shape, (2, 1)))}
     )

@@ -21,6 +21,11 @@ Commands
     ``docs/static_analysis.md``).
 ``version``
     Print the package version.
+
+Conventions (see ``docs/cli.md``): every subcommand accepts ``--json``
+for machine-readable output on stdout, and exit codes are shared —
+0 success, 1 findings (divergent answers, lint errors, invalid
+config), 2 usage errors (argparse's own convention).
 """
 
 from __future__ import annotations
@@ -28,9 +33,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro import __version__
+
+
+def _emit(args: argparse.Namespace, payload: dict[str, Any]) -> bool:
+    """Print *payload* as JSON when ``--json`` was passed.
+
+    Returns True when JSON mode consumed the output (the caller skips
+    its human-readable rendering).
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2))
+        return True
+    return False
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -44,11 +61,34 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         buddy_help=not args.no_buddy,
         seed=args.seed,
     )
+    result = run_figure4(spec)
+    payload = {
+        "spec": {
+            "u_procs": spec.u_procs,
+            "exports": spec.exports,
+            "runs": spec.runs,
+            "buddy_help": spec.buddy_help,
+            "tolerance": spec.tolerance,
+            "request_period": spec.request_period,
+        },
+        "runs": [
+            {
+                "series": run.series,
+                "decisions": run.decisions,
+                "t_ub": run.t_ub,
+                "optimal_iteration": run.optimal_iteration,
+                "buddy_messages": run.buddy_messages,
+            }
+            for run in result.runs
+        ],
+    }
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         f"Figure 4: U={spec.u_procs}, {spec.exports} exports, "
         f"{spec.runs} runs, buddy-help {'off' if args.no_buddy else 'on'}"
     )
-    result = run_figure4(spec)
     mean = result.mean_series()
     print(format_series("p_s export time (mean of runs)", mean, unit="s"))
     rows = []
@@ -65,26 +105,6 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         rows,
     ))
     if args.json:
-        payload = {
-            "spec": {
-                "u_procs": spec.u_procs,
-                "exports": spec.exports,
-                "runs": spec.runs,
-                "buddy_help": spec.buddy_help,
-                "tolerance": spec.tolerance,
-                "request_period": spec.request_period,
-            },
-            "runs": [
-                {
-                    "series": run.series,
-                    "decisions": run.decisions,
-                    "t_ub": run.t_ub,
-                    "optimal_iteration": run.optimal_iteration,
-                    "buddy_messages": run.buddy_messages,
-                }
-                for run in result.runs
-            ],
-        }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
         print(f"wrote {args.json}")
@@ -103,11 +123,27 @@ def _cmd_traces(args: argparse.Namespace) -> int:
         "7": ("Figure 7: with buddy-help (REGL 5.0)", scenario_fig7_with_buddy),
         "8": ("Figure 8: without buddy-help (REGL 5.0)", scenario_fig8_without_buddy),
     }
-    wanted = scenarios.keys() if args.figure == "all" else [args.figure]
+    wanted = list(scenarios.keys()) if args.figure == "all" else [args.figure]
+    results = {}
     for key in wanted:
         title, fn = scenarios[key]
-        print(f"\n== {title}\n")
         scenario = fn()
+        results[key] = (title, scenario)
+    if _emit(args, {
+        "figures": {
+            key: {
+                "title": title,
+                "trace": scenario.rendered(),
+                "skips": scenario.skip_count(),
+                "memcpys": scenario.memcpy_count(),
+                "t_ub": scenario.process.state.buffer.t_ub(),
+            }
+            for key, (title, scenario) in results.items()
+        }
+    }):
+        return 0
+    for title, scenario in results.values():
+        print(f"\n== {title}\n")
         print(scenario.rendered())
         print(
             f"\n  {scenario.skip_count()} skips, {scenario.memcpy_count()} memcpys, "
@@ -116,16 +152,34 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenarios(_args: argparse.Namespace) -> int:
+def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.bench.scenarios import run_exporter_slower, run_importer_slower
 
     a = run_importer_slower()
+    b_on = run_exporter_slower(buddy_help=True)
+    b_off = run_exporter_slower(buddy_help=False)
+    if _emit(args, {
+        "importer_slower": {
+            "buffered_fraction": a.buffered_fraction,
+            "skip_fraction": a.skip_fraction,
+            "t_ub": a.buffer_stats.t_ub,
+        },
+        "exporter_slower": {
+            ("buddy_on" if b is b_on else "buddy_off"): {
+                "buffered_fraction": b.buffered_fraction,
+                "skip_fraction": b.skip_fraction,
+                "t_ub": b.buffer_stats.t_ub,
+                "export_time": b.exporter_export_time_total,
+            }
+            for b in (b_on, b_off)
+        },
+    }):
+        return 0
     print(
         f"Figure 3(a) importer slower:  buffered {a.buffered_fraction:.0%}, "
         f"skipped {a.skip_fraction:.0%}, T_ub {a.buffer_stats.t_ub:.4g} s"
     )
-    for buddy in (True, False):
-        b = run_exporter_slower(buddy_help=buddy)
+    for buddy, b in ((True, b_on), (False, b_off)):
         print(
             f"Figure 3(b) exporter slower (buddy {'on ' if buddy else 'off'}): "
             f"buffered {b.buffered_fraction:.0%}, skipped {b.skip_fraction:.0%}, "
@@ -140,10 +194,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.bench.resilience import run_resilience_sweep
 
     requests = max(1, (args.iterations - 1) // 2)
-    print(
-        f"chaos sweep: {args.iterations} exports, {requests} requests, "
-        f"seed {args.seed}, dup {args.dup:g}, jitter {args.jitter:g}"
-    )
+    if not args.json:
+        print(
+            f"chaos sweep: {args.iterations} exports, {requests} requests, "
+            f"seed {args.seed}, dup {args.dup:g}, jitter {args.jitter:g}"
+        )
     sweep = run_resilience_sweep(
         drop_rates=tuple(args.drop_rates),
         exports=args.iterations,
@@ -153,6 +208,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         delay_jitter=args.jitter,
     )
     base = sweep.baseline
+    if _emit(args, {
+        "answers_consistent": sweep.answers_consistent,
+        "runs": [
+            {
+                "drop": run.drop,
+                "answers_match": run.answers_match(base),
+                "mean_answer_latency": run.mean_answer_latency,
+                "t_ub": run.t_ub,
+                "skips": run.skip_count,
+                "retransmissions": run.retransmissions,
+                "dup_discards": run.dup_discards,
+                "sim_time": run.sim_time,
+            }
+            for run in sweep.runs
+        ],
+    }):
+        return 0 if sweep.answers_consistent else 1
     rows = []
     for run in sweep.runs:
         label = "baseline" if run is base else f"{run.drop:g}"
@@ -179,14 +251,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    import io
+
     from repro.bench.experiments_report import generate_report
 
+    if args.json:
+        buf = io.StringIO()
+        generate_report(buf, exports=args.exports, runs=args.runs)
+        _emit(args, {"report_markdown": buf.getvalue()})
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(buf.getvalue())
+        return 0
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             generate_report(fh, exports=args.exports, runs=args.runs)
         print(f"wrote {args.out}")
     else:
         generate_report(sys.stdout, exports=args.exports, runs=args.runs)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.micro import run_micro, write_report
+
+    payload = run_micro(quick=args.quick)
+    write_report(payload, args.out)
+    if _emit(args, payload):
+        return 0
+    print(f"micro benchmarks ({'quick' if args.quick else 'full'}):")
+    for r in payload["results"]:
+        print(
+            f"  {r['name']:<26} baseline {r['baseline']:>14.1f}  "
+            f"optimized {r['optimized']:>14.1f}  {r['unit']}"
+            f"  ({r['speedup']:g}x)"
+        )
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -198,8 +298,19 @@ def _cmd_validate_config(args: argparse.Namespace) -> int:
         cfg = load_config(args.path)
         warnings = cfg.validate()
     except (ConfigError, OSError) as exc:
-        print(f"INVALID: {exc}", file=sys.stderr)
+        if not _emit(args, {"ok": False, "error": str(exc)}):
+            print(f"INVALID: {exc}", file=sys.stderr)
         return 1
+    if _emit(args, {
+        "ok": True,
+        "programs": {
+            name: {"nprocs": prog.nprocs, "cluster": prog.cluster}
+            for name, prog in sorted(cfg.programs.items())
+        },
+        "connections": [str(conn) for conn in cfg.connections],
+        "warnings": list(warnings),
+    }):
+        return 0
     print(f"OK: {len(cfg.programs)} programs, {len(cfg.connections)} connections")
     for name, prog in sorted(cfg.programs.items()):
         print(f"  program {name}: {prog.nprocs} procs on {prog.cluster}")
@@ -241,11 +352,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             report.extend(
                 analyze_config_text(p.read_text(encoding="utf-8"), path=str(p))
             )
-    if args.format == "json":
+    if args.format == "json" or args.json:
         print(report.render_json())
     else:
         print(report.render_text())
     return 1 if report.has_errors() else 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    if not _emit(args, {"version": __version__}):
+        print(__version__)
+    return 0
+
+
+def _add_json_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON on stdout"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -262,14 +385,19 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--runs", type=int, default=6)
     p4.add_argument("--no-buddy", action="store_true")
     p4.add_argument("--seed", type=int, default=2007)
-    p4.add_argument("--json", metavar="PATH", help="dump run data as JSON")
+    p4.add_argument(
+        "--json", metavar="PATH", nargs="?", const="-",
+        help="dump run data as JSON: to stdout (no value) or to PATH",
+    )
     p4.set_defaults(fn=_cmd_figure4)
 
     pt = sub.add_parser("traces", help="print the Figure 5/7/8 traces")
     pt.add_argument("--figure", choices=["5", "7", "8", "all"], default="all")
+    _add_json_flag(pt)
     pt.set_defaults(fn=_cmd_traces)
 
     ps = sub.add_parser("scenarios", help="run the Figure-3 scenarios")
+    _add_json_flag(ps)
     ps.set_defaults(fn=_cmd_scenarios)
 
     pc = sub.add_parser(
@@ -288,10 +416,25 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--jitter", type=float, default=5e-5, help="max extra delivery delay (s)"
     )
+    _add_json_flag(pc)
     pc.set_defaults(fn=_cmd_chaos)
+
+    pb = sub.add_parser(
+        "bench", help="hot-path micro benchmarks vs embedded seed baselines"
+    )
+    pb.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    pb.add_argument(
+        "--out", metavar="PATH", default="BENCH_3.json",
+        help="report file (default BENCH_3.json)",
+    )
+    _add_json_flag(pb)
+    pb.set_defaults(fn=_cmd_bench)
 
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")
+    _add_json_flag(pv)
     pv.set_defaults(fn=_cmd_validate_config)
 
     pl = sub.add_parser(
@@ -306,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument(
         "--format", choices=["text", "json"], default="text", dest="format"
     )
+    _add_json_flag(pl)
     pl.set_defaults(fn=_cmd_lint)
 
     pe = sub.add_parser(
@@ -314,10 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--out", metavar="PATH", help="write to a file (default stdout)")
     pe.add_argument("--exports", type=int, default=1001)
     pe.add_argument("--runs", type=int, default=6)
+    _add_json_flag(pe)
     pe.set_defaults(fn=_cmd_experiments)
 
     pver = sub.add_parser("version", help="print the package version")
-    pver.set_defaults(fn=lambda _a: (print(__version__), 0)[1])
+    _add_json_flag(pver)
+    pver.set_defaults(fn=_cmd_version)
 
     return parser
 

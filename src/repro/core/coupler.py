@@ -44,8 +44,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 import numpy as np
 
@@ -63,7 +64,6 @@ from repro.core.rep import (
     ForwardToExporter,
     ImporterRep,
 )
-from repro.costs import ClusterPreset, FAST_TEST
 from repro.data.decomposition import BlockDecomposition
 from repro.data.region import RectRegion
 from repro.data.schedule import CommSchedule
@@ -72,9 +72,16 @@ from repro.des.channel import Delivery
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util.rng import RngRegistry
 from repro.util import tracing
-from repro.util.tracing import NullTracer, Tracer
+from repro.util.tracing import NullTracer
 from repro.util.validation import require, require_positive
 from repro.vmpi.des_backend import DesCommunicator, DesWorld
+
+if TYPE_CHECKING:
+    from repro.api.options import RunOptions
+
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated keyword-argument constructor path.
+_UNSET: Any = object()
 
 
 # Wire messages are shared with the live threaded runtime so both speak
@@ -85,10 +92,12 @@ from repro.core.wire import (  # noqa: E402  (import after docstring helpers)
     AnswerToProc as _AnswerToProc,
     BuddyMsg as _BuddyMsg,
     DataPiece as _DataPiece,
+    Frame as _Frame,
     FwdRequest as _FwdRequest,
     ImpProcRequest as _ImpProcRequest,
     ProcResponse as _ProcResponse,
     ReqToExpRep as _ReqToExpRep,
+    frame_nbytes as _frame_nbytes,
 )
 
 
@@ -187,6 +196,11 @@ class _ConnRuntime:
         self.schedule: CommSchedule | None = None
         self.exp_def: RegionDef | None = None
         self.imp_def: RegionDef | None = None
+        #: Per-exporter-rank send plan: (dst_rank, region, slices, nbytes)
+        #: with the slice tuples precomputed at finalize time.
+        self.send_plans: dict[int, tuple[tuple[int, RectRegion, tuple[slice, ...], int], ...]] = {}
+        #: Per-importer-rank assembly slices, keyed by piece region.
+        self.recv_slices: dict[int, dict[RectRegion, tuple[slice, ...]]] = {}
 
     @property
     def cid(self) -> str:
@@ -556,8 +570,15 @@ class ProcessContext:
         if local.is_empty:
             return np.zeros(local.shape, dtype=rdef.dtype)
         block = np.zeros(local.shape, dtype=rdef.dtype)
+        slice_map: dict[RectRegion, tuple[slice, ...]] = {}
+        if pieces:
+            crt = self._coupler._connections[pieces[0].connection_id]
+            slice_map = crt.recv_slices.get(self.rank, {})
         for p in pieces:
-            block[p.region.to_slices(origin=local.lo)] = p.data
+            sl = slice_map.get(p.region)
+            if sl is None:
+                sl = p.region.to_slices(origin=local.lo)
+            block[sl] = p.data
         return block
 
 
@@ -572,6 +593,14 @@ class CoupledSimulation:
     ----------
     config:
         A :class:`CouplingConfig` or raw configuration text.
+    options:
+        A frozen :class:`~repro.api.options.RunOptions` carrying every
+        setting below — the preferred construction path
+        (``CoupledSimulation(config, options=RunOptions(...))``).  The
+        individual keyword arguments remain as a deprecated
+        compatibility shim: passing any of them emits one
+        :class:`DeprecationWarning` and builds the equivalent options
+        value.
     preset:
         Cost-model bundle (default: fast test costs).
     buddy_help:
@@ -609,6 +638,13 @@ class CoupledSimulation:
         becomes a :class:`repro.faults.network.FaultyNetwork` executing
         it, and the protocol switches to resilient mode (relaxed
         request ordering, idempotent reps, request retransmission).
+    batch_control:
+        Coalesce each representative's per-tick fan-out of control
+        messages into per-destination :class:`~repro.core.wire.Frame`
+        batches (default off).  Framing changes the modelled wire
+        timing — one latency per frame instead of per member — so runs
+        are *answer*-equivalent but not trace-identical to unbatched
+        runs; the fault layer then draws once per frame.
     retransmit_timeout:
         Base request-timeout (virtual seconds) of the importer-side
         retransmission loop; backoff doubles it per attempt.  ``None``
@@ -623,18 +659,73 @@ class CoupledSimulation:
     def __init__(
         self,
         config: CouplingConfig | str,
-        preset: ClusterPreset = FAST_TEST,
-        buddy_help: bool = True,
-        seed: int = 0,
-        tracer: Tracer | None = None,
-        buffer_capacity_bytes: int | None = None,
-        buffer_policy: str = "error",
-        record_operations: bool = False,
-        sanitize: bool | str | None = None,
-        fault_plan: Any = None,
-        retransmit_timeout: float | None = None,
-        max_retransmits: int = 12,
+        preset: Any = _UNSET,
+        buddy_help: Any = _UNSET,
+        seed: Any = _UNSET,
+        tracer: Any = _UNSET,
+        buffer_capacity_bytes: Any = _UNSET,
+        buffer_policy: Any = _UNSET,
+        record_operations: Any = _UNSET,
+        sanitize: Any = _UNSET,
+        fault_plan: Any = _UNSET,
+        retransmit_timeout: Any = _UNSET,
+        max_retransmits: Any = _UNSET,
+        batch_control: Any = _UNSET,
+        *,
+        options: "RunOptions | None" = None,
     ) -> None:
+        # Imported lazily: repro.api.facade imports this module.
+        from repro.api.options import RunOptions
+
+        legacy = {
+            name: value
+            for name, value in (
+                ("preset", preset),
+                ("buddy_help", buddy_help),
+                ("seed", seed),
+                ("tracer", tracer),
+                ("buffer_capacity_bytes", buffer_capacity_bytes),
+                ("buffer_policy", buffer_policy),
+                ("record_operations", record_operations),
+                ("sanitize", sanitize),
+                ("fault_plan", fault_plan),
+                ("retransmit_timeout", retransmit_timeout),
+                ("max_retransmits", max_retransmits),
+                ("batch_control", batch_control),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if options is not None:
+                raise ConfigError(
+                    "pass either options=RunOptions(...) or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "CoupledSimulation(preset=..., seed=..., ...) keyword arguments "
+                "are deprecated; pass options=repro.RunOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(**legacy)
+        elif options is None:
+            options = RunOptions()
+        #: The frozen options this simulation was built from.
+        self.options = options
+        preset = options.preset
+        buddy_help = options.buddy_help
+        seed = options.seed
+        tracer = options.tracer
+        buffer_capacity_bytes = options.buffer_capacity_bytes
+        buffer_policy = options.buffer_policy
+        record_operations = options.record_operations
+        sanitize = options.sanitize
+        fault_plan = options.fault_plan
+        retransmit_timeout = options.retransmit_timeout
+        max_retransmits = (
+            12 if options.max_retransmits is None else options.max_retransmits
+        )
+        batch_control = options.batch_control
         require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
         self.config = parse_config(config) if isinstance(config, str) else config
         self.config.validate()
@@ -718,6 +809,10 @@ class CoupledSimulation:
         self.ctl_bytes = 0
         self.data_messages = 0
         self.data_bytes = 0
+        #: Control-plane frame batching (see class docstring).
+        self.batch_control = batch_control
+        self.frames_sent = 0
+        self.framed_messages = 0
         self._wire_seq = 0
         self.sim: Simulator = self.world.sim
         self._programs: dict[str, _ProgramRuntime] = {}
@@ -826,9 +921,36 @@ class CoupledSimulation:
                     f"connection {crt.cid}: the exporter and importer sections "
                     "do not overlap — nothing would ever be transferred"
                 )
-            crt.schedule = CommSchedule.build(
+            crt.schedule = CommSchedule.build_cached(
                 crt.exp_def.decomp, crt.imp_def.decomp, transfer
             )
+            # Precompute the per-rank wire plans once: every export of
+            # this connection reuses the same slice tuples, so the hot
+            # path sends zero-copy views with no index arithmetic.
+            itemsize = crt.exp_def.itemsize
+            crt.send_plans = {
+                r: tuple(
+                    (
+                        item.dst_rank,
+                        item.region,
+                        item.region.to_slices(
+                            origin=crt.exp_def.decomp.local_region(r).lo
+                        ),
+                        item.region.size * itemsize,
+                    )
+                    for item in crt.schedule.sends_for(r)
+                )
+                for r in range(crt.exp_def.decomp.nprocs)
+            }
+            crt.recv_slices = {
+                r: {
+                    item.region: item.region.to_slices(
+                        origin=crt.imp_def.decomp.local_region(r).lo
+                    )
+                    for item in crt.schedule.recvs_for(r)
+                }
+                for r in range(crt.imp_def.decomp.nprocs)
+            }
 
         # Build reps, contexts, agents and mains.
         for prog in self._programs.values():
@@ -871,10 +993,15 @@ class CoupledSimulation:
                     )
 
     # -- network helpers ------------------------------------------------------
-    def _net_send(self, src: Any, dst: Any, payload: Any, nbytes: int = _CTL_NBYTES) -> None:
+    def _stamp(self, payload: Any) -> Any:
+        """Give *payload* a fresh wire sequence number if unstamped."""
         if getattr(payload, "seq", None) == -1:
             self._wire_seq += 1
             payload = dataclasses.replace(payload, seq=self._wire_seq)
+        return payload
+
+    def _net_send(self, src: Any, dst: Any, payload: Any, nbytes: int = _CTL_NBYTES) -> None:
+        payload = self._stamp(payload)
         if isinstance(payload, _DataPiece):
             self.data_messages += 1
             self.data_bytes += nbytes
@@ -882,6 +1009,31 @@ class CoupledSimulation:
             self.ctl_messages += 1
             self.ctl_bytes += nbytes
         self.world.network.send(src, dst, payload, nbytes=nbytes)
+
+    def _flush_frames(
+        self, src: Any, out: list[tuple[Any, Any, int]]
+    ) -> None:
+        """Send collected ``(dst, payload, nbytes)`` control sends as frames.
+
+        Sends to the same destination mailbox coalesce into one
+        :class:`~repro.core.wire.Frame` (members individually stamped so
+        receiver-side dedup is unchanged); singletons go out bare.
+        """
+        by_dst: dict[Any, list[tuple[Any, int]]] = {}
+        for dst, payload, nbytes in out:
+            by_dst.setdefault(dst, []).append((payload, nbytes))
+        for dst, entries in by_dst.items():
+            if len(entries) == 1:
+                payload, nbytes = entries[0]
+                self._net_send(src, dst, payload, nbytes=nbytes)
+                continue
+            members = tuple(self._stamp(p) for p, _ in entries)
+            total = _frame_nbytes(sum(n for _, n in entries))
+            self.frames_sent += 1
+            self.framed_messages += len(members)
+            self._net_send(
+                src, dst, _Frame(messages=members, nbytes=total), nbytes=total
+            )
 
     def _cpl_mailbox(self, program: str, rank: int):
         return self.world.network.mailbox(("cpl", program, rank))
@@ -909,35 +1061,38 @@ class CoupledSimulation:
         if not entry.sent:
             st.buffer.mark_sent(m)
         payload = entry.payload
-        local = ctx.local_region(region)
-        itemsize = crt.exp_def.itemsize
         imp_prog = spec.importer.program
-        for item in schedule.sends_for(ctx.rank):
-            if payload is not None:
-                data = np.ascontiguousarray(
-                    payload[item.region.to_slices(origin=local.lo)]
-                )
-            else:
-                data = None
+        src_addr = ("cpl", ctx.program, ctx.rank)
+        # Zero-copy: each piece is a view into the buffered payload
+        # (never mutated after buffering), selected by the slice tuple
+        # precomputed at finalize time.
+        for dst_rank, piece_region, slices, nbytes in crt.send_plans.get(ctx.rank, ()):
+            data = payload[slices] if payload is not None else None
             self._net_send(
-                ("cpl", ctx.program, ctx.rank),
-                ("cpl", imp_prog, item.dst_rank),
+                src_addr,
+                ("cpl", imp_prog, dst_rank),
                 _DataPiece(
                     connection_id=cid,
                     match_ts=m,
                     src_rank=ctx.rank,
-                    region=item.region,
+                    region=piece_region,
                     data=data,
-                    nbytes=item.region.size * itemsize,
+                    nbytes=nbytes,
                 ),
-                nbytes=item.region.size * itemsize,
+                nbytes=nbytes,
             )
         if self.tracer.enabled:
             self.tracer.record(
                 tracing.EXPORT_SEND, ctx.who, self.sim.now, timestamp=m
             )
 
-    def _send_response(self, ctx: ProcessContext, cid: str, response: MatchResponse) -> None:
+    def _send_response(
+        self,
+        ctx: ProcessContext,
+        cid: str,
+        response: MatchResponse,
+        out: list[tuple[Any, Any, int]] | None = None,
+    ) -> None:
         if self.tracer.enabled:
             self.tracer.record(
                 tracing.REQUEST_REPLY,
@@ -949,11 +1104,11 @@ class CoupledSimulation:
                 latest=(None if response.latest_export_ts == float("-inf")
                         else response.latest_export_ts),
             )
-        self._net_send(
-            ("cpl", ctx.program, ctx.rank),
-            ("rep", ctx.program),
-            _ProcResponse(connection_id=cid, rank=ctx.rank, response=response),
-        )
+        payload = _ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        if out is None:
+            self._net_send(("cpl", ctx.program, ctx.rank), ("rep", ctx.program), payload)
+        else:
+            out.append((("rep", ctx.program), payload, _CTL_NBYTES))
 
     # -- processes ---------------------------------------------------------------
     def _region_of_connection(self, prog: str, cid: str) -> str:
@@ -987,48 +1142,59 @@ class CoupledSimulation:
         seen: set[int] = set()
         while True:
             delivery: Delivery = yield box.get()
-            msg = delivery.payload
-            if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
-                continue
-            if isinstance(msg, _FwdRequest):
-                region = self._region_of_connection(ctx.program, msg.connection_id)
-                st = ctx.export_states[region]
-                if self.tracer.enabled:
-                    self.tracer.record(
-                        tracing.REQUEST_RECV,
-                        ctx.who,
-                        self.sim.now,
-                        cid=msg.connection_id,
-                        request=msg.request_ts,
-                    )
-                outcome = st.on_request(msg.connection_id, msg.request_ts)
-                self._send_response(ctx, msg.connection_id, outcome.response)
-                if outcome.applied is not None and outcome.applied.send_now is not None:
-                    self._send_pieces(
-                        ctx, region, msg.connection_id, outcome.applied.send_now
-                    )
-                yield from self._agent_evict(ctx, st, free_time)
-            elif isinstance(msg, _BuddyMsg):
-                region = self._region_of_connection(ctx.program, msg.connection_id)
-                st = ctx.export_states[region]
-                if self.tracer.enabled:
-                    self.tracer.record(
-                        tracing.BUDDY_RECV,
-                        ctx.who,
-                        self.sim.now,
-                        cid=msg.connection_id,
-                        request=msg.answer.request_ts,
-                        answer="YES" if msg.answer.is_match else "NO",
-                        match=msg.answer.matched_ts
-                        if msg.answer.matched_ts is not None
-                        else msg.answer.request_ts,
-                    )
-                applied = st.on_buddy_answer(msg.connection_id, msg.answer)
-                if applied.send_now is not None:
-                    self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
-                yield from self._agent_evict(ctx, st, free_time)
-            else:
-                raise FrameworkError(f"agent received unexpected message {msg!r}")
+            deliveries = [delivery]
+            if self.batch_control:
+                deliveries.extend(box.drain())
+            out: list[tuple[Any, Any, int]] | None = (
+                [] if self.batch_control else None
+            )
+            for delivery in deliveries:
+                unit = delivery.payload
+                members = unit.messages if isinstance(unit, _Frame) else (unit,)
+                for msg in members:
+                    if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
+                        continue
+                    if isinstance(msg, _FwdRequest):
+                        region = self._region_of_connection(ctx.program, msg.connection_id)
+                        st = ctx.export_states[region]
+                        if self.tracer.enabled:
+                            self.tracer.record(
+                                tracing.REQUEST_RECV,
+                                ctx.who,
+                                self.sim.now,
+                                cid=msg.connection_id,
+                                request=msg.request_ts,
+                            )
+                        outcome = st.on_request(msg.connection_id, msg.request_ts)
+                        self._send_response(ctx, msg.connection_id, outcome.response, out)
+                        if outcome.applied is not None and outcome.applied.send_now is not None:
+                            self._send_pieces(
+                                ctx, region, msg.connection_id, outcome.applied.send_now
+                            )
+                        yield from self._agent_evict(ctx, st, free_time)
+                    elif isinstance(msg, _BuddyMsg):
+                        region = self._region_of_connection(ctx.program, msg.connection_id)
+                        st = ctx.export_states[region]
+                        if self.tracer.enabled:
+                            self.tracer.record(
+                                tracing.BUDDY_RECV,
+                                ctx.who,
+                                self.sim.now,
+                                cid=msg.connection_id,
+                                request=msg.answer.request_ts,
+                                answer="YES" if msg.answer.is_match else "NO",
+                                match=msg.answer.matched_ts
+                                if msg.answer.matched_ts is not None
+                                else msg.answer.request_ts,
+                            )
+                        applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                        if applied.send_now is not None:
+                            self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
+                        yield from self._agent_evict(ctx, st, free_time)
+                    else:
+                        raise FrameworkError(f"agent received unexpected message {msg!r}")
+            if out:
+                self._flush_frames(("cpl", ctx.program, ctx.rank), out)
 
     def _agent_evict(
         self, ctx: ProcessContext, st: RegionExportState, free_time: float
@@ -1052,35 +1218,78 @@ class CoupledSimulation:
         seen: set[int] = set()
         while True:
             delivery: Delivery = yield box.get()
-            msg = delivery.payload
-            if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
-                continue
-            if isinstance(msg, _ReqToExpRep):
-                assert prog.exp_rep is not None
-                directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
-            elif isinstance(msg, _ProcResponse):
-                assert prog.exp_rep is not None
-                directives = prog.exp_rep.on_response(
-                    msg.connection_id, msg.rank, msg.response
-                )
-            elif isinstance(msg, _ImpProcRequest):
-                assert prog.imp_rep is not None
-                directives = prog.imp_rep.on_process_request(
-                    msg.connection_id, msg.request_ts, msg.rank
-                )
-            elif isinstance(msg, _AnswerToImpRep):
-                assert prog.imp_rep is not None
-                directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
-            else:
-                raise FrameworkError(f"rep received unexpected message {msg!r}")
-            for d in directives:
-                self._execute_directive(prog, d)
+            deliveries = [delivery]
+            if self.batch_control:
+                # Per-tick coalescing: everything already queued behind
+                # this delivery arrived no later than now, so handle the
+                # whole backlog in one go and frame the combined fan-out.
+                deliveries.extend(box.drain())
+            out: list[tuple[Any, Any, int]] | None = (
+                [] if self.batch_control else None
+            )
+            for delivery in deliveries:
+                unit = delivery.payload
+                # An incoming frame unpacks to its members; each member
+                # is deduplicated and processed exactly as a bare arrival.
+                members = unit.messages if isinstance(unit, _Frame) else (unit,)
+                for msg in members:
+                    if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
+                        continue
+                    self._rep_handle(prog, msg, out)
+            if out:
+                self._flush_frames(("rep", prog.name), out)
 
-    def _execute_directive(self, prog: _ProgramRuntime, d: Any) -> None:
+    def _rep_handle(
+        self,
+        prog: _ProgramRuntime,
+        msg: Any,
+        out: list[tuple[Any, Any, int]] | None,
+    ) -> None:
+        """Dispatch one rep message to the right state machine."""
+        if isinstance(msg, _ReqToExpRep):
+            assert prog.exp_rep is not None
+            directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
+        elif isinstance(msg, _ProcResponse):
+            assert prog.exp_rep is not None
+            directives = prog.exp_rep.on_response(
+                msg.connection_id, msg.rank, msg.response
+            )
+        elif isinstance(msg, _ImpProcRequest):
+            assert prog.imp_rep is not None
+            directives = prog.imp_rep.on_process_request(
+                msg.connection_id, msg.request_ts, msg.rank
+            )
+        elif isinstance(msg, _AnswerToImpRep):
+            assert prog.imp_rep is not None
+            directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
+        else:
+            raise FrameworkError(f"rep received unexpected message {msg!r}")
+        for d in directives:
+            self._execute_directive(prog, d, out)
+
+    def _execute_directive(
+        self,
+        prog: _ProgramRuntime,
+        d: Any,
+        out: list[tuple[Any, Any, int]] | None = None,
+    ) -> None:
+        """Send the wire message(s) a rep directive implies.
+
+        With *out* given (batch mode), rep/ctl-plane sends are collected
+        for per-destination framing by the caller; data-plane deliveries
+        (``cpl`` mailboxes) always go out bare — importer mailboxes match
+        on member payload types.
+        """
         rep_addr = ("rep", prog.name)
+
+        def send_ctl(dst: Any, payload: Any) -> None:
+            if out is None:
+                self._net_send(rep_addr, dst, payload)
+            else:
+                out.append((dst, payload, _CTL_NBYTES))
+
         if isinstance(d, ForwardRequest):
-            self._net_send(
-                rep_addr,
+            send_ctl(
                 ("ctl", prog.name, d.rank),
                 _FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
             )
@@ -1094,8 +1303,7 @@ class CoupledSimulation:
                     request=d.answer.request_ts,
                     answer=str(d.answer.kind),
                 )
-            self._net_send(
-                rep_addr,
+            send_ctl(
                 ("rep", imp_prog),
                 _AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
             )
@@ -1111,15 +1319,13 @@ class CoupledSimulation:
                     if d.answer.matched_ts is not None
                     else d.answer.request_ts,
                 )
-            self._net_send(
-                rep_addr,
+            send_ctl(
                 ("ctl", prog.name, d.rank),
                 _BuddyMsg(connection_id=d.connection_id, answer=d.answer),
             )
         elif isinstance(d, ForwardToExporter):
             exp_prog = self._connections[d.connection_id].spec.exporter.program
-            self._net_send(
-                rep_addr,
+            send_ctl(
                 ("rep", exp_prog),
                 _ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
             )

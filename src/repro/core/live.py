@@ -27,8 +27,9 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -51,7 +52,7 @@ from repro.data.region import RectRegion
 from repro.data.schedule import CommSchedule
 from repro.match.result import FinalAnswer, MatchKind
 from repro.util import tracing
-from repro.util.tracing import NullTracer, Tracer
+from repro.util.tracing import NullTracer
 from repro.util.validation import require, require_positive
 from repro.vmpi.thread_backend import (
     MailboxTimeout,
@@ -59,6 +60,13 @@ from repro.vmpi.thread_backend import (
     ThreadMailbox,
     ThreadWorld,
 )
+
+if TYPE_CHECKING:
+    from repro.api.options import RunOptions
+
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated keyword-argument constructor path.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -308,8 +316,15 @@ class LiveProcessContext:
         if any(p.data is None for p in pieces):
             return None
         block = np.zeros(local.shape, dtype=rdef.dtype)
+        slice_map: dict[RectRegion, tuple[slice, ...]] = {}
+        if pieces:
+            crt = self._rt._connections[pieces[0].connection_id]
+            slice_map = crt.recv_slices.get(self.rank, {})
         for p in pieces:
-            block[p.region.to_slices(origin=local.lo)] = p.data
+            sl = slice_map.get(p.region)
+            if sl is None:
+                sl = p.region.to_slices(origin=local.lo)
+            block[sl] = p.data
         return block
 
 
@@ -340,19 +355,71 @@ class LiveCoupledSimulation:
     max_retransmits:
         Give-up bound per blocking receive (exponential backoff,
         exponent capped at 6).
+    batch_control:
+        Coalesce each representative's fan-out of control messages into
+        per-destination :class:`~repro.core.wire.Frame` batches (default
+        off).  Fault injectors then act once per frame.
     """
 
     def __init__(
         self,
         config: CouplingConfig | str,
-        buddy_help: bool = True,
-        time_scale: float = 1.0,
-        default_timeout: float = 30.0,
-        tracer: Tracer | None = None,
-        fault_injector: Callable[[ThreadWorld, Any, Any], None] | None = None,
-        retransmit_timeout: float | None = None,
-        max_retransmits: int = 8,
+        buddy_help: Any = _UNSET,
+        time_scale: Any = _UNSET,
+        default_timeout: Any = _UNSET,
+        tracer: Any = _UNSET,
+        fault_injector: Any = _UNSET,
+        retransmit_timeout: Any = _UNSET,
+        max_retransmits: Any = _UNSET,
+        batch_control: Any = _UNSET,
+        *,
+        options: "RunOptions | None" = None,
     ) -> None:
+        # Imported lazily: repro.api.facade imports this module.
+        from repro.api.options import RunOptions
+
+        legacy = {
+            name: value
+            for name, value in (
+                ("buddy_help", buddy_help),
+                ("time_scale", time_scale),
+                ("default_timeout", default_timeout),
+                ("tracer", tracer),
+                ("fault_injector", fault_injector),
+                ("retransmit_timeout", retransmit_timeout),
+                ("max_retransmits", max_retransmits),
+                ("batch_control", batch_control),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if options is not None:
+                raise ConfigError(
+                    "pass either options=RunOptions(...) or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "LiveCoupledSimulation(buddy_help=..., time_scale=..., ...) "
+                "keyword arguments are deprecated; pass "
+                "options=repro.RunOptions(runtime='live', ...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(runtime="live", **legacy)
+        elif options is None:
+            options = RunOptions(runtime="live")
+        #: The frozen options this simulation was built from.
+        self.options = options
+        buddy_help = options.buddy_help
+        time_scale = options.time_scale
+        default_timeout = options.default_timeout
+        tracer = options.tracer
+        fault_injector = options.fault_injector
+        retransmit_timeout = options.retransmit_timeout
+        max_retransmits = (
+            8 if options.max_retransmits is None else options.max_retransmits
+        )
+        batch_control = options.batch_control
         self.config = parse_config(config) if isinstance(config, str) else config
         self.config.validate()
         require_positive(time_scale, "time_scale")
@@ -373,6 +440,9 @@ class LiveCoupledSimulation:
         self.max_retransmits = max_retransmits
         self.retransmissions = 0
         self.dup_discards = 0
+        self.batch_control = batch_control
+        self.frames_sent = 0
+        self.framed_messages = 0
         self._count_lock = threading.Lock()
         self._wire_seq = 0
         self._programs: dict[str, _LiveProgram] = {}
@@ -507,7 +577,31 @@ class LiveCoupledSimulation:
                     f"connection {crt.cid}: the sections do not overlap"
                 )
             crt.exp_def = exp_def
-            crt.schedule = CommSchedule.build(exp_def.decomp, imp_def.decomp, transfer)
+            crt.schedule = CommSchedule.build_cached(
+                exp_def.decomp, imp_def.decomp, transfer
+            )
+            itemsize = exp_def.itemsize
+            crt.send_plans = {
+                r: tuple(
+                    (
+                        item.dst_rank,
+                        item.region,
+                        item.region.to_slices(origin=exp_def.decomp.local_region(r).lo),
+                        item.region.size * itemsize,
+                    )
+                    for item in crt.schedule.sends_for(r)
+                )
+                for r in range(exp_def.decomp.nprocs)
+            }
+            crt.recv_slices = {
+                r: {
+                    item.region: item.region.to_slices(
+                        origin=imp_def.decomp.local_region(r).lo
+                    )
+                    for item in crt.schedule.recvs_for(r)
+                }
+                for r in range(imp_def.decomp.nprocs)
+            }
         for prog in self._programs.values():
             exp_cids = [
                 c.connection_id
@@ -536,19 +630,56 @@ class LiveCoupledSimulation:
     def _mailbox(self, *address: Any) -> ThreadMailbox:
         return self.world.mailbox(tuple(address))
 
-    def _post(self, address: tuple[Any, ...], msg: Any) -> None:
-        """Stamp a fresh sequence number and deliver via the fault hook."""
+    def _stamp(self, msg: Any) -> Any:
+        """Give *msg* a fresh wire sequence number if unstamped."""
         if getattr(msg, "seq", None) == -1:
             with self._count_lock:
                 self._wire_seq += 1
                 msg = dataclasses.replace(msg, seq=self._wire_seq)
-        self.world.post(address, msg)
+        return msg
 
-    def _send_response(self, ctx: LiveProcessContext, cid: str, response) -> None:
-        self._post(
-            ("rep", ctx.program),
-            wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response),
-        )
+    def _post(self, address: tuple[Any, ...], msg: Any) -> None:
+        """Stamp a fresh sequence number and deliver via the fault hook."""
+        self.world.post(address, self._stamp(msg))
+
+    def _flush_frames(self, out: list[tuple[Any, Any]]) -> None:
+        """Post collected ``(address, msg)`` control sends as frames.
+
+        Sends to the same destination mailbox coalesce into one
+        :class:`~repro.core.wire.Frame`; singletons go out bare.
+        Members are stamped individually so receiver dedup is unchanged.
+        """
+        by_dst: dict[Any, list[Any]] = {}
+        for dst, msg in out:
+            by_dst.setdefault(dst, []).append(msg)
+        for dst, msgs in by_dst.items():
+            if len(msgs) == 1:
+                self._post(dst, msgs[0])
+                continue
+            members = tuple(self._stamp(m) for m in msgs)
+            with self._count_lock:
+                self.frames_sent += 1
+                self.framed_messages += len(members)
+            self._post(
+                dst,
+                wire.Frame(
+                    messages=members,
+                    nbytes=wire.frame_nbytes(wire.CTL_NBYTES * len(members)),
+                ),
+            )
+
+    def _send_response(
+        self,
+        ctx: LiveProcessContext,
+        cid: str,
+        response,
+        out: list[tuple[Any, Any]] | None = None,
+    ) -> None:
+        payload = wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        if out is None:
+            self._post(("rep", ctx.program), payload)
+        else:
+            out.append((("rep", ctx.program), payload))
 
     def _send_pieces(self, ctx: LiveProcessContext, region: str, cid: str, m: float) -> None:
         crt = self._connections[cid]
@@ -569,24 +700,22 @@ class LiveCoupledSimulation:
         if not entry.sent:
             st.buffer.mark_sent(m)
         payload = entry.payload
-        local = ctx.local_region(region)
         imp_prog = crt.spec.importer.program
-        itemsize = crt.exp_def.itemsize
-        for item in schedule.sends_for(ctx.rank):
-            data = None
-            if payload is not None:
-                data = np.ascontiguousarray(
-                    payload[item.region.to_slices(origin=local.lo)]
-                )
+        # Zero-copy: send views into the buffered payload, selected by
+        # slice tuples precomputed at finalize time.  The payload is a
+        # private buffered copy and is never mutated, so sharing it
+        # across threads is safe.
+        for dst_rank, piece_region, slices, nbytes in crt.send_plans.get(ctx.rank, ()):
+            data = payload[slices] if payload is not None else None
             self._post(
-                ("cpl", imp_prog, item.dst_rank),
+                ("cpl", imp_prog, dst_rank),
                 wire.DataPiece(
                     connection_id=cid,
                     match_ts=m,
                     src_rank=ctx.rank,
-                    region=item.region,
+                    region=piece_region,
                     data=data,
-                    nbytes=item.region.size * itemsize,
+                    nbytes=nbytes,
                 ),
             )
 
@@ -619,95 +748,145 @@ class LiveCoupledSimulation:
         box = self._mailbox("ctl", ctx.program, ctx.rank)
         seen: set[int] = set()
         while True:
-            msg = box.get(lambda _m: True, timeout=None)
-            if isinstance(msg, wire.Shutdown):
+            unit = box.get(lambda _m: True, timeout=None)
+            units = [unit]
+            if self.batch_control:
+                units.extend(box.drain())
+            out: list[tuple[Any, Any]] | None = [] if self.batch_control else None
+            stop = False
+            for unit in units:
+                if isinstance(unit, wire.Shutdown):
+                    stop = True
+                    continue
+                members = unit.messages if isinstance(unit, wire.Frame) else (unit,)
+                for msg in members:
+                    if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
+                        continue
+                    self._agent_handle(ctx, msg, out)
+            if out:
+                self._flush_frames(out)
+            if stop:
                 return
-            if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
-                continue
-            if isinstance(msg, wire.FwdRequest):
-                region = self._region_of_connection(ctx.program, msg.connection_id)
-                st = ctx.export_states[region]
-                with ctx.lock:
-                    outcome = st.on_request(msg.connection_id, msg.request_ts)
-                    self._send_response(ctx, msg.connection_id, outcome.response)
-                    if outcome.applied is not None and outcome.applied.send_now is not None:
-                        self._send_pieces(
-                            ctx, region, msg.connection_id, outcome.applied.send_now
-                        )
-                    st.collect_evictions()
-            elif isinstance(msg, wire.BuddyMsg):
-                region = self._region_of_connection(ctx.program, msg.connection_id)
-                st = ctx.export_states[region]
-                if self.tracer.enabled:
-                    self.tracer.record(
-                        tracing.BUDDY_RECV,
-                        ctx.who,
-                        time.perf_counter(),
-                        request=msg.answer.request_ts,
-                        answer="YES" if msg.answer.is_match else "NO",
-                        match=msg.answer.matched_ts
-                        if msg.answer.matched_ts is not None
-                        else msg.answer.request_ts,
+
+    def _agent_handle(
+        self,
+        ctx: LiveProcessContext,
+        msg: Any,
+        out: list[tuple[Any, Any]] | None,
+    ) -> None:
+        if isinstance(msg, wire.FwdRequest):
+            region = self._region_of_connection(ctx.program, msg.connection_id)
+            st = ctx.export_states[region]
+            with ctx.lock:
+                outcome = st.on_request(msg.connection_id, msg.request_ts)
+                self._send_response(ctx, msg.connection_id, outcome.response, out)
+                if outcome.applied is not None and outcome.applied.send_now is not None:
+                    self._send_pieces(
+                        ctx, region, msg.connection_id, outcome.applied.send_now
                     )
-                with ctx.lock:
-                    applied = st.on_buddy_answer(msg.connection_id, msg.answer)
-                    if applied.send_now is not None:
-                        self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
-                    st.collect_evictions()
-            else:
-                raise FrameworkError(f"agent received unexpected message {msg!r}")
+                st.collect_evictions()
+        elif isinstance(msg, wire.BuddyMsg):
+            region = self._region_of_connection(ctx.program, msg.connection_id)
+            st = ctx.export_states[region]
+            if self.tracer.enabled:
+                self.tracer.record(
+                    tracing.BUDDY_RECV,
+                    ctx.who,
+                    time.perf_counter(),
+                    request=msg.answer.request_ts,
+                    answer="YES" if msg.answer.is_match else "NO",
+                    match=msg.answer.matched_ts
+                    if msg.answer.matched_ts is not None
+                    else msg.answer.request_ts,
+                )
+            with ctx.lock:
+                applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                if applied.send_now is not None:
+                    self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
+                st.collect_evictions()
+        else:
+            raise FrameworkError(f"agent received unexpected message {msg!r}")
 
     def _rep_loop(self, prog: _LiveProgram) -> None:
         box = self._mailbox("rep", prog.name)
         seen: set[int] = set()
         while True:
-            msg = box.get(lambda _m: True, timeout=None)
-            if isinstance(msg, wire.Shutdown):
+            unit = box.get(lambda _m: True, timeout=None)
+            units = [unit]
+            if self.batch_control:
+                # Burst coalescing: handle the whole backlog in one go
+                # and frame the combined fan-out per destination.
+                units.extend(box.drain())
+            out: list[tuple[Any, Any]] | None = [] if self.batch_control else None
+            stop = False
+            for unit in units:
+                if isinstance(unit, wire.Shutdown):
+                    stop = True
+                    continue
+                members = unit.messages if isinstance(unit, wire.Frame) else (unit,)
+                for msg in members:
+                    if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
+                        continue
+                    self._rep_handle(prog, msg, out)
+            if out:
+                self._flush_frames(out)
+            if stop:
                 return
-            if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
-                continue
-            with prog.rep_lock:
-                if isinstance(msg, wire.ReqToExpRep):
-                    assert prog.exp_rep is not None
-                    directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
-                elif isinstance(msg, wire.ProcResponse):
-                    assert prog.exp_rep is not None
-                    directives = prog.exp_rep.on_response(
-                        msg.connection_id, msg.rank, msg.response
-                    )
-                elif isinstance(msg, wire.ImpProcRequest):
-                    assert prog.imp_rep is not None
-                    directives = prog.imp_rep.on_process_request(
-                        msg.connection_id, msg.request_ts, msg.rank
-                    )
-                elif isinstance(msg, wire.AnswerToImpRep):
-                    assert prog.imp_rep is not None
-                    directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
-                else:
-                    raise FrameworkError(f"rep received unexpected message {msg!r}")
-            for d in directives:
-                self._execute_directive(prog, d)
 
-    def _execute_directive(self, prog: _LiveProgram, d: Any) -> None:
+    def _rep_handle(
+        self, prog: _LiveProgram, msg: Any, out: list[tuple[Any, Any]] | None
+    ) -> None:
+        """Dispatch one rep message to the right state machine."""
+        with prog.rep_lock:
+            if isinstance(msg, wire.ReqToExpRep):
+                assert prog.exp_rep is not None
+                directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
+            elif isinstance(msg, wire.ProcResponse):
+                assert prog.exp_rep is not None
+                directives = prog.exp_rep.on_response(
+                    msg.connection_id, msg.rank, msg.response
+                )
+            elif isinstance(msg, wire.ImpProcRequest):
+                assert prog.imp_rep is not None
+                directives = prog.imp_rep.on_process_request(
+                    msg.connection_id, msg.request_ts, msg.rank
+                )
+            elif isinstance(msg, wire.AnswerToImpRep):
+                assert prog.imp_rep is not None
+                directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
+            else:
+                raise FrameworkError(f"rep received unexpected message {msg!r}")
+        for d in directives:
+            self._execute_directive(prog, d, out)
+
+    def _execute_directive(
+        self, prog: _LiveProgram, d: Any, out: list[tuple[Any, Any]] | None = None
+    ) -> None:
+        def send_ctl(dst: Any, payload: Any) -> None:
+            if out is None:
+                self._post(dst, payload)
+            else:
+                out.append((dst, payload))
+
         if isinstance(d, ForwardRequest):
-            self._post(
+            send_ctl(
                 ("ctl", prog.name, d.rank),
                 wire.FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
             )
         elif isinstance(d, AnswerImporter):
             imp_prog = self._connections[d.connection_id].spec.importer.program
-            self._post(
+            send_ctl(
                 ("rep", imp_prog),
                 wire.AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
             )
         elif isinstance(d, BuddyHelp):
-            self._post(
+            send_ctl(
                 ("ctl", prog.name, d.rank),
                 wire.BuddyMsg(connection_id=d.connection_id, answer=d.answer),
             )
         elif isinstance(d, ForwardToExporter):
             exp_prog = self._connections[d.connection_id].spec.exporter.program
-            self._post(
+            send_ctl(
                 ("rep", exp_prog),
                 wire.ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
             )
@@ -738,6 +917,10 @@ class _LiveConn:
         self.spec = spec
         self.schedule: CommSchedule | None = None
         self.exp_def: RegionDef | None = None
+        #: Per-exporter-rank send plan: (dst_rank, region, slices, nbytes).
+        self.send_plans: dict[int, tuple[tuple[int, RectRegion, tuple[slice, ...], int], ...]] = {}
+        #: Per-importer-rank assembly slices, keyed by piece region.
+        self.recv_slices: dict[int, dict[RectRegion, tuple[slice, ...]]] = {}
 
     @property
     def cid(self) -> str:

@@ -2,10 +2,33 @@
 
 Design notes
 ------------
-The scheduler is a binary heap of ``(time, priority, seq, event)``
-tuples.  ``seq`` is a monotonically increasing tie-breaker, so two
-events scheduled for the same instant at the same priority fire in
-schedule order — this is what makes whole simulations deterministic.
+The scheduler keeps a total order over pending events by the key
+``(time, priority, seq)``.  ``seq`` is a monotonically increasing
+tie-breaker, so two events scheduled for the same instant at the same
+priority fire in schedule order — this is what makes whole simulations
+deterministic.
+
+Two structures back that order (the hot-path split):
+
+* a binary heap of ``(time, priority, seq, event)`` tuples for events
+  scheduled in the *future* (``delay > 0``), and
+* three *immediate lanes* — one FIFO deque per priority level — for
+  events scheduled at the *current instant* (``delay == 0``: every
+  ``succeed``/``fail``, process bootstrap and resume carrier).
+
+Immediate events vastly outnumber timed ones in coupled runs (each
+control message triggers a chain of same-instant callbacks), and a
+deque append/popleft is O(1) versus the heap's O(log n) — with the
+heap holding thousands of pending timeouts, bypassing it for the
+same-instant traffic is where the events/sec headroom comes from
+(``repro bench`` measures it).  Because every enqueue still consumes
+one ``seq`` and ``_step`` compares ``(time, priority, seq)`` across
+both structures, the firing order is *bit-identical* to the plain-heap
+implementation (asserted by the seed-replay golden tests).
+
+Cancellation uses tombstones: :meth:`Event.cancel` marks a scheduled
+event dead and ``_step`` discards it when popped, without paying for
+a heap re-sort or a linear scan.
 
 Processes are plain Python generators.  A process yields the event it
 wants to wait for; when that event fires, the process is resumed with
@@ -17,6 +40,7 @@ Python DES code, but the implementation here is self-contained.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from enum import IntEnum
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -43,7 +67,16 @@ class Event:
     callbacks have run.  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -56,6 +89,9 @@ class Event:
         #: A failed event whose exception was delivered to a waiter is
         #: "defused" and will not crash the simulation at process time.
         self._defused = False
+        #: Tombstone: a cancelled scheduled event is discarded by the
+        #: kernel when popped instead of being processed.
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -86,7 +122,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        self.sim._enqueue(self, 0.0, priority)
         return self
 
     def fail(self, exc: BaseException, priority: PriorityLevel = PriorityLevel.NORMAL) -> "Event":
@@ -97,12 +133,25 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        self.sim._enqueue(self, 0.0, priority)
         return self
 
     def defuse(self) -> None:
         """Mark a failed event as handled so the kernel won't re-raise it."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Tombstone a triggered-but-unprocessed event.
+
+        The kernel discards the event when it reaches the head of the
+        schedule: no callbacks run, and a failure value is not raised.
+        Cancelling is how abandoned timers (e.g. the loser of a
+        wait-with-timeout race) avoid burdening the event loop.
+        Cancelling an already-processed event is an error.
+        """
+        if self._processed:
+            raise SimulationError(f"cannot cancel processed event {self!r}")
+        self._cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
@@ -120,7 +169,7 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        sim._enqueue(self, delay=delay, priority=PriorityLevel.NORMAL)
+        sim._enqueue(self, delay, PriorityLevel.NORMAL)
 
 
 class Interrupt(Exception):
@@ -309,7 +358,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
+        #: Future events (``delay > 0``), ordered by (time, prio, seq).
         self._heap: list[tuple[float, int, int, Event]] = []
+        #: Immediate lanes: one FIFO of ``(seq, event)`` per priority
+        #: level, holding events scheduled for the current instant.
+        self._lanes: tuple[deque[tuple[int, Event]], ...] = (
+            deque(),
+            deque(),
+            deque(),
+        )
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -347,18 +404,62 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: PriorityLevel) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, int(priority), self._seq, event))
+        if delay == 0.0:
+            # Same-instant fast path: no heap traffic.  The lane is
+            # FIFO in seq, so the (time, prio, seq) total order is
+            # preserved exactly (see the module design notes).
+            self._lanes[priority].append((self._seq, event))
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, int(priority), self._seq, event)
+            )
 
     def _step(self) -> None:
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        require(when >= self._now, "event scheduled in the past")
-        self._now = when
+        """Fire the next event in (time, prio, seq) order.
+
+        The selection is inlined here (no helper call): immediate-lane
+        events always carry the current time, so the clock never moves
+        while a lane is non-empty — lanes drain before time advances.
+        A heap event *at* the current instant with an earlier
+        (prio, seq) still fires first, preserving the exact total
+        order of the plain-heap implementation.
+        """
+        lanes = self._lanes
+        heap = self._heap
+        event: Event | None = None
+        for prio in (0, 1, 2):
+            lane = lanes[prio]
+            if lane:
+                if heap:
+                    head = heap[0]
+                    if head[0] == self._now and (head[1], head[2]) < (
+                        prio,
+                        lane[0][0],
+                    ):
+                        event = heapq.heappop(heap)[3]
+                        break
+                event = lane.popleft()[1]
+                break
+        else:
+            if not heap:
+                raise SimulationError("no pending events to step")
+            when, _prio, _seq, event = heapq.heappop(heap)
+            self._now = when
+        if event._cancelled:
+            event._processed = True
+            return
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for cb in callbacks:
-            cb(event)
-        if not event.ok and not event._defused:
-            raise event.value
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for cb in callbacks:
+                cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def _has_pending(self) -> bool:
+        lanes = self._lanes
+        return bool(self._heap or lanes[0] or lanes[1] or lanes[2])
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the event loop.
@@ -366,34 +467,46 @@ class Simulator:
         Parameters
         ----------
         until:
-            ``None`` runs until the heap drains.  A number runs until
-            the clock would pass it (the clock is then advanced exactly
-            to it).  An :class:`Event` runs until that event has been
-            processed and returns its value.
+            ``None`` runs until the schedule drains.  A number runs
+            until the clock would pass it (the clock is then advanced
+            exactly to it).  An :class:`Event` runs until that event
+            has been processed and returns its value.
         """
         if until is None:
-            while self._heap:
-                self._step()
+            step = self._step
+            while self._has_pending():
+                step()
             return None
         if isinstance(until, Event):
             sentinel = until
+            step = self._step
             while not sentinel._processed:
-                if not self._heap:
+                if not self._has_pending():
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired "
                         "(deadlock: some process waits forever)"
                     )
-                self._step()
+                step()
             if not sentinel.ok:
                 raise sentinel.value
             return sentinel.value
         horizon = float(until)
         require_non_negative(horizon - self._now, "run-until horizon (must be >= now)")
-        while self._heap and self._heap[0][0] <= horizon:
+        lanes = self._lanes
+        heap = self._heap
+        while (
+            lanes[0]
+            or lanes[1]
+            or lanes[2]
+            or (heap and heap[0][0] <= horizon)
+        ):
             self._step()
         self._now = horizon
         return None
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` when drained)."""
+        lanes = self._lanes
+        if lanes[0] or lanes[1] or lanes[2]:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")

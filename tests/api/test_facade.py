@@ -1,0 +1,239 @@
+"""The ``repro.api`` facade and the legacy-kwargs deprecation shim.
+
+The contract under test: ``options=RunOptions(...)`` is the one true
+construction path, the old keyword arguments still work but emit
+exactly one :class:`DeprecationWarning`, and the two paths produce
+**bit-identical** runs (same trace, same answers, same virtual time).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Generator
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Program, RunOptions, run
+from repro.core.coupler import CoupledSimulation, ProcessContext, RegionDef
+from repro.core.live import LiveCoupledSimulation
+from repro.data.decomposition import BlockDecomposition
+from repro.util.tracing import Tracer
+from repro.core.exceptions import ConfigError
+
+CONFIG = (
+    "E c0 /bin/E 2\n"
+    "I c1 /bin/I 2\n"
+    "#\n"
+    "E.d I.d REGL 2.5\n"
+)
+SHAPE = (16, 16)
+
+
+def _e_main(ctx: ProcessContext) -> Generator[Any, Any, None]:
+    for k in range(8):
+        yield from ctx.export("d", 1.0 + k)
+        yield from ctx.compute(1e-3)
+
+
+def _i_main(answers: dict[int, list[tuple[float, float | None]]]):
+    def main(ctx: ProcessContext) -> Generator[Any, Any, None]:
+        got: list[tuple[float, float | None]] = []
+        for j in range(1, 5):
+            yield from ctx.compute(5e-4)
+            ts = 2.0 * j
+            m, _block = yield from ctx.import_("d", ts)
+            got.append((ts, m))
+        answers[ctx.rank] = got
+
+    return main
+
+
+def _regions(grid: tuple[int, int]) -> dict[str, RegionDef]:
+    return {"d": RegionDef(BlockDecomposition(SHAPE, grid))}
+
+
+def _trace_key(tracer: Tracer) -> list[tuple[Any, ...]]:
+    return [(e.kind, e.who, e.time, e.timestamp) for e in tracer.events]
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_emit_exactly_one_warning(self):
+        with pytest.warns(DeprecationWarning) as rec:
+            CoupledSimulation(CONFIG, seed=3, buddy_help=False)
+        assert len(rec) == 1
+        assert "options=repro.RunOptions" in str(rec[0].message)
+
+    def test_live_legacy_kwargs_emit_exactly_one_warning(self):
+        with pytest.warns(DeprecationWarning) as rec:
+            LiveCoupledSimulation(CONFIG, time_scale=0.001)
+        assert len(rec) == 1
+
+    def test_options_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CoupledSimulation(CONFIG, options=RunOptions(seed=3))
+            LiveCoupledSimulation(CONFIG, options=RunOptions(runtime="live"))
+
+    def test_mixing_options_and_legacy_kwargs_is_an_error(self):
+        with pytest.raises(ConfigError), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            CoupledSimulation(CONFIG, seed=1, options=RunOptions())
+        with pytest.raises(ConfigError), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            LiveCoupledSimulation(CONFIG, time_scale=0.5, options=RunOptions())
+
+    def test_legacy_and_options_runs_are_bit_identical(self):
+        def run_des(legacy: bool) -> tuple[dict, float, list]:
+            answers: dict[int, list[tuple[float, float | None]]] = {}
+            tracer = Tracer()
+            if legacy:
+                with pytest.warns(DeprecationWarning):
+                    cs = CoupledSimulation(CONFIG, seed=5, tracer=tracer)
+            else:
+                cs = CoupledSimulation(
+                    CONFIG, options=RunOptions(seed=5, tracer=tracer)
+                )
+            cs.add_program("E", main=_e_main, regions=_regions((2, 1)))
+            cs.add_program("I", main=_i_main(answers), regions=_regions((1, 2)))
+            cs.run()
+            return answers, cs.sim.now, _trace_key(tracer)
+
+        a_answers, a_time, a_trace = run_des(legacy=True)
+        b_answers, b_time, b_trace = run_des(legacy=False)
+        assert a_answers == b_answers
+        assert a_time == b_time
+        assert a_trace == b_trace
+
+
+class TestRunFacade:
+    def test_des_run_returns_result_with_counters(self):
+        answers: dict[int, list[tuple[float, float | None]]] = {}
+        result = run(
+            CONFIG,
+            [
+                Program("E", main=_e_main, regions=_regions((2, 1))),
+                Program("I", main=_i_main(answers), regions=_regions((1, 2))),
+            ],
+            RunOptions(seed=5),
+        )
+        assert result.sim_time > 0.0
+        assert result.counters["data_messages"] > 0
+        assert result.counters["ctl_messages"] > 0
+        assert answers[0] == answers[1]
+        assert result.options.seed == 5
+        assert result.context("E", 0).rank == 0
+
+    def test_facade_matches_hand_built_simulation(self):
+        answers_a: dict[int, list[tuple[float, float | None]]] = {}
+        answers_b: dict[int, list[tuple[float, float | None]]] = {}
+        tracer_a, tracer_b = Tracer(), Tracer()
+
+        result = run(
+            CONFIG,
+            [
+                Program("E", main=_e_main, regions=_regions((2, 1))),
+                Program("I", main=_i_main(answers_a), regions=_regions((1, 2))),
+            ],
+            RunOptions(seed=7, tracer=tracer_a),
+        )
+
+        cs = CoupledSimulation(CONFIG, options=RunOptions(seed=7, tracer=tracer_b))
+        cs.add_program("E", main=_e_main, regions=_regions((2, 1)))
+        cs.add_program("I", main=_i_main(answers_b), regions=_regions((1, 2)))
+        cs.run()
+
+        assert answers_a == answers_b
+        assert result.sim_time == cs.sim.now
+        assert _trace_key(tracer_a) == _trace_key(tracer_b)
+
+    def test_live_run_through_facade(self):
+        answers: dict[int, list[tuple[float, float | None]]] = {}
+
+        def e_main(ctx) -> None:
+            for k in range(6):
+                ctx.export("d", 1.0 + k)
+                ctx.compute(1e-3)
+
+        def i_main(ctx) -> None:
+            got: list[tuple[float, float | None]] = []
+            for j in range(1, 4):
+                ctx.compute(5e-4)
+                ts = 2.0 * j
+                m, _block = ctx.import_("d", ts)
+                got.append((ts, m))
+            answers[ctx.rank] = got
+
+        result = run(
+            CONFIG,
+            [
+                Program("E", main=e_main, regions=_regions((2, 1))),
+                Program("I", main=i_main, regions=_regions((1, 2))),
+            ],
+            RunOptions(runtime="live", time_scale=0.01),
+        )
+        assert result.sim_time == 0.0
+        assert answers[0] == [(2.0, 2.0), (4.0, 4.0), (6.0, 6.0)]
+        with pytest.raises(TypeError):
+            result.check_property1()
+
+    def test_until_rejected_on_live_runtime(self):
+        with pytest.raises(ValueError, match="until"):
+            run(CONFIG, [], RunOptions(runtime="live"), until=1.0)
+
+    def test_config_path_accepted(self, tmp_path):
+        path = tmp_path / "coupling.cfg"
+        path.write_text(CONFIG)
+        answers: dict[int, list[tuple[float, float | None]]] = {}
+        result = run(
+            path,
+            [
+                Program("E", main=_e_main, regions=_regions((2, 1))),
+                Program("I", main=_i_main(answers), regions=_regions((1, 2))),
+            ],
+        )
+        assert result.sim_time > 0.0
+        assert answers[0] == answers[1]
+
+    def test_fault_stats_surface(self):
+        from repro.faults import FaultPlan
+
+        answers: dict[int, list[tuple[float, float | None]]] = {}
+        result = run(
+            CONFIG,
+            [
+                Program("E", main=_e_main, regions=_regions((2, 1))),
+                Program("I", main=_i_main(answers), regions=_regions((1, 2))),
+            ],
+            RunOptions(seed=5, fault_plan=FaultPlan(seed=3, drop=0.05)),
+        )
+        stats = result.fault_stats
+        assert stats is not None
+        assert stats["eligible"] > 0
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_facade_names_present(self):
+        for name in ("run", "build", "Program", "RunOptions", "RunResult",
+                     "load_config", "FaultPlan", "Tracer"):
+            assert name in repro.__all__
+
+
+class TestRunOptionsValidation:
+    def test_frozen(self):
+        opts = RunOptions()
+        with pytest.raises(AttributeError):
+            opts.seed = 1  # type: ignore[misc]
+
+    def test_bad_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            RunOptions(runtime="mpi")
+
+    def test_bad_buffer_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RunOptions(buffer_policy="drop")

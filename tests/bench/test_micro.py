@@ -1,0 +1,100 @@
+"""The micro-benchmark harness: baselines faithful, results correct.
+
+Speed ratios are machine-dependent, so the assertions here are about
+*correctness* (the legacy replicas produce bit-identical results) and
+*shape* (the report carries its own baselines), not about specific
+speedups — those are CI-gated by the bench-smoke job instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.micro import (
+    MicroComparison,
+    _LegacySimulator,
+    legacy_redistribute,
+    run_control_plane_micro,
+    run_micro,
+)
+from repro.data.darray import DistributedArray
+from repro.data.decomposition import BlockDecomposition
+from repro.data.redistribute import redistribute_pure
+from repro.data.region import RectRegion
+from repro.data.schedule import CommSchedule
+from repro.des.core import Simulator
+
+
+class TestLegacySimulatorFidelity:
+    def test_firing_order_matches_optimized_kernel(self):
+        def workload(sim, log):
+            def worker(sim, tag):
+                for i in range(10):
+                    yield sim.timeout(0.001 * ((tag + i) % 3))
+                    log.append((sim.now, tag, i))
+
+            for tag in range(5):
+                sim.process(worker(sim, tag))
+            sim.run()
+
+        log_legacy: list = []
+        log_current: list = []
+        workload(_LegacySimulator(), log_legacy)
+        workload(Simulator(), log_current)
+        assert log_legacy == log_current
+
+    def test_seq_consumption_identical(self):
+        def drive(sim):
+            for i in range(50):
+                ev = sim.event()
+                ev.succeed(i)
+            sim.timeout(1.0)
+            sim.run(until=sim.now)
+            return sim._seq
+
+        assert drive(_LegacySimulator()) == drive(Simulator())
+
+
+class TestLegacyRedistributeFidelity:
+    def test_matches_optimized_path(self):
+        shape = (40, 40)
+        src_d = BlockDecomposition(shape, (4, 1))
+        dst_d = BlockDecomposition(shape, (1, 4))
+        sched = CommSchedule.build_cached(src_d, dst_d, RectRegion((0, 0), shape))
+        src = [DistributedArray(src_d, r) for r in range(4)]
+        for b in src:
+            b.local[...] = np.random.default_rng(b.rank).random(b.local.shape)
+        dst_a = [DistributedArray(dst_d, r) for r in range(4)]
+        dst_b = [DistributedArray(dst_d, r) for r in range(4)]
+        moved_a = legacy_redistribute(sched, src, dst_a)
+        moved_b = redistribute_pure(sched, src, dst_b)
+        assert moved_a == moved_b
+        for a, b in zip(dst_a, dst_b):
+            np.testing.assert_array_equal(a.local, b.local)
+
+
+class TestControlPlaneMicro:
+    def test_batching_reduces_messages(self):
+        result = run_control_plane_micro(exports=10, requests=4)
+        assert result.optimized < result.baseline
+        assert result.detail["frames_sent"] > 0
+        assert result.speedup > 1.0  # lower-is-better metric, inverted
+
+
+class TestReportShape:
+    def test_quick_report_carries_baselines(self):
+        payload = run_micro(quick=True)
+        assert payload["quick"] is True
+        assert len(payload["results"]) == 3
+        for r in payload["results"]:
+            assert r["baseline"] > 0
+            assert r["optimized"] > 0
+            assert "speedup" in r
+
+    def test_speedup_direction(self):
+        up = MicroComparison("x", "u", baseline=2.0, optimized=6.0, detail={})
+        down = MicroComparison(
+            "y", "u", baseline=6.0, optimized=2.0, detail={}, higher_is_better=False
+        )
+        assert up.speedup == 3.0
+        assert down.speedup == 3.0

@@ -110,6 +110,90 @@ class TestExperimentsReport:
         assert "| U procs |" in out
 
 
+class TestJsonMode:
+    """Every subcommand honours ``--json`` (see docs/cli.md)."""
+
+    def test_version_json(self, capsys):
+        assert main(["version", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["version"] == "1.0.0"
+
+    def test_figure4_json_stdout(self, capsys):
+        rc = main(["figure4", "--u-procs", "4", "--exports", "61", "--runs", "1",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["u_procs"] == 4
+        assert len(payload["runs"]) == 1
+
+    def test_traces_json(self, capsys):
+        assert main(["traces", "--figure", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "5" in payload["figures"]
+        assert "skips" in payload["figures"]["5"]
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "importer_slower" in payload
+        assert "buddy_on" in payload["exporter_slower"]
+
+    def test_chaos_json(self, capsys):
+        rc = main(["chaos", "--iterations", "9", "--drop-rates", "0.0", "0.1",
+                   "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answers_consistent"] is True
+        assert rc == 0
+        assert len(payload["runs"]) == 3  # baseline + two drop rates
+
+    def test_validate_config_json(self, tmp_path, capsys):
+        cfg = tmp_path / "ok.cfg"
+        cfg.write_text("A c /x 2\nB c /y 2\n#\nA.r B.r REGL 0.5\n")
+        assert main(["validate-config", str(cfg), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["programs"]["A"]["nprocs"] == 2
+
+    def test_validate_config_json_invalid(self, tmp_path, capsys):
+        cfg = tmp_path / "bad.cfg"
+        cfg.write_text("A c /x 2\nA.r GHOST.r REGL 0.5\n")
+        assert main(["validate-config", str(cfg), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+    def test_lint_json(self, tmp_path, capsys):
+        cfg = tmp_path / "ok.cfg"
+        cfg.write_text("A c /x 2\nB c /y 2\n#\nA.r B.r REGL 0.5\n")
+        assert main(["lint", str(cfg), "--json"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_experiments_json(self, capsys):
+        rc = main(["experiments", "--exports", "81", "--runs", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "# Measured reproduction report" in payload["report_markdown"]
+
+
+class TestBench:
+    def test_quick_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--out", str(out)])
+        assert rc == 0
+        assert "micro benchmarks (quick)" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        names = [r["name"] for r in payload["results"]]
+        assert names == ["des_dispatch", "redistribution", "control_plane_messages"]
+        for r in payload["results"]:
+            assert r["speedup"] > 1.0
+
+    def test_quick_bench_json_stdout(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--out", str(out), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quick"] is True
+        assert out.exists()
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
