@@ -24,10 +24,14 @@ from repro.data import BlockDecomposition
 from repro.util.tracing import Tracer, format_trace
 
 
-def emergent_trace():
-    """Run a live coupled system and pull p_s's trace out of it."""
+def emergent_trace(buddy_help=True, with_tracer=True):
+    """Run a real coupled system; returns the :class:`repro.RunResult`."""
     config = "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n"
-    tracer = Tracer(predicate=lambda e: e.who in ("F.p1", "F.rep"))
+    tracer = (
+        Tracer(predicate=lambda e: e.who in ("F.p1", "F.rep"))
+        if with_tracer
+        else None
+    )
 
     def f_main(ctx):
         scale = 4.0 if ctx.rank == 1 else 1.0  # rank 1 is p_s
@@ -42,15 +46,14 @@ def emergent_trace():
 
     dec = BlockDecomposition((16, 16), (2, 1))
     deci = BlockDecomposition((16, 16), (1, 2))
-    repro.run(
+    return repro.run(
         config,
         [
             repro.Program("F", main=f_main, regions={"d": RegionDef(dec)}),
             repro.Program("U", main=u_main, regions={"d": RegionDef(deci)}),
         ],
-        repro.RunOptions(buddy_help=True, tracer=tracer, seed=2),
+        repro.RunOptions(buddy_help=buddy_help, tracer=tracer, seed=2),
     )
-    return tracer
 
 
 def banner(title):
@@ -78,11 +81,26 @@ def main():
           "(the buffer-and-replace churn)")
 
     banner("Emergent trace from the full runtime (slow process F.p1)")
-    tracer = emergent_trace()
+    result = emergent_trace()
+    tracer = result.tracer
     print(format_trace(tracer.events[:40]))
     skips = sum(1 for e in tracer.events if e.kind == "export_skip")
     buddies = sum(1 for e in tracer.events if e.kind == "buddy_help_recv")
     print(f"\n-> {buddies} buddy-help messages received, {skips} memcpys skipped")
+
+    banner("T_ub accounting via RunResult.metrics (with vs. without help)")
+    paper = result.metrics.paper
+    baseline = emergent_trace(buddy_help=False, with_tracer=False)
+    paper_off = baseline.metrics.paper
+    print(paper.render())
+    print(
+        f"\n-> measured no-help run:  T_ub = {paper_off.t_ub_total:.6g} s"
+        f"\n-> with buddy-help:       T_ub = {paper.t_ub_total:.6g} s"
+        f"\n-> positive saving:       {paper.t_ub_saving:.6g} s "
+        f"(counterfactual estimate {paper.t_ub_no_help_estimate:.6g} s "
+        "matches the no-help measurement)"
+    )
+    assert paper.t_ub_saving > 0, "buddy-help should save buffering time"
 
 
 if __name__ == "__main__":

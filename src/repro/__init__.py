@@ -36,6 +36,7 @@ from repro.core.config import CouplingConfig, load_config, parse_config
 from repro.data import BlockDecomposition, CommSchedule, DistributedArray, RectRegion
 from repro.faults import FaultPlan
 from repro.match import MatchPolicy, PolicyKind
+from repro.obs import MetricsSnapshot, PaperMetrics, SpanRecorder, TimelineSet
 from repro.util.tracing import NullTracer, Tracer
 
 __all__ = [
@@ -62,6 +63,11 @@ __all__ = [
     # matching
     "MatchPolicy",
     "PolicyKind",
+    # observability
+    "MetricsSnapshot",
+    "PaperMetrics",
+    "SpanRecorder",
+    "TimelineSet",
     # faults and tracing
     "FaultPlan",
     "Tracer",

@@ -29,6 +29,10 @@ from repro.api.options import RunOptions
 from repro.core.config import CouplingConfig, load_config
 from repro.core.coupler import CoupledSimulation
 from repro.core.live import LiveCoupledSimulation
+from repro.obs.collect import collect_metrics
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.paper import PaperMetrics, compute_paper_metrics
+from repro.obs.spans import TimelineSet, build_timelines
 from repro.util.tracing import Tracer
 
 
@@ -72,6 +76,13 @@ class RunResult:
     sim_time: float
     #: Wire traffic and resilience counters of the run.
     counters: dict[str, int]
+    #: Lazily computed observability views (see the properties below).
+    _metrics: MetricsSnapshot | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _timeline: TimelineSet | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def context(self, program: str, rank: int) -> Any:
         """The per-process context of *program* rank *rank*."""
@@ -93,6 +104,35 @@ class RunResult:
             self.simulation, CoupledSimulation
         ) else None
         return stats.as_dict() if stats is not None else None
+
+    @property
+    def metrics(self) -> MetricsSnapshot:
+        """The run's metrics, paper quantities included (computed once).
+
+        Collected post-hoc from the runtime's always-on counters (see
+        :mod:`repro.obs.collect`), so it works with a
+        :class:`~repro.util.tracing.NullTracer` and costs nothing
+        during the run.
+        """
+        if self._metrics is None:
+            registry = collect_metrics(self.simulation)
+            self._metrics = registry.snapshot(paper=self.paper_metrics)
+        return self._metrics
+
+    @property
+    def paper_metrics(self) -> PaperMetrics:
+        """Eq. 1–2 ``T_ub``, buddy-help savings, lags (computed once)."""
+        metrics = self._metrics
+        if metrics is not None and metrics.paper is not None:
+            return metrics.paper
+        return compute_paper_metrics(self.simulation)
+
+    @property
+    def timeline(self) -> TimelineSet:
+        """Per-rank span timelines over the run (computed once)."""
+        if self._timeline is None:
+            self._timeline = build_timelines(self.simulation)
+        return self._timeline
 
     def check_property1(self, raise_on_violation: bool = True) -> list[str]:
         """Check Property-1 conformance (needs ``record_operations``)."""

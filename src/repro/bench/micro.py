@@ -17,6 +17,10 @@ same workload, so every report carries its own baseline:
 * **Control plane** — wire messages per run with and without
   ``batch_control`` frame coalescing (a count, not a timing: the DES
   clock is virtual).
+* **Observability overhead** — the DES-dispatch workload again, this
+  time comparing the shipped kernel against itself with the always-on
+  observability counters stripped (:class:`_PreObsSimulator`); the
+  run *fails* if the counters cost more than 3%.
 
 ``python -m repro bench`` runs all three and writes ``BENCH_3.json``.
 The numbers are wall-clock measurements and vary run to run; the
@@ -86,6 +90,25 @@ class _LegacySimulator(Simulator):
 
     def peek(self) -> float:
         return self._heap[0][0] if self._heap else float("inf")
+
+
+class _PreObsSimulator(Simulator):
+    """The shipped kernel minus its observability counters.
+
+    ``_enqueue`` is the pre-instrumentation body verbatim — same
+    fast-lane/heap split, same total order, no ``_heap_scheduled``
+    bump — so measuring it against :class:`Simulator` isolates the
+    cost of the always-on kernel counters and nothing else.
+    """
+
+    def _enqueue(self, event: Event, delay: float, priority: PriorityLevel) -> None:
+        self._seq += 1
+        if delay == 0.0:
+            self._lanes[priority].append((self._seq, event))
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, int(priority), self._seq, event)
+            )
 
 
 def legacy_redistribute(
@@ -195,6 +218,85 @@ def run_des_micro(
         optimized=optimized,
         detail={"pending_timers": pending, "burst": burst, "rounds": rounds},
     )
+
+
+def _paired_best_round_times(
+    pending: int, burst: int, rounds: int
+) -> tuple[float, float]:
+    """Best (minimum) per-round drain time for (stripped, shipped).
+
+    The two kernels run the same workload with their rounds
+    interleaved, and each side keeps its *fastest* round.  The minimum
+    round time is the true compute cost with scheduler/steal spikes
+    filtered out — the only estimator that survives a noisy-neighbour
+    VM when the quantity under test is a ~0% difference.
+    """
+    sims: list[Simulator] = [_PreObsSimulator(), Simulator()]
+    for sim in sims:
+        for i in range(pending):
+            sim.timeout(1e9 + i)
+    best = [float("inf"), float("inf")]
+    for _ in range(rounds):
+        for idx, sim in enumerate(sims):
+            for i in range(burst):
+                Event(sim).succeed(i)
+            t0 = time.perf_counter()
+            sim.run(until=sim.now)
+            best[idx] = min(best[idx], time.perf_counter() - t0)
+    return best[0], best[1]
+
+
+def run_obs_overhead_micro(
+    pending: int = 20_000,
+    burst: int = 10_000,
+    rounds: int = 25,
+    repeats: int = 3,
+    floor: float = 0.97,
+) -> MicroComparison:
+    """Guard the cost of always-on kernel instrumentation.
+
+    Measures ``des_dispatch`` round times on the shipped kernel
+    against :class:`_PreObsSimulator` (the same kernel with the
+    observability counters stripped) and **fails** if the instrumented
+    kernel falls below ``floor`` of the uninstrumented rate — i.e. if
+    the no-op instrumentation costs more than 3% by default.  The
+    counters were designed to stay off the timed dispatch path
+    entirely (derived properties plus one increment on the
+    heap-enqueue branch), so this comparison sits at parity.
+
+    Measurement: rounds are interleaved between the two kernels and
+    min-filtered (see :func:`_paired_best_round_times`), and the guard
+    takes the best ratio over *repeats* independent trials — wall
+    clock noise then has to hit every trial of one side only to
+    produce a false failure.
+    """
+    best_ratio = 0.0
+    baseline = optimized = 0.0
+    for _ in range(repeats):
+        t_base, t_inst = _paired_best_round_times(pending, burst, rounds)
+        ratio = t_base / t_inst
+        if ratio > best_ratio:
+            best_ratio = ratio
+            baseline = burst / t_base
+            optimized = burst / t_inst
+    cmp = MicroComparison(
+        name="obs_noop_overhead",
+        unit="events/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail={
+            "pending_timers": pending,
+            "burst": burst,
+            "rounds": rounds,
+            "floor": floor,
+        },
+    )
+    require(
+        cmp.speedup >= floor,
+        f"kernel observability counters cost {(1 - cmp.speedup) * 100:.1f}% "
+        f"of des_dispatch throughput (allowed {(1 - floor) * 100:.0f}%)",
+    )
+    return cmp
 
 
 # -- redistribution -------------------------------------------------------
@@ -367,16 +469,26 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         des = run_des_micro(pending=20_000, burst=2_000, rounds=5, repeats=2)
         redist = run_redistribution_micro(shape=(128, 128), calls=8, repeats=2)
         ctl = run_control_plane_micro(exports=12, requests=5)
+        # Full sizes even in quick mode: the guard asserts a 3% bound,
+        # and shrinking the rounds would cost more precision than the
+        # few seconds the full sizes take.
+        obs = run_obs_overhead_micro()
     else:
         des = run_des_micro()
         redist = run_redistribution_micro()
         ctl = run_control_plane_micro()
+        obs = run_obs_overhead_micro()
     return {
         "bench": "repro micro hot paths",
         "quick": quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "results": [des.as_dict(), redist.as_dict(), ctl.as_dict()],
+        "results": [
+            des.as_dict(),
+            redist.as_dict(),
+            ctl.as_dict(),
+            obs.as_dict(),
+        ],
     }
 
 

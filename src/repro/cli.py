@@ -5,8 +5,13 @@ Commands
 ``figure4``
     Run one Figure-4 configuration and print the series summary
     (optionally dump all runs as JSON).
-``traces``
-    Print the Figure 5/7/8 event traces in the paper's notation.
+``traces`` (alias ``trace``)
+    Print the Figure 5/7/8 event traces in the paper's notation, or
+    export a Chrome ``trace_event`` timeline with ``--chrome PATH``.
+``report``
+    Per-run observability rollup: ``T_ub`` per Eq. 1–2, buddy-help
+    savings (with-help vs. no-help), and the full metric catalog
+    (see ``docs/observability.md``).
 ``scenarios``
     Run the Figure-3 buffering scenarios.
 ``chaos``
@@ -111,12 +116,118 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_run(buddy_help: bool, tracer: Any = None) -> Any:
+    """The report/trace demo: the Figure-4 shape on two tiny programs.
+
+    Program F exports 46 steps with rank 1 four times slower (the
+    paper's ``p_s``); program U imports twice.  Returns the
+    :class:`repro.RunResult`.
+    """
+    import repro
+    from repro.core.coupler import RegionDef
+    from repro.data import BlockDecomposition
+
+    config = "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n"
+
+    def f_main(ctx: Any) -> Any:
+        scale = 4.0 if ctx.rank == 1 else 1.0
+        for k in range(46):
+            yield from ctx.export("d", 1.6 + k)
+            yield from ctx.compute(0.001 * scale)
+
+    def u_main(ctx: Any) -> Any:
+        for want in (20.0, 40.0):
+            yield from ctx.compute(0.004)
+            yield from ctx.import_("d", want)
+
+    return repro.run(
+        config,
+        [
+            repro.Program(
+                "F", main=f_main,
+                regions={"d": RegionDef(BlockDecomposition((16, 16), (2, 1)))},
+            ),
+            repro.Program(
+                "U", main=u_main,
+                regions={"d": RegionDef(BlockDecomposition((16, 16), (1, 2)))},
+            ),
+        ],
+        repro.RunOptions(buddy_help=buddy_help, tracer=tracer, seed=2),
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import REPORT_SCHEMA
+
+    with_help = _demo_run(buddy_help=True)
+    without_help = _demo_run(buddy_help=False)
+    runs = [("buddy_on", with_help), ("buddy_off", without_help)]
+    paper_on = with_help.paper_metrics
+    paper_off = without_help.paper_metrics
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "runs": [
+            {
+                "name": name,
+                "sim_time": result.sim_time,
+                "counters": result.counters,
+                "metrics": result.metrics.as_dict(),
+            }
+            for name, result in runs
+        ],
+        "comparison": {
+            "t_ub_with_help": paper_on.t_ub_total,
+            "t_ub_without_help": paper_off.t_ub_total,
+            "t_ub_saving": paper_off.t_ub_total - paper_on.t_ub_total,
+            "t_ub_no_help_estimate": paper_on.t_ub_no_help_estimate,
+        },
+    }
+    if _emit(args, payload):
+        return 0
+    for name, result in runs:
+        print(f"\n== {name}")
+        print(result.metrics.paper.render() if result.metrics.paper else "")
+        if args.verbose:
+            print()
+            print(result.metrics.render())
+    comparison = payload["comparison"]
+    assert isinstance(comparison, dict)
+    print(
+        f"\nT_ub with buddy-help    = {comparison['t_ub_with_help']:.6g} s"
+        f"\nT_ub without buddy-help = {comparison['t_ub_without_help']:.6g} s"
+        f"\nmeasured saving         = {comparison['t_ub_saving']:.6g} s"
+        f"\ncounterfactual estimate = {comparison['t_ub_no_help_estimate']:.6g} s"
+        " (with-help run, no-help estimate)"
+    )
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     from repro.bench.traces import (
         scenario_fig5,
         scenario_fig7_with_buddy,
         scenario_fig8_without_buddy,
     )
+
+    if getattr(args, "chrome", None):
+        from repro.obs.export import write_chrome_trace
+        from repro.util.tracing import Tracer
+
+        result = _demo_run(buddy_help=True, tracer=Tracer())
+        path = write_chrome_trace(args.chrome, result.timeline)
+        spans = result.timeline.span_count()
+        events = result.timeline.event_count()
+        if not _emit(args, {
+            "path": str(path),
+            "spans": spans,
+            "instants": events,
+            "threads": result.timeline.whos(),
+        }):
+            print(
+                f"wrote {path} ({spans} spans, {events} instants; "
+                "load in chrome://tracing or https://ui.perfetto.dev)"
+            )
+        return 0
 
     scenarios = {
         "5": ("Figure 5: typical buddy-help scenario (REGL 2.5)", scenario_fig5),
@@ -391,10 +502,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p4.set_defaults(fn=_cmd_figure4)
 
-    pt = sub.add_parser("traces", help="print the Figure 5/7/8 traces")
+    pt = sub.add_parser(
+        "traces",
+        aliases=["trace"],
+        help="print the Figure 5/7/8 traces (or export a Chrome trace)",
+    )
     pt.add_argument("--figure", choices=["5", "7", "8", "all"], default="all")
+    pt.add_argument(
+        "--chrome", metavar="PATH",
+        help="run the coupled demo and write a Chrome trace_event JSON "
+        "timeline to PATH (chrome://tracing / Perfetto)",
+    )
     _add_json_flag(pt)
     pt.set_defaults(fn=_cmd_traces)
+
+    pr = sub.add_parser(
+        "report",
+        help="per-run observability rollup: T_ub, buddy-help savings, metrics",
+    )
+    pr.add_argument(
+        "--verbose", action="store_true",
+        help="also print the full metric catalog per run",
+    )
+    _add_json_flag(pr)
+    pr.set_defaults(fn=_cmd_report)
 
     ps = sub.add_parser("scenarios", help="run the Figure-3 scenarios")
     _add_json_flag(ps)

@@ -175,6 +175,13 @@ class ProcessStats:
     #: Virtual time spent stalled waiting for buffer space (finite
     #: buffers with the "block" policy).
     backpressure_time: float = 0.0
+    #: Buddy-help accounting (paper Figures 7-8): final answers this
+    #: process received from its rep, skips enabled only by those
+    #: answers, and the memcpy time those skips avoided — the per-rank
+    #: contribution to the with-help vs. no-help ``T_ub`` comparison.
+    buddy_answers_received: int = 0
+    buddy_skips: int = 0
+    buddy_saved_time: float = 0.0
 
     def export_times(self) -> list[float]:
         """The per-iteration export-cost series (Figure 4's y-axis)."""
@@ -372,6 +379,12 @@ class ProcessContext:
                 tracer.record(tracing.EXPORT_MEMCPY, self.who, t0, timestamp=ts)
         elif outcome.decision is ExportDecision.SKIP:
             charge = coupler.preset.memory.skip_time()
+            if outcome.buddy_skip:
+                # Without the rep's disseminated answer this object
+                # would have been buffered (and freed unsent later):
+                # credit the avoided memcpy to buddy-help.
+                self.stats.buddy_skips += 1
+                self.stats.buddy_saved_time += memcpy_cost
             if tracer.enabled:
                 tracer.record(
                     tracing.EXPORT_SKIP, self.who, t0, timestamp=ts, region=region
@@ -1188,6 +1201,7 @@ class CoupledSimulation:
                                 else msg.answer.request_ts,
                             )
                         applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                        ctx.stats.buddy_answers_received += 1
                         if applied.send_now is not None:
                             self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
                         yield from self._agent_evict(ctx, st, free_time)

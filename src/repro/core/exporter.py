@@ -109,6 +109,11 @@ class ExportOutcome:
     #: Matches resolved during this call whose (already buffered) data
     #: must be transferred now: ``(connection_id, matched_ts)``.
     post_sends: tuple[tuple[str, float], ...] = ()
+    #: A SKIP that *local* knowledge alone would not have allowed —
+    #: some connection's skip threshold passed this timestamp only
+    #: because of a buddy-help answer.  The memcpy avoided here is the
+    #: paper's buddy-help saving (Figure 7 vs. Figure 8).
+    buddy_skip: bool = False
 
 
 class ConnectionExportState:
@@ -132,6 +137,11 @@ class ConnectionExportState:
         self.answers: dict[float, FinalAnswer] = {}
         #: Exports strictly below this can never match → skippable.
         self.skip_threshold: float = -math.inf
+        #: Counterfactual threshold raised only by *local* knowledge
+        #: (requests this process saw, answers it decided itself).  The
+        #: gap up to ``skip_threshold`` is what buddy-help bought; see
+        #: :meth:`skip_is_buddy`.
+        self.local_skip_threshold: float = -math.inf
         #: Matched timestamps not yet exported: export them with SEND.
         self.must_send: set[float] = set()
         #: Count of requests seen (N of Eq. 2); also the window index.
@@ -220,7 +230,9 @@ class ConnectionExportState:
                 # nothing up to this request's region high can satisfy
                 # any future request; the match itself is protected by
                 # ``must_send``/``keep_set``.
-                self._raise_threshold(self.policy.region(ts)[1])
+                self._raise_threshold(
+                    self.policy.region(ts)[1], local=source == "local"
+                )
             if self.engine.history.latest >= m:
                 # Already exported: the object is buffered (the skip
                 # threshold can never have passed an eventual match) —
@@ -232,7 +244,9 @@ class ConnectionExportState:
                 self.must_send.add(m)
         else:
             if self.disjoint:
-                self._raise_threshold(self.policy.region(ts)[1])
+                self._raise_threshold(
+                    self.policy.region(ts)[1], local=source == "local"
+                )
         return ApplyOutcome(answer=answer, send_now=send_now, was_news=True)
 
     def vote_export(self, ts: float) -> tuple[ExportDecision, int | None, float | None]:
@@ -299,10 +313,22 @@ class ConnectionExportState:
         self.engine.close_stream()
         return self.newly_decidable()
 
+    def skip_is_buddy(self, ts: float) -> bool:
+        """Whether skipping *ts* is attributable to buddy-help.
+
+        True when the actual threshold passed *ts* but the
+        local-knowledge counterfactual has not: without the rep's
+        disseminated answer this process would have buffered the
+        object (and, per Figure 8, freed it unsent later).
+        """
+        return self.local_skip_threshold <= ts < self.skip_threshold
+
     # -- helpers -----------------------------------------------------------
-    def _raise_threshold(self, value: float) -> None:
+    def _raise_threshold(self, value: float, *, local: bool = True) -> None:
         if value > self.skip_threshold:
             self.skip_threshold = value
+        if local and value > self.local_skip_threshold:
+            self.local_skip_threshold = value
 
     def _needed_elsewhere(self, ts: float, excluding: OpenRequest) -> bool:
         """Whether *ts* is still a candidate for another open request."""
@@ -439,6 +465,7 @@ class RegionExportState:
         for cid, conn in self.connections.items():
             decision, window, replaced_ts = conn.vote_export(ts)
             votes.append((cid, decision, window, replaced_ts))
+        buddy_skip = False
 
         send_connections = tuple(cid for cid, d, _w, _r in votes if d is ExportDecision.SEND)
         all_skip = all(d is ExportDecision.SKIP for _c, d, _w, _r in votes)
@@ -453,6 +480,9 @@ class RegionExportState:
             self.buffer.buffer(ts, nbytes, memcpy_cost, window=window, payload=payload)
         elif all_skip:
             decision = ExportDecision.SKIP
+            buddy_skip = any(
+                conn.skip_is_buddy(ts) for conn in self.connections.values()
+            )
         else:
             decision = ExportDecision.BUFFER
             self.buffer.buffer(ts, nbytes, memcpy_cost, window=window, payload=payload)
@@ -481,6 +511,7 @@ class RegionExportState:
             replaced=tuple(replaced_entries),
             new_responses=tuple(new_responses),
             post_sends=tuple(post_sends),
+            buddy_skip=buddy_skip,
         )
 
     def close(self) -> tuple[list[tuple[str, MatchResponse]], list[tuple[str, float]]]:

@@ -83,6 +83,10 @@ class LiveStats:
     """Per-process wall-clock instrumentation."""
 
     export_records: list[LiveExportRecord] = field(default_factory=list)
+    #: Buddy-help accounting (wall-clock runtimes cannot price the
+    #: avoided copy, so only the counts are kept here).
+    buddy_answers_received: int = 0
+    buddy_skips: int = 0
 
     def decisions(self) -> dict[str, int]:
         """Histogram of export decisions."""
@@ -195,6 +199,8 @@ class LiveProcessContext:
                 self._rt._send_response(self, cid, response)
             st.collect_evictions()
         elapsed = time.perf_counter() - t0
+        if outcome.buddy_skip:
+            self.stats.buddy_skips += 1
         self.stats.export_records.append(
             LiveExportRecord(ts=ts, decision=outcome.decision, seconds=elapsed)
         )
@@ -801,6 +807,7 @@ class LiveCoupledSimulation:
                 )
             with ctx.lock:
                 applied = st.on_buddy_answer(msg.connection_id, msg.answer)
+                ctx.stats.buddy_answers_received += 1
                 if applied.send_now is not None:
                     self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
                 st.collect_evictions()

@@ -22,7 +22,11 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.exceptions import ProtocolError, PropertyViolationError
-from repro.match.aggregate import CollectiveViolationError, aggregate_responses
+from repro.match.aggregate import (
+    CollectiveViolationError,
+    aggregate_responses,
+    classify_case,
+)
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util.validation import require
 
@@ -142,6 +146,11 @@ class ExporterRep:
         self.finalized_count = 0
         self.duplicate_requests = 0
         self.cached_answers_served = 0
+        #: Which of the five legal aggregate cases each finalization
+        #: hit (``all_match`` .. ``pending_no_match``); requests still
+        #: open with only-PENDING responses are counted as
+        #: ``all_pending`` by :meth:`aggregate_case_counts`.
+        self.aggregate_cases: dict[str, int] = {}
 
     # -- events ------------------------------------------------------------
     def on_request(self, connection_id: str, request_ts: float) -> list[Directive]:
@@ -225,6 +234,8 @@ class ExporterRep:
         assert answer is not None  # at least one definitive response
         st.finalized = answer
         self.finalized_count += 1
+        case = classify_case(list(st.responses.values()))
+        self.aggregate_cases[case] = self.aggregate_cases.get(case, 0) + 1
         directives: list[Directive] = [
             AnswerImporter(connection_id=connection_id, answer=answer)
         ]
@@ -250,6 +261,19 @@ class ExporterRep:
         """The final answer for a request, if decided."""
         st = self._conn(connection_id).get(request_ts)
         return st.finalized if st else None
+
+    def aggregate_case_counts(self) -> dict[str, int]:
+        """Finalization cases plus still-open all-PENDING requests."""
+        out = dict(self.aggregate_cases)
+        all_pending = sum(
+            1
+            for states in self._requests.values()
+            for st in states.values()
+            if st.finalized is None and st.responses
+        )
+        if all_pending:
+            out["all_pending"] = out.get("all_pending", 0) + all_pending
+        return out
 
     # -- internals ---------------------------------------------------------------
     def _conn(self, connection_id: str) -> dict[float, _ExpRequestState]:

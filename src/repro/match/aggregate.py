@@ -26,6 +26,32 @@ class CollectiveViolationError(RuntimeError):
     """Raised when per-process responses break Property 1."""
 
 
+def classify_case(responses: Sequence[MatchResponse]) -> str:
+    """Name which of the five legal aggregate cases *responses* form.
+
+    Returns one of ``"all_match"``, ``"all_no_match"``,
+    ``"all_pending"``, ``"pending_match"``, ``"pending_no_match"`` —
+    the taxonomy in this module's docstring, reported per rep under the
+    ``rep.aggregate_cases`` metric.  Illegal mixtures raise
+    :class:`CollectiveViolationError` (delegating the full Property-1
+    checks to :func:`aggregate_responses` callers is fine: this only
+    looks at response kinds).
+    """
+    require(len(responses) > 0, "cannot classify zero responses")
+    kinds = {r.kind for r in responses}
+    if MatchKind.MATCH in kinds and MatchKind.NO_MATCH in kinds:
+        raise CollectiveViolationError(
+            "MATCH mixed with NO_MATCH is not a legal aggregate case "
+            "(Property 1 violated)"
+        )
+    pending = MatchKind.PENDING in kinds
+    if kinds == {MatchKind.PENDING}:
+        return "all_pending"
+    if MatchKind.MATCH in kinds:
+        return "pending_match" if pending else "all_match"
+    return "pending_no_match" if pending else "all_no_match"
+
+
 def aggregate_responses(
     responses: Sequence[MatchResponse],
 ) -> FinalAnswer | None:

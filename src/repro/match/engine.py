@@ -97,6 +97,11 @@ class MatchEngine:
         #: mode only advances the mark instead of rejecting them.
         self.strict_order = strict_order
         self._last_request_ts = -math.inf
+        #: Outcome counters (every evaluation, including re-evaluations
+        #: of outstanding requests), read post-run by ``repro.obs``.
+        self.match_count = 0
+        self.no_match_count = 0
+        self.pending_count = 0
 
     @property
     def last_request_ts(self) -> float:
@@ -145,6 +150,7 @@ class MatchEngine:
             or self.history.closed
         )
         if not decidable:
+            self.pending_count += 1
             return MatchResponse(
                 request_ts=request_ts,
                 kind=MatchKind.PENDING,
@@ -154,11 +160,13 @@ class MatchEngine:
         candidates = self.history.in_interval(low, high)
         best = self.policy.select_best(candidates, request_ts)
         if best is None:
+            self.no_match_count += 1
             return MatchResponse(
                 request_ts=request_ts,
                 kind=MatchKind.NO_MATCH,
                 latest_export_ts=self.history.latest,
             )
+        self.match_count += 1
         return MatchResponse(
             request_ts=request_ts,
             kind=MatchKind.MATCH,

@@ -1,0 +1,63 @@
+"""Unified observability: metrics, span timelines, and paper metrics.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — labeled ``Counter``/``Gauge``/
+  ``Histogram``/``Timer`` instruments in a :class:`MetricsRegistry`,
+  frozen into :class:`MetricsSnapshot` for export.
+* :mod:`repro.obs.spans` + :mod:`repro.obs.paper` — per-rank
+  :class:`Timeline` objects over the trace stream, and the paper's
+  Eq. 1–2 quantities (``T_ub``, buddy-help savings, slowest-process
+  lag, PENDING-resolution latency) as :class:`PaperMetrics`.
+* :mod:`repro.obs.collect` + :mod:`repro.obs.export` — post-run
+  collection into a registry, Chrome ``trace_event`` JSON, and the
+  ``repro report`` payload validators.
+
+The usual entry point is the facade: ``result.metrics`` /
+``result.timeline`` on :class:`repro.api.RunResult`.
+"""
+
+from repro.obs.collect import collect_metrics
+from repro.obs.export import (
+    REPORT_SCHEMA,
+    chrome_trace,
+    validate_chrome_trace,
+    validate_report_payload,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    Timer,
+)
+from repro.obs.paper import PaperMetrics, compute_paper_metrics
+from repro.obs.spans import Span, SpanRecorder, Timeline, TimelineSet, build_timelines
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullMetrics",
+    "PaperMetrics",
+    "Span",
+    "SpanRecorder",
+    "Timeline",
+    "TimelineSet",
+    "Timer",
+    "build_timelines",
+    "chrome_trace",
+    "collect_metrics",
+    "compute_paper_metrics",
+    "validate_chrome_trace",
+    "validate_report_payload",
+    "write_chrome_trace",
+]

@@ -1,0 +1,219 @@
+"""Export formats: Chrome ``trace_event`` JSON and payload validators.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.spans.TimelineSet`
+into the Trace Event Format understood by ``chrome://tracing`` and
+Perfetto: one *process* per coupled program, one *thread* per rank
+(the program's rep gets its own thread), complete events (``ph: "X"``)
+for spans, thread-scoped instants (``ph: "i"``) for trace events, and
+metadata records naming both.  Virtual seconds are scaled to
+microseconds — the viewer's native unit — so a 2.5-second acceptance
+region reads as 2.5 s on the ruler.
+
+The validators are deliberately hand-rolled (the repo takes no schema
+dependency): they return a list of human-readable problems, empty when
+the payload conforms.  CI runs them against real ``repro trace
+--chrome`` and ``repro report --json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.spans import TimelineSet
+
+#: Version tag stamped into (and required of) ``repro report --json``.
+REPORT_SCHEMA = "repro.report/v1"
+
+
+def _split_who(who: str) -> tuple[str, str]:
+    """``"F.p1"`` → ``("F", "p1")``; unqualified names get one process."""
+    if "." in who:
+        prog, _, thread = who.partition(".")
+        return prog, thread
+    return who, who
+
+
+def _thread_sort_key(thread: str) -> tuple[int, int | str]:
+    # Ranks first in numeric order, then rep/other threads by name.
+    if thread.startswith("p") and thread[1:].isdigit():
+        return (0, int(thread[1:]))
+    return (1, thread)
+
+
+def chrome_trace(timelines: TimelineSet, *, time_scale: float = 1e6) -> dict[str, Any]:
+    """Render *timelines* as a Chrome ``trace_event`` JSON object."""
+    programs: dict[str, dict[str, int]] = {}
+    for who in timelines.whos():
+        prog, thread = _split_who(who)
+        programs.setdefault(prog, {})[thread] = 0
+    pids = {prog: i + 1 for i, prog in enumerate(sorted(programs))}
+    tids: dict[str, dict[str, int]] = {}
+    for prog, threads in programs.items():
+        ordered = sorted(threads, key=_thread_sort_key)
+        tids[prog] = {thread: i + 1 for i, thread in enumerate(ordered)}
+
+    events: list[dict[str, Any]] = []
+    for prog in sorted(programs):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[prog],
+                "tid": 0,
+                "args": {"name": prog},
+            }
+        )
+        for thread, tid in sorted(tids[prog].items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[prog],
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+
+    for who in timelines.whos():
+        prog, thread = _split_who(who)
+        pid, tid = pids[prog], tids[prog][thread]
+        tl = timelines.timelines[who]
+        for span in tl.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start * time_scale,
+                    "dur": span.duration * time_scale,
+                    "args": {str(k): v for k, v in span.args.items()},
+                }
+            )
+        for event in tl.events:
+            events.append(
+                {
+                    "name": event.kind,
+                    "cat": "trace",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.time * time_scale,
+                    "args": {str(k): v for k, v in event.detail.items()},
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, timelines: TimelineSet, *, time_scale: float = 1e6
+) -> Path:
+    """Write :func:`chrome_trace` output to *path*; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(chrome_trace(timelines, time_scale=time_scale)) + "\n")
+    return out
+
+
+_PHASES_WITH_DUR = {"X"}
+_KNOWN_PHASES = {"X", "i", "M", "B", "E", "C"}
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Problems that would stop ``chrome://tracing`` loading *obj*."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(e.get("name"), str):
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph in _PHASES_WITH_DUR:
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+        if ph == "i" and e.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t, p or g")
+    return problems
+
+
+def _check_metrics_block(block: Any, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(block, dict):
+        return [f"{where}: metrics must be an object"]
+    samples = block.get("metrics")
+    if not isinstance(samples, list):
+        return [f"{where}: metrics.metrics must be a list"]
+    for i, s in enumerate(samples):
+        spot = f"{where}.metrics[{i}]"
+        if not isinstance(s, dict):
+            problems.append(f"{spot}: not an object")
+            continue
+        if not isinstance(s.get("name"), str):
+            problems.append(f"{spot}: missing name")
+        if s.get("kind") not in ("counter", "gauge", "histogram", "timer"):
+            problems.append(f"{spot}: bad kind {s.get('kind')!r}")
+        if not isinstance(s.get("labels"), dict):
+            problems.append(f"{spot}: labels must be an object")
+        if not isinstance(s.get("value"), (int, float)):
+            problems.append(f"{spot}: value must be a number")
+    paper = block.get("paper")
+    if paper is not None:
+        if not isinstance(paper, dict):
+            problems.append(f"{where}: paper must be an object")
+        else:
+            for key in ("t_ub_total", "t_ub_no_help_estimate", "t_ub_saving"):
+                if not isinstance(paper.get(key), (int, float)):
+                    problems.append(f"{where}: paper.{key} must be a number")
+    return problems
+
+
+def validate_report_payload(obj: Any) -> list[str]:
+    """Problems with a ``repro report --json`` payload."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    if obj.get("schema") != REPORT_SCHEMA:
+        problems.append(f"schema must be {REPORT_SCHEMA!r}, got {obj.get('schema')!r}")
+    runs = obj.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty list"]
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(run.get("name"), str):
+            problems.append(f"{where}: missing name")
+        problems.extend(_check_metrics_block(run.get("metrics"), where))
+    comparison = obj.get("comparison")
+    if comparison is not None:
+        if not isinstance(comparison, dict):
+            problems.append("comparison must be an object")
+        else:
+            for key in ("t_ub_with_help", "t_ub_without_help", "t_ub_saving"):
+                if not isinstance(comparison.get(key), (int, float)):
+                    problems.append(f"comparison.{key} must be a number")
+    return problems

@@ -1,0 +1,352 @@
+"""Run-scoped metrics: counters, gauges, histograms and timers.
+
+The observability layer's first pillar (see ``docs/observability.md``).
+A :class:`MetricsRegistry` holds labeled instruments:
+
+* :class:`Counter` — monotonically increasing event count,
+* :class:`Gauge` — last-written value with a high-water mark,
+* :class:`Histogram` — streaming distribution summary backed by
+  :class:`repro.util.stats.OnlineStats` (count/mean/stddev/min/max
+  without keeping samples alive),
+* :class:`Timer` — a histogram over durations, with a wall-clock
+  context manager for live code.
+
+Labels identify *which* program/rank/connection an instrument belongs
+to; values are coerced to strings so label sets hash and serialize
+stably.  :class:`NullMetrics` is the no-op default: every accessor
+returns a shared do-nothing instrument, so instrumented call sites cost
+one dynamic dispatch when metrics are off — nothing on the DES hot
+path ever consults a registry (kernel and protocol counters are plain
+attribute increments collected *after* the run by
+:mod:`repro.obs.collect`).
+
+:class:`MetricsSnapshot` is the immutable export form:
+:meth:`MetricsSnapshot.to_json` for machine consumption,
+:meth:`MetricsSnapshot.render` for a human rollup.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.stats import OnlineStats
+from repro.util.validation import require
+
+from repro.obs.paper import PaperMetrics
+
+#: A label set in canonical (hashable) form.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be >= 0) to the count."""
+        require(n >= 0, "counters only increase")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.high_water = -math.inf
+
+    def set(self, value: float) -> None:
+        """Record the current value (and raise the high-water mark)."""
+        self.value = float(value)
+        if value > self.high_water:
+            self.high_water = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by *delta*."""
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """A streaming distribution summary (no samples retained).
+
+    Unlike :class:`repro.util.stats.Histogram` (fixed bins over a known
+    range), this instrument works for unknown ranges: it keeps Welford
+    aggregates only.  NaN samples are rejected, matching the stats
+    helper's contract.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats = OnlineStats()
+
+    def observe(self, x: float) -> None:
+        """Fold one sample into the distribution."""
+        if math.isnan(x):
+            raise ValueError("histogram samples must not be NaN")
+        self.stats.add(float(x))
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return self.stats.count
+
+    def summary(self) -> dict[str, float]:
+        """Plain-dict aggregate view (empty distributions are all-zero)."""
+        s = self.stats
+        if s.count == 0:
+            return {"count": 0, "mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": float(s.count),
+            "mean": s.mean,
+            "stddev": s.stddev,
+            "min": s.minimum,
+            "max": s.maximum,
+        }
+
+
+class Timer(Histogram):
+    """A histogram over durations, in seconds."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Measure a wall-clock block: ``with timer.time(): ...``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One instrument's exported state."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram" | "timer"
+    labels: dict[str, str]
+    value: float
+    #: Extra per-kind detail: high-water for gauges, the aggregate
+    #: summary for histograms/timers.
+    detail: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable export of a registry (plus the first-class paper metrics)."""
+
+    samples: tuple[MetricSample, ...]
+    paper: PaperMetrics | None = None
+
+    # -- queries ---------------------------------------------------------
+    def get(self, name: str, **labels: Any) -> MetricSample | None:
+        """The sample matching *name* and exactly these labels."""
+        key = _label_key(labels)
+        for s in self.samples:
+            if s.name == name and _label_key(dict(s.labels)) == key:
+                return s
+        return None
+
+    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Shorthand: the matching sample's value, or *default*."""
+        s = self.get(name, **labels)
+        return s.value if s is not None else default
+
+    def total(self, name: str, **labels: Any) -> float:
+        """Sum of every sample of *name* whose labels include *labels*."""
+        want = dict(_label_key(labels))
+        out = 0.0
+        for s in self.samples:
+            if s.name != name:
+                continue
+            if all(s.labels.get(k) == v for k, v in want.items()):
+                out += s.value
+        return out
+
+    def names(self) -> list[str]:
+        """Sorted distinct metric names."""
+        return sorted({s.name for s in self.samples})
+
+    # -- export ----------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form, paper metrics included when present."""
+        out: dict[str, Any] = {
+            "metrics": [s.as_dict() for s in self.samples],
+        }
+        if self.paper is not None:
+            out["paper"] = self.paper.as_dict()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the snapshot as JSON text."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable rollup, one line per sample."""
+        lines = []
+        for s in sorted(self.samples, key=lambda s: (s.name, sorted(s.labels.items()))):
+            labels = ",".join(f"{k}={v}" for k, v in sorted(s.labels.items()))
+            label_part = f"{{{labels}}}" if labels else ""
+            lines.append(f"{s.name}{label_part} = {s.value:g}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Get-or-create home of labeled instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str, LabelKey], Any] = {}
+
+    def _get(self, kind: str, factory: type, name: str, labels: dict[str, Any]) -> Any:
+        key = (kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory()
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter *name* for this label set (created on first use)."""
+        inst: Counter = self._get("counter", Counter, name, labels)
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge *name* for this label set."""
+        inst: Gauge = self._get("gauge", Gauge, name, labels)
+        return inst
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram *name* for this label set."""
+        inst: Histogram = self._get("histogram", Histogram, name, labels)
+        return inst
+
+    def timer(self, name: str, **labels: Any) -> Timer:
+        """The timer *name* for this label set."""
+        inst: Timer = self._get("timer", Timer, name, labels)
+        return inst
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self, paper: PaperMetrics | None = None) -> MetricsSnapshot:
+        """Freeze every instrument into a :class:`MetricsSnapshot`."""
+        samples: list[MetricSample] = []
+        for (kind, name, key), inst in sorted(
+            self._instruments.items(), key=lambda kv: kv[0]
+        ):
+            labels = dict(key)
+            if kind == "counter":
+                samples.append(
+                    MetricSample(name=name, kind=kind, labels=labels,
+                                 value=float(inst.value))
+                )
+            elif kind == "gauge":
+                hw = inst.high_water
+                detail = {"high_water": hw} if hw > -math.inf else {}
+                samples.append(
+                    MetricSample(name=name, kind=kind, labels=labels,
+                                 value=float(inst.value), detail=detail)
+                )
+            else:  # histogram / timer
+                summary = inst.summary()
+                samples.append(
+                    MetricSample(name=name, kind=kind, labels=labels,
+                                 value=summary["mean"], detail=summary)
+                )
+        return MetricsSnapshot(samples=tuple(samples), paper=paper)
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, x: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe(self, x: float) -> None:
+        pass
+
+
+class NullMetrics(MetricsRegistry):
+    """The do-nothing registry: every accessor returns a shared no-op.
+
+    This is the default wired into instrumented call sites, so a run
+    without observability pays one dynamic dispatch per call at most —
+    and the framework's own hot paths avoid even that by keeping plain
+    attribute counters that :func:`repro.obs.collect.collect_metrics`
+    reads after the run.
+    """
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _histogram = _NullHistogram()
+    _timer = _NullTimer()
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The shared no-op counter."""
+        return self._counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The shared no-op gauge."""
+        return self._gauge
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The shared no-op histogram."""
+        return self._histogram
+
+    def timer(self, name: str, **labels: Any) -> Timer:
+        """The shared no-op timer."""
+        return self._timer
+
+    def snapshot(self, paper: PaperMetrics | None = None) -> MetricsSnapshot:
+        """An empty snapshot."""
+        return MetricsSnapshot(samples=(), paper=paper)

@@ -204,7 +204,17 @@ class Histogram:
             self.counts = [0] * self.nbins
 
     def add(self, x: float) -> None:
-        """Add one sample."""
+        """Add one sample.
+
+        Raises
+        ------
+        ValueError
+            If *x* is NaN — a NaN cannot be assigned to any bin, and
+            letting it through would either crash with an opaque
+            conversion error or corrupt the total-count invariant.
+        """
+        if math.isnan(x):
+            raise ValueError("histogram samples must not be NaN")
         span = self.high - self.low
         idx = int((x - self.low) / span * self.nbins)
         idx = min(max(idx, 0), self.nbins - 1)

@@ -96,6 +96,18 @@ def known_kinds() -> frozenset[str]:
     return KNOWN_KINDS | frozenset(_extension_kinds)
 
 
+def _check_kind(kind: str) -> None:
+    """Reject unregistered kinds — shared by every tracer, including
+    :class:`NullTracer`, so a typo'd emission site fails under the
+    no-op default too, not only when someone turns tracing on."""
+    if kind not in KNOWN_KINDS and kind not in _extension_kinds:
+        raise ValueError(
+            f"unregistered trace kind {kind!r}; canonical kinds are "
+            f"{sorted(KNOWN_KINDS)} — declare extensions with "
+            "repro.util.tracing.register_kind()"
+        )
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One framework decision, in the paper's Figure-5/7/8 vocabulary.
@@ -315,12 +327,7 @@ class Tracer:
         typo'd emission site fails at the first event, not in whatever
         downstream code silently filters the stream.
         """
-        if kind not in KNOWN_KINDS and kind not in _extension_kinds:
-            raise ValueError(
-                f"unregistered trace kind {kind!r}; canonical kinds are "
-                f"{sorted(KNOWN_KINDS)} — declare extensions with "
-                "repro.util.tracing.register_kind()"
-            )
+        _check_kind(kind)
         ev = TraceEvent(kind=kind, who=who, time=time, timestamp=timestamp, detail=detail)
         if self._predicate is None or self._predicate(ev):
             self.events.append(ev)
@@ -358,8 +365,16 @@ class NullTracer(Tracer):
         """Always ``False``: callers may skip building event details."""
         return False
 
-    def record(self, *args: Any, **kwargs: Any) -> None:
-        """Ignore the event."""
+    def record(
+        self,
+        kind: str,
+        who: str,
+        time: float,
+        timestamp: float | None = None,
+        **detail: Any,
+    ) -> None:
+        """Validate the kind, then drop the event."""
+        _check_kind(kind)
 
 
 def format_trace(

@@ -139,9 +139,15 @@ class DesCommunicator:
         self.size = len(self._addresses)
         self._mailbox = world.network.mailbox(self._addresses[rank])
         self._coll_seq = 0
-        #: Sent/received message counters for diagnostics.
+        #: Sent/received message counters for diagnostics, with the
+        #: sends split by kind: user point-to-point vs. the internal
+        #: collective traffic (tags under ``_INTERNAL_PREFIX``).
         self.sent_messages = 0
         self.received_messages = 0
+        self.p2p_messages_sent = 0
+        self.p2p_bytes_sent = 0
+        self.coll_messages_sent = 0
+        self.coll_bytes_sent = 0
 
     # -- point to point --------------------------------------------------
     @property
@@ -158,6 +164,12 @@ class DesCommunicator:
             self.address, self._addresses[dest], msg, nbytes=nbytes
         )
         self.sent_messages += 1
+        if isinstance(tag, str) and tag.startswith(_INTERNAL_PREFIX):
+            self.coll_messages_sent += 1
+            self.coll_bytes_sent += nbytes
+        else:
+            self.p2p_messages_sent += 1
+            self.p2p_bytes_sent += nbytes
 
     def recv(self, source: Any = ANY_SOURCE, tag: Any = ANY_TAG) -> Event:
         """Event carrying the next matching :class:`Message`.

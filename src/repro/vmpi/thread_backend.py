@@ -194,8 +194,14 @@ class ThreadCommunicator:
         self.size = len(self._addresses)
         self._mailbox = world.mailbox(self._addresses[rank])
         self._coll_seq = 0
+        #: Diagnostics, mirroring :class:`repro.vmpi.DesCommunicator`:
+        #: sends split into user p2p vs. internal collective traffic.
         self.sent_messages = 0
         self.received_messages = 0
+        self.p2p_messages_sent = 0
+        self.p2p_bytes_sent = 0
+        self.coll_messages_sent = 0
+        self.coll_bytes_sent = 0
 
     @property
     def address(self) -> Any:
@@ -210,6 +216,12 @@ class ThreadCommunicator:
         msg = Message(src=self.rank, tag=(self.comm_id, tag), payload=obj, nbytes=nbytes)
         self.world.mailbox(self._addresses[dest]).put(msg)
         self.sent_messages += 1
+        if isinstance(tag, str) and tag.startswith(_INTERNAL_PREFIX):
+            self.coll_messages_sent += 1
+            self.coll_bytes_sent += nbytes
+        else:
+            self.p2p_messages_sent += 1
+            self.p2p_bytes_sent += nbytes
 
     def recv(
         self,

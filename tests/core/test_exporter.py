@@ -126,6 +126,33 @@ class TestBuddyHelp:
         )
         assert applied.send_now == 19.6
 
+    def test_buddy_skips_are_attributed_to_buddy_help(self):
+        # Same shape as Fig. 5: the PENDING-side process only knows
+        # future_low(20.0) = 17.5 locally; the buddy answer raises the
+        # real threshold to 19.6.  Skips in [17.5, 19.6) are therefore
+        # buddy-enabled, and that is exactly what T_ub_no_help charges.
+        state, [cid] = make_state(tolerance=2.5)
+        for k in range(14):
+            export(state, 1.6 + k)
+        state.on_request(cid, 20.0)  # local knowledge: skip below 17.5
+        state.on_buddy_answer(
+            cid, FinalAnswer(request_ts=20.0, kind=MatchKind.MATCH, matched_ts=19.6)
+        )
+        local_skip = export(state, 16.6)  # below future_low: local skip
+        buddy_skip = export(state, 18.6)  # only the buddy threshold covers it
+        assert local_skip.decision is ExportDecision.SKIP
+        assert not local_skip.buddy_skip
+        assert buddy_skip.decision is ExportDecision.SKIP
+        assert buddy_skip.buddy_skip
+
+    def test_local_knowledge_skips_not_attributed(self):
+        # Without any buddy answer every skip is locally justified.
+        state, [cid] = make_state(tolerance=2.5)
+        state.on_request(cid, 20.0)
+        out = export(state, 16.0)  # below future_low(20.0) = 17.5
+        assert out.decision is ExportDecision.SKIP
+        assert not out.buddy_skip
+
     def test_conflicting_buddy_answer_raises(self):
         state, [cid] = make_state()
         for k in range(25):

@@ -370,3 +370,51 @@ class TestConditions:
         sim = Simulator()
         with pytest.raises(ValueError):
             AnyOf(sim, [])
+
+
+class TestKernelCounters:
+    def test_lane_vs_heap_split(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.timeout(1.0)           # heap: positive delay
+        for i in range(5):
+            Event(sim).succeed(i)      # fast lane: delay 0
+        assert sim.heap_scheduled == 3
+        assert sim.fast_lane_scheduled == 5
+        assert sim.events_scheduled == 8
+
+    def test_dispatched_counts_only_fired_events(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        for i in range(4):
+            Event(sim).succeed(i)
+        assert sim.events_dispatched == 0
+        sim.run(until=sim.now)         # drains the 4 immediate events
+        assert sim.events_dispatched == 4
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_cancelled_counter(self):
+        sim = Simulator()
+        ev = sim.timeout(5.0)
+        assert sim.events_cancelled == 0
+        ev.cancel()
+        assert sim.events_cancelled == 1
+        sim.run()
+
+    def test_kernel_counters_dict_is_consistent(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        Event(sim).succeed(0)
+        sim.run()
+        kc = sim.kernel_counters()
+        assert kc["scheduled"] == kc["heap_scheduled"] + kc["fast_lane_scheduled"]
+        assert kc["dispatched"] == kc["scheduled"]  # everything drained
+        assert kc["cancelled"] == 0
+
+    def test_counters_absent_from_timed_loop(self):
+        # Dispatch must not maintain a live dispatched counter: the
+        # property is derived from _seq and the structure sizes.
+        sim = Simulator()
+        assert isinstance(type(sim).events_dispatched, property)
+        assert isinstance(type(sim).fast_lane_scheduled, property)

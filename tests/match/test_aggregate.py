@@ -3,7 +3,11 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.match.aggregate import CollectiveViolationError, aggregate_responses
+from repro.match.aggregate import (
+    CollectiveViolationError,
+    aggregate_responses,
+    classify_case,
+)
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 
 
@@ -63,6 +67,40 @@ class TestFiveLegalCases:
     def test_pending_plus_no_match_is_no_match(self):
         a = aggregate_responses([no_match(), pending()])
         assert a is not None and a.kind is MatchKind.NO_MATCH
+
+
+class TestClassifyCase:
+    def test_names_each_legal_case(self):
+        assert classify_case([match(), match()]) == "all_match"
+        assert classify_case([no_match()]) == "all_no_match"
+        assert classify_case([pending(), pending()]) == "all_pending"
+        assert classify_case([pending(), match()]) == "pending_match"
+        assert classify_case([no_match(), pending()]) == "pending_no_match"
+
+    def test_illegal_mixture_still_violates(self):
+        with pytest.raises(CollectiveViolationError):
+            classify_case([match(), no_match()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_case([])
+
+    def test_agrees_with_aggregate_responses(self):
+        # classify_case names the case; aggregate_responses decides the
+        # answer.  They must tell the same story for every legal input.
+        for responses, case in (
+            ([match(), match()], "all_match"),
+            ([pending(), match()], "pending_match"),
+            ([no_match(), pending()], "pending_no_match"),
+        ):
+            answer = aggregate_responses(responses)
+            assert classify_case(responses) == case
+            assert answer is not None
+
+    def test_all_pending_has_no_answer(self):
+        responses = [pending(), pending()]
+        assert classify_case(responses) == "all_pending"
+        assert aggregate_responses(responses) is None
 
 
 class TestIllegalCases:

@@ -1,0 +1,67 @@
+"""Shared coupled-run fixtures for the observability tests.
+
+The scenario is the buddy-help demo shape (one slow F rank, two U
+importers pipelining requests at 20 and 40): it exercises every
+observability surface — skips, buddy-help, PENDING replies, the
+Eq. 1–2 ledgers — in well under a second.  Session scope: the runs
+are deterministic (fixed seed) and every test only reads them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import pytest
+
+import repro
+from repro.core.coupler import ProcessContext, RegionDef
+from repro.data.decomposition import BlockDecomposition
+from repro.util.tracing import Tracer
+
+CONFIG = "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n"
+
+
+def demo_run(buddy_help: bool = True, with_tracer: bool = True) -> repro.RunResult:
+    def f_main(ctx: ProcessContext) -> Generator[Any, Any, None]:
+        scale = 4.0 if ctx.rank == 1 else 1.0
+        for k in range(46):
+            yield from ctx.export("d", 1.6 + k)
+            yield from ctx.compute(0.001 * scale)
+
+    def u_main(ctx: ProcessContext) -> Generator[Any, Any, None]:
+        for want in (20.0, 40.0):
+            yield from ctx.compute(0.004)
+            yield from ctx.import_("d", want)
+
+    return repro.run(
+        CONFIG,
+        [
+            repro.Program(
+                "F",
+                main=f_main,
+                regions={"d": RegionDef(BlockDecomposition((16, 16), (2, 1)))},
+            ),
+            repro.Program(
+                "U",
+                main=u_main,
+                regions={"d": RegionDef(BlockDecomposition((16, 16), (1, 2)))},
+            ),
+        ],
+        repro.RunOptions(
+            buddy_help=buddy_help,
+            tracer=Tracer() if with_tracer else None,
+            seed=2,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def demo_result() -> repro.RunResult:
+    """A buddy-help run with a tracer attached."""
+    return demo_run(buddy_help=True, with_tracer=True)
+
+
+@pytest.fixture(scope="session")
+def demo_result_nohelp() -> repro.RunResult:
+    """The same scenario with buddy-help disabled."""
+    return demo_run(buddy_help=False, with_tracer=False)

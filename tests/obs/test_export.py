@@ -1,0 +1,115 @@
+"""Chrome trace export and the repro.report/v1 schema validators."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    REPORT_SCHEMA,
+    chrome_trace,
+    validate_chrome_trace,
+    validate_report_payload,
+    write_chrome_trace,
+)
+from repro.obs.spans import build_timelines
+
+
+@pytest.fixture(scope="module")
+def trace(demo_result):
+    tls = build_timelines(demo_result.simulation, tracer=demo_result.tracer)
+    return chrome_trace(tls)
+
+
+class TestChromeTrace:
+    def test_validator_accepts_own_output(self, trace):
+        assert validate_chrome_trace(trace) == []
+
+    def test_one_pid_per_program(self, trace):
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {"F", "U"}
+
+    def test_threads_cover_ranks_and_rep(self, trace):
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"p0", "p1", "rep"} <= thread_names
+
+    def test_spans_scaled_to_microseconds(self, trace, demo_result):
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        longest_us = max(e["ts"] + e["dur"] for e in spans)
+        assert longest_us <= demo_result.sim_time * 1e6 + 1e-6
+
+    def test_instants_present_with_tracer(self, trace):
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instants
+        assert all(e.get("s") == "t" for e in instants)
+
+    def test_write_round_trip(self, demo_result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, demo_result.timeline)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestChromeValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_events(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_rejects_unknown_phase(self):
+        bad = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("ph" in p or "phase" in p for p in validate_chrome_trace(bad))
+
+    def test_rejects_negative_duration(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0, "dur": -1}
+            ]
+        }
+        assert validate_chrome_trace(bad) != []
+
+
+class TestReportValidator:
+    @staticmethod
+    def _payload(result):
+        return {
+            "schema": REPORT_SCHEMA,
+            "runs": [
+                {
+                    "name": "buddy_on",
+                    "sim_time": result.sim_time,
+                    "counters": result.counters,
+                    "metrics": result.metrics.as_dict(),
+                }
+            ],
+            "comparison": {
+                "t_ub_with_help": 1.0,
+                "t_ub_without_help": 2.0,
+                "t_ub_saving": 1.0,
+            },
+        }
+
+    def test_accepts_well_formed_payload(self, demo_result):
+        assert validate_report_payload(self._payload(demo_result)) == []
+
+    def test_rejects_wrong_schema(self, demo_result):
+        payload = self._payload(demo_result)
+        payload["schema"] = "something/else"
+        assert validate_report_payload(payload) != []
+
+    def test_rejects_empty_runs(self, demo_result):
+        payload = self._payload(demo_result)
+        payload["runs"] = []
+        assert validate_report_payload(payload) != []
+
+    def test_rejects_missing_comparison_key(self, demo_result):
+        payload = self._payload(demo_result)
+        del payload["comparison"]["t_ub_saving"]
+        assert validate_report_payload(payload) != []

@@ -1,0 +1,115 @@
+"""Unit tests for repro.obs.metrics — instruments, registry, snapshot."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Timer,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 6
+
+    def test_gauge_high_water(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.0)
+        g.add(0.5)
+        assert g.value == 1.5
+        assert g.high_water == 3.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for x in (1.0, 2.0, 3.0):
+            h.observe(x)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+
+    def test_histogram_rejects_nan(self):
+        h = Histogram()
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(math.nan)
+        assert h.count == 0
+
+    def test_timer_context_manager(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.summary()["min"] >= 0.0
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("x", program="F").inc()
+        reg.counter("x", program="F").inc()
+        reg.counter("x", program="U").inc()
+        snap = reg.snapshot()
+        assert snap.value("x", program="F") == 2
+        assert snap.value("x", program="U") == 1
+        assert snap.total("x") == 3
+
+    def test_kind_collision_is_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc(4)
+        reg.gauge("m").set(7.0)
+        snap = reg.snapshot()
+        kinds = {s.kind for s in snap.samples if s.name == "m"}
+        assert kinds == {"counter", "gauge"}
+
+    def test_snapshot_roundtrips_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a", rank=0).inc(2)
+        reg.histogram("b").observe(1.5)
+        snap = reg.snapshot()
+        payload = json.loads(snap.to_json())
+        names = {s["name"] for s in payload["metrics"]}
+        assert names == {"a", "b"}
+
+    def test_get_missing_returns_none_and_default(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap.get("nope") is None
+        assert snap.value("nope", default=-1.0) == -1.0
+
+    def test_render_mentions_every_name(self):
+        reg = MetricsRegistry()
+        reg.counter("alpha").inc()
+        reg.gauge("beta").set(1.0)
+        out = reg.snapshot().render()
+        assert "alpha" in out and "beta" in out
+
+
+class TestNullMetrics:
+    def test_all_instruments_are_noops(self):
+        reg = NullMetrics()
+        reg.counter("x").inc(10)
+        reg.gauge("y").set(5.0)
+        reg.histogram("z").observe(1.0)
+        with reg.timer("t").time():
+            pass
+        snap = reg.snapshot()
+        assert snap.samples == ()
+
+    def test_instruments_are_shared_singletons(self):
+        reg = NullMetrics()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.timer("a") is reg.timer("b")

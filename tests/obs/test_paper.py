@@ -1,0 +1,86 @@
+"""The paper quantities: Eq. 1–2 T_ub, buddy savings, PENDING latency.
+
+The headline assertion of the layer lives here: the with-help run's
+*measured counterfactual* (`t_ub_no_help_estimate`) equals the T_ub of
+an actual buddy-help-off run of the same scenario — the Figure 7 vs.
+Figure 8 comparison, measured instead of modelled.
+"""
+
+import pytest
+
+from repro.obs.paper import compute_paper_metrics
+
+
+class TestTubAccounting:
+    def test_matches_buffer_ledgers(self, demo_result):
+        paper = demo_result.paper_metrics
+        ledger_total = sum(
+            demo_result.buffer_stats("F", rank, "d").t_ub for rank in (0, 1)
+        )
+        assert paper.t_ub_total == pytest.approx(ledger_total)
+        assert paper.t_ub_total == pytest.approx(sum(paper.t_ub_by_rank.values()))
+
+    def test_windows_sum_to_total(self, demo_result):
+        paper = demo_result.paper_metrics
+        assert sum(paper.t_by_window.values()) == pytest.approx(paper.t_ub_total)
+
+
+class TestBuddySavings:
+    def test_positive_saving_with_help(self, demo_result):
+        paper = demo_result.paper_metrics
+        assert paper.buddy_helps_sent > 0
+        assert paper.buddy_answers_received > 0
+        assert paper.buddy_skips > 0
+        assert paper.t_ub_saving > 0
+
+    def test_counterfactual_matches_real_no_help_run(
+        self, demo_result, demo_result_nohelp
+    ):
+        with_help = demo_result.paper_metrics
+        without = demo_result_nohelp.paper_metrics
+        assert with_help.t_ub_total < without.t_ub_total
+        assert with_help.t_ub_no_help_estimate == pytest.approx(without.t_ub_total)
+
+    def test_no_help_run_reports_no_savings(self, demo_result_nohelp):
+        paper = demo_result_nohelp.paper_metrics
+        assert paper.buddy_saved_total == 0.0
+        assert paper.t_ub_saving == 0.0
+        assert paper.t_ub_no_help_estimate == pytest.approx(paper.t_ub_total)
+
+
+class TestLagAndPending:
+    def test_slowest_lag_identifies_the_slow_program(self, demo_result):
+        paper = demo_result.paper_metrics
+        # F has a 4x-slow rank; U's ranks run identical loops.
+        assert paper.slowest_lag_by_program["F"] > 0.0
+        assert paper.slowest_lag_by_program["U"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_pending_latency_from_trace(self, demo_result):
+        paper = compute_paper_metrics(
+            demo_result.simulation, tracer=demo_result.tracer
+        )
+        assert paper.pending_resolution_source == "trace"
+        assert paper.pending_resolution["count"] >= 1
+        assert paper.pending_resolution["mean"] > 0.0
+
+    def test_pending_latency_falls_back_to_import_records(self, demo_result_nohelp):
+        # No tracer was attached to this run, so the trace path has
+        # nothing to offer and the importer's records take over.
+        paper = compute_paper_metrics(demo_result_nohelp.simulation)
+        assert paper.pending_resolution_source == "import_records"
+        assert paper.pending_resolution["count"] >= 1
+
+
+class TestSerialization:
+    def test_as_dict_is_json_shaped(self, demo_result):
+        import json
+
+        d = demo_result.paper_metrics.as_dict()
+        json.dumps(d)  # must not raise
+        assert d["t_ub_total"] >= 0.0
+        assert "t_ub_saving" in d
+
+    def test_render_uses_paper_notation(self, demo_result):
+        out = demo_result.paper_metrics.render()
+        assert "T_ub" in out
+        assert "Eq. 2" in out

@@ -1,0 +1,82 @@
+"""Unit + integration tests for repro.obs.spans."""
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder, Timeline, TimelineSet, build_timelines
+
+
+class TestSpan:
+    def test_duration_and_dict(self):
+        s = Span(name="export:SEND", who="F.p0", start=1.0, end=2.5, args={"ts": 3.0})
+        assert s.duration == 1.5
+        d = s.as_dict()
+        assert d["name"] == "export:SEND"
+        assert d["args"] == {"ts": 3.0}
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Span(name="x", who="a", start=2.0, end=1.0)
+
+
+class TestTimeline:
+    def test_busy_time_and_sort(self):
+        tl = Timeline(who="F.p0")
+        tl.spans.append(Span(name="b", who="F.p0", start=5.0, end=6.0))
+        tl.spans.append(Span(name="a", who="F.p0", start=1.0, end=3.0))
+        tl.sort()
+        assert [s.name for s in tl.spans] == ["a", "b"]
+        assert tl.busy_time == pytest.approx(3.0)
+
+    def test_set_creates_on_demand(self):
+        ts = TimelineSet()
+        ts.timeline("F.p0").spans.append(Span(name="x", who="F.p0", start=0, end=1))
+        assert ts.whos() == ["F.p0"]
+        assert ts.span_count() == 1
+        assert ts.timeline("F.p0") is ts.timeline("F.p0")
+
+
+class TestSpanRecorder:
+    def test_begin_end_pairs_lifo(self):
+        r = SpanRecorder()
+        r.begin("phase", "F.p0", 1.0)
+        r.begin("phase", "F.p0", 2.0)
+        inner = r.end("phase", "F.p0", 3.0)
+        outer = r.end("phase", "F.p0", 4.0)
+        assert (inner.start, inner.end) == (2.0, 3.0)
+        assert (outer.start, outer.end) == (1.0, 4.0)
+        assert r.open_spans() == []
+
+    def test_end_without_begin_raises(self):
+        r = SpanRecorder()
+        with pytest.raises(ValueError):
+            r.end("phase", "F.p0", 1.0)
+
+    def test_open_spans_reported(self):
+        r = SpanRecorder()
+        r.begin("phase", "F.p0", 1.0)
+        assert r.open_spans() == [("phase", "F.p0")]
+
+
+class TestBuildTimelines:
+    def test_export_import_spans_from_run(self, demo_result):
+        tls = build_timelines(demo_result.simulation)
+        names = {s.name for s in tls.all_spans()}
+        # Export decisions and both import phases must appear.
+        assert any(n.startswith("export:") for n in names)
+        assert "import:wait" in names
+        assert "import:transfer" in names
+        # Every exporter rank got a timeline.
+        assert {"F.p0", "F.p1"} <= set(tls.whos())
+
+    def test_tracer_events_become_instants(self, demo_result):
+        tls = build_timelines(demo_result.simulation, tracer=demo_result.tracer)
+        assert tls.event_count() == len(demo_result.tracer.events)
+
+    def test_facade_timeline_is_cached(self, demo_result):
+        assert demo_result.timeline is demo_result.timeline
+        assert demo_result.timeline.span_count() > 0
+
+    def test_spans_are_well_formed(self, demo_result):
+        for span in demo_result.timeline.all_spans():
+            assert span.end >= span.start >= 0.0
+            assert span.who

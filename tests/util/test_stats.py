@@ -65,6 +65,30 @@ class TestOnlineStats:
         assert sa.merge(empty).mean == 1.5
         assert empty.merge(sa).mean == 1.5
 
+    def test_merge_two_empties(self):
+        merged = OnlineStats().merge(OnlineStats())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+        assert merged.minimum == math.inf
+        assert merged.maximum == -math.inf
+
+    def test_merge_with_empty_preserves_extrema_and_variance(self):
+        sa = OnlineStats()
+        sa.add_many([1.0, 5.0, 3.0])
+        for merged in (sa.merge(OnlineStats()), OnlineStats().merge(sa)):
+            assert merged.count == 3
+            assert merged.minimum == 1.0
+            assert merged.maximum == 5.0
+            assert merged.variance == pytest.approx(sa.variance)
+
+    def test_merge_returns_new_object(self):
+        sa = OnlineStats()
+        sa.add(1.0)
+        merged = sa.merge(OnlineStats())
+        merged.add(100.0)
+        assert sa.count == 1  # the inputs must stay untouched
+
 
 class TestSeriesSummary:
     def test_rejects_empty(self):
@@ -83,6 +107,37 @@ class TestSeriesSummary:
         s = SeriesSummary.from_series([1.0, 2.0], head=10, tail=10)
         assert s.count == 2
         assert s.mean == 1.5
+
+    def test_series_shorter_than_head(self):
+        # head swallows everything; tail and body clamp to empty and
+        # fall back to the overall mean.
+        s = SeriesSummary.from_series([1.0, 2.0, 3.0], head=10, tail=5)
+        assert s.head_mean == 2.0
+        assert s.tail_mean == 2.0
+        assert s.body_mean == 2.0
+
+    def test_series_shorter_than_head_plus_tail(self):
+        # 5 points, head=3 takes [1,2,3]; tail clamps to the remaining
+        # 2 points [4,5]; the body is empty -> overall-mean fallback.
+        s = SeriesSummary.from_series([1.0, 2.0, 3.0, 4.0, 5.0], head=3, tail=4)
+        assert s.head_mean == 2.0
+        assert s.tail_mean == 4.5
+        assert s.body_mean == 3.0
+
+    def test_length_one_series(self):
+        s = SeriesSummary.from_series([7.0], head=50, tail=200)
+        assert s.count == 1
+        assert s.mean == 7.0
+        assert s.head_mean == 7.0
+        assert s.body_mean == 7.0
+        assert s.tail_mean == 7.0
+        assert s.stddev == 0.0
+
+    def test_zero_head_and_tail(self):
+        s = SeriesSummary.from_series([1.0, 2.0, 3.0], head=0, tail=0)
+        assert s.body_mean == 2.0
+        assert s.head_mean == 2.0  # empty segment -> overall mean
+        assert s.tail_mean == 2.0
 
     def test_flat_series(self):
         s = SeriesSummary.from_series([3.0] * 50)
@@ -115,6 +170,12 @@ class TestHistogram:
         h = Histogram(0.0, 3.0, nbins=3)
         h.add_many([0.1, 1.1, 1.2, 2.5])
         assert h.mode_bin() == 1
+
+    def test_nan_sample_rejected(self):
+        h = Histogram(0.0, 1.0, nbins=4)
+        with pytest.raises(ValueError, match="must not be NaN"):
+            h.add(float("nan"))
+        assert h.total == 0  # nothing was recorded
 
     def test_invalid_construction(self):
         with pytest.raises(ValueError):

@@ -85,8 +85,17 @@ class TestKindRegistry:
             out = e.render()
             assert kind not in out, f"{kind} fell back to the generic renderer"
 
-    def test_null_tracer_skips_validation(self):
-        NullTracer().record("totally-bogus-kind", "a", 0.0)  # must not raise
+    def test_null_tracer_validates_kinds(self):
+        # The no-op default must still catch typo'd emission sites:
+        # production runs on NullTracer, so a bogus kind that only
+        # failed under Tracer would ship silently.
+        with pytest.raises(ValueError, match="unregistered trace kind"):
+            NullTracer().record("totally-bogus-kind", "a", 0.0)
+
+    def test_null_tracer_accepts_valid_kinds_and_drops_them(self):
+        t = NullTracer()
+        t.record(tracing.EXPORT_SKIP, "a", 0.0, timestamp=1.0)
+        assert len(t) == 0
 
 
 class TestRendering:

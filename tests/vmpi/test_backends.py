@@ -276,3 +276,54 @@ class TestCrossBackendAgreement:
             return (a, b, c)
 
         assert run_des(size, des_main) == run_threads(size, thread_main)
+
+
+class TestTrafficKindCounters:
+    """send() classifies traffic as p2p vs collective for observability."""
+
+    def test_des_backend_splits_kinds(self):
+        world = DesWorld(latency=1e-6)
+        comms = world.create_program("P", 2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1, tag=3)
+            else:
+                yield comm.recv(source=0, tag=3)
+            total = yield from comm.allreduce(1, SUM)
+            return total
+
+        results = {}
+
+        def wrapper(comm):
+            results[comm.rank] = yield from main(comm)
+
+        world.spawn_all("P", wrapper)
+        world.run()
+        assert results == {0: 2, 1: 2}
+        p2p = sum(c.p2p_messages_sent for c in comms)
+        coll = sum(c.coll_messages_sent for c in comms)
+        sent = sum(c.sent_messages for c in comms)
+        assert p2p == 1
+        assert coll > 0
+        assert p2p + coll == sent
+        assert sum(c.p2p_bytes_sent for c in comms) > 0
+        assert sum(c.coll_bytes_sent for c in comms) > 0
+
+    def test_thread_backend_splits_kinds(self):
+        world = ThreadWorld(default_timeout=20.0)
+        comms = world.create_program("P", 2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1, tag=3)
+            else:
+                comm.recv(source=0, tag=3)
+            return comm.allreduce(1, SUM)
+
+        results = world.run_program("P", main)
+        assert results == [2, 2]
+        p2p = sum(c.p2p_messages_sent for c in comms)
+        coll = sum(c.coll_messages_sent for c in comms)
+        assert p2p == 1
+        assert coll > 0
