@@ -33,6 +33,7 @@ from repro.obs.collect import collect_metrics
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.paper import PaperMetrics, compute_paper_metrics
 from repro.obs.spans import TimelineSet, build_timelines
+from repro.obs.trace import CausalReport, build_causal_report
 from repro.util.tracing import Tracer
 
 
@@ -81,6 +82,9 @@ class RunResult:
         default=None, init=False, repr=False, compare=False
     )
     _timeline: TimelineSet | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _causal: CausalReport | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -133,6 +137,18 @@ class RunResult:
         if self._timeline is None:
             self._timeline = build_timelines(self.simulation)
         return self._timeline
+
+    @property
+    def causal(self) -> CausalReport:
+        """The run's causal report: per-import happens-before DAGs,
+        critical paths with stage attribution, and buddy-help lead
+        times (computed once).
+
+        Requires ``RunOptions(causal_trace=True)``; raises otherwise.
+        """
+        if self._causal is None:
+            self._causal = build_causal_report(self.simulation)
+        return self._causal
 
     def check_property1(self, raise_on_violation: bool = True) -> list[str]:
         """Check Property-1 conformance (needs ``record_operations``)."""

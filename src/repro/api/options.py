@@ -78,6 +78,21 @@ class RunOptions:
         Live runtime: multiplier on ``ctx.compute`` sleeps.
     default_timeout:
         Live runtime: blocking-receive timeout in wall seconds.
+    causal_trace:
+        Record a happens-before DAG of every control-plane message
+        (request → match → aggregate → answer, buddy notifications,
+        retransmissions).  The DAG is available as ``sim.causal`` /
+        :attr:`repro.api.RunResult.causal` and exportable as Chrome
+        trace flow events.  Off by default: the no-op path costs one
+        attribute check per send.
+    telemetry_sinks:
+        Streaming telemetry sinks (objects with ``emit(record)`` and
+        ``close()``, e.g. :class:`repro.obs.stream.JsonlSink` or
+        :class:`repro.obs.stream.OpenMetricsSink`).  Empty (default)
+        disables streaming entirely.
+    telemetry_interval:
+        Period between telemetry snapshots — virtual seconds on the
+        DES runtime, wall seconds on the live runtime.
     """
 
     runtime: str = "des"
@@ -96,6 +111,9 @@ class RunOptions:
     batch_control: bool = False
     time_scale: float = 1.0
     default_timeout: float = 30.0
+    causal_trace: bool = False
+    telemetry_sinks: tuple[Any, ...] = ()
+    telemetry_interval: float = 0.25
 
     def __post_init__(self) -> None:
         require(
@@ -106,3 +124,8 @@ class RunOptions:
             self.buffer_policy in ("error", "block"),
             "buffer_policy: 'error' or 'block'",
         )
+        require(self.telemetry_interval > 0, "telemetry_interval must be > 0")
+        # Tuple-ify eagerly so a list literal works at the call site but
+        # the frozen value stays hashable-by-parts and safely shareable.
+        if not isinstance(self.telemetry_sinks, tuple):
+            object.__setattr__(self, "telemetry_sinks", tuple(self.telemetry_sinks))

@@ -22,9 +22,12 @@ same workload, so every report carries its own baseline:
   observability counters stripped (:class:`_PreObsSimulator`); the
   run *fails* if the counters cost more than 3%.
 
-``python -m repro bench`` runs all three and writes ``BENCH_3.json``.
-The numbers are wall-clock measurements and vary run to run; the
-*ratios* are the stable signal and the regression gate used by CI.
+``python -m repro bench`` runs all four and writes ``BENCH_5.json``;
+``repro bench --history`` compares every ``BENCH_*.json`` in a
+directory (see :func:`compare_history`) and flags regressions against
+the best recorded speedup.  The numbers are wall-clock measurements
+and vary run to run; the *ratios* are the stable signal and the
+regression gate used by CI.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import json
 import platform
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
@@ -497,3 +501,82 @@ def write_report(payload: dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
+
+
+def _report_index(path: Path) -> tuple[int, str]:
+    """Sort key: the numeric suffix of ``BENCH_<n>.json`` (name ties)."""
+    stem = path.stem
+    digits = "".join(ch for ch in stem if ch.isdigit())
+    return (int(digits) if digits else -1, stem)
+
+
+def compare_history(
+    directory: str = ".",
+    pattern: str = "BENCH_*.json",
+    allowance: float = 0.10,
+) -> dict[str, Any]:
+    """Compare every ``BENCH_*.json`` report; flag regressions vs. best.
+
+    Reports are ordered by their numeric suffix; the newest one is the
+    candidate.  For every metric present in the newest report, the best
+    historical speedup is the bar: the candidate regresses when its
+    speedup falls more than *allowance* (fractional) below that bar.
+    Metrics that older reports lack are skipped silently — the bench
+    suite grows over time.
+
+    Returns a JSON-ready payload: per-metric rows (speedup per report,
+    best, latest, regressed flag) and the overall ``regressions`` list.
+    """
+    require(0 <= allowance < 1, "allowance must be in [0, 1)")
+    paths = sorted(Path(directory).glob(pattern), key=_report_index)
+    reports: list[tuple[str, dict[str, Any]]] = []
+    for p in paths:
+        try:
+            with open(p, encoding="utf-8") as fh:
+                reports.append((p.name, json.load(fh)))
+        except (OSError, json.JSONDecodeError) as exc:
+            reports.append((p.name, {"error": str(exc), "results": []}))
+    if not reports:
+        return {
+            "bench_history": pattern,
+            "reports": [],
+            "metrics": {},
+            "regressions": [],
+        }
+
+    def speedups(payload: dict[str, Any]) -> dict[str, float]:
+        return {
+            r["name"]: float(r["speedup"])
+            for r in payload.get("results", ())
+            if isinstance(r, dict) and "name" in r and "speedup" in r
+        }
+
+    latest_name, latest_payload = reports[-1]
+    latest = speedups(latest_payload)
+    metrics: dict[str, Any] = {}
+    regressions: list[str] = []
+    for name, current in sorted(latest.items()):
+        series = {
+            rname: s[name]
+            for rname, payload in reports
+            if name in (s := speedups(payload))
+        }
+        best_report, best = max(series.items(), key=lambda kv: kv[1])
+        regressed = current < best * (1.0 - allowance)
+        metrics[name] = {
+            "per_report": series,
+            "best": best,
+            "best_report": best_report,
+            "latest": current,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(name)
+    return {
+        "bench_history": pattern,
+        "allowance": allowance,
+        "reports": [name for name, _ in reports],
+        "latest": latest_name,
+        "metrics": metrics,
+        "regressions": regressions,
+    }

@@ -6,12 +6,25 @@ Commands
     Run one Figure-4 configuration and print the series summary
     (optionally dump all runs as JSON).
 ``traces`` (alias ``trace``)
-    Print the Figure 5/7/8 event traces in the paper's notation, or
-    export a Chrome ``trace_event`` timeline with ``--chrome PATH``.
+    Print the Figure 5/7/8 event traces in the paper's notation,
+    export a Chrome ``trace_event`` timeline with ``--chrome PATH``,
+    or dump the causal happens-before report with ``--causal``
+    (``repro.causal/v1``; combined with ``--chrome`` the timeline
+    gains flow arrows along each import's resolution chain).
 ``report``
     Per-run observability rollup: ``T_ub`` per Eq. 1–2, buddy-help
     savings (with-help vs. no-help), and the full metric catalog
-    (see ``docs/observability.md``).
+    (see ``docs/observability.md``).  ``--baseline PATH`` diffs the
+    comparison block against a saved payload and exits 1 on
+    regression beyond ``--threshold``.
+``monitor``
+    Render streaming telemetry (``repro.telemetry/v1`` JSONL written
+    by a :class:`repro.obs.JsonlSink`); ``--follow`` tails the file
+    until the run's final snapshot.
+``bench``
+    Hot-path micro benchmarks vs embedded seed baselines; writes
+    ``BENCH_5.json``.  ``--history`` compares every ``BENCH_*.json``
+    and exits 1 when the newest report regresses vs. the best.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
 ``chaos``
@@ -116,7 +129,14 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_run(buddy_help: bool, tracer: Any = None) -> Any:
+def _demo_run(
+    buddy_help: bool,
+    tracer: Any = None,
+    *,
+    causal: bool = False,
+    sinks: Sequence[Any] = (),
+    interval: float = 0.25,
+) -> Any:
     """The report/trace demo: the Figure-4 shape on two tiny programs.
 
     Program F exports 46 steps with rank 1 four times slower (the
@@ -152,8 +172,57 @@ def _demo_run(buddy_help: bool, tracer: Any = None) -> Any:
                 regions={"d": RegionDef(BlockDecomposition((16, 16), (1, 2)))},
             ),
         ],
-        repro.RunOptions(buddy_help=buddy_help, tracer=tracer, seed=2),
+        repro.RunOptions(
+            buddy_help=buddy_help,
+            tracer=tracer,
+            seed=2,
+            causal_trace=causal,
+            telemetry_sinks=tuple(sinks),
+            telemetry_interval=interval,
+        ),
     )
+
+
+#: Comparison keys diffed by ``report --baseline`` and their polarity.
+_DIFF_KEYS = (
+    ("t_ub_with_help", "lower"),
+    ("t_ub_without_help", "lower"),
+    ("t_ub_saving", "higher"),
+    ("t_ub_no_help_estimate", "info"),
+)
+
+
+def _diff_comparison(
+    base: dict[str, Any], current: dict[str, Any], threshold: float
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Per-key baseline diff rows plus the regressed key names.
+
+    A ``lower``-is-better key regresses when the current value exceeds
+    the baseline by more than *threshold* (relative); ``higher`` keys
+    regress on the symmetric drop; ``info`` keys never regress.
+    """
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for key, direction in _DIFF_KEYS:
+        b, c = base.get(key), current.get(key)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        delta = float(c) - float(b)
+        allowance = threshold * abs(float(b)) + 1e-12
+        regressed = (direction == "lower" and delta > allowance) or (
+            direction == "higher" and -delta > allowance
+        )
+        rows.append({
+            "key": key,
+            "baseline": float(b),
+            "current": float(c),
+            "delta": delta,
+            "direction": direction,
+            "regressed": regressed,
+        })
+        if regressed:
+            regressions.append(key)
+    return rows, regressions
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -164,7 +233,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     runs = [("buddy_on", with_help), ("buddy_off", without_help)]
     paper_on = with_help.paper_metrics
     paper_off = without_help.paper_metrics
-    payload = {
+    comparison = {
+        "t_ub_with_help": paper_on.t_ub_total,
+        "t_ub_without_help": paper_off.t_ub_total,
+        "t_ub_saving": paper_off.t_ub_total - paper_on.t_ub_total,
+        "t_ub_no_help_estimate": paper_on.t_ub_no_help_estimate,
+    }
+    payload: dict[str, Any] = {
         "schema": REPORT_SCHEMA,
         "runs": [
             {
@@ -175,23 +250,44 @@ def _cmd_report(args: argparse.Namespace) -> int:
             }
             for name, result in runs
         ],
-        "comparison": {
-            "t_ub_with_help": paper_on.t_ub_total,
-            "t_ub_without_help": paper_off.t_ub_total,
-            "t_ub_saving": paper_off.t_ub_total - paper_on.t_ub_total,
-            "t_ub_no_help_estimate": paper_on.t_ub_no_help_estimate,
-        },
+        "comparison": comparison,
     }
+    diff_rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    if getattr(args, "baseline", None):
+        from pathlib import Path
+
+        from repro.obs.export import validate_report_payload
+
+        try:
+            base_payload = json.loads(
+                Path(args.baseline).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_report_payload(base_payload)
+        if problems:
+            for p in problems:
+                print(f"error: baseline: {p}", file=sys.stderr)
+            return 2
+        diff_rows, regressions = _diff_comparison(
+            base_payload.get("comparison") or {}, comparison, args.threshold
+        )
+        payload["baseline"] = {
+            "path": args.baseline,
+            "threshold": args.threshold,
+            "diff": diff_rows,
+            "regressions": regressions,
+        }
     if _emit(args, payload):
-        return 0
+        return 1 if regressions else 0
     for name, result in runs:
         print(f"\n== {name}")
         print(result.metrics.paper.render() if result.metrics.paper else "")
         if args.verbose:
             print()
             print(result.metrics.render())
-    comparison = payload["comparison"]
-    assert isinstance(comparison, dict)
     print(
         f"\nT_ub with buddy-help    = {comparison['t_ub_with_help']:.6g} s"
         f"\nT_ub without buddy-help = {comparison['t_ub_without_help']:.6g} s"
@@ -199,6 +295,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"\ncounterfactual estimate = {comparison['t_ub_no_help_estimate']:.6g} s"
         " (with-help run, no-help estimate)"
     )
+    if getattr(args, "baseline", None):
+        print(
+            f"\nbaseline diff vs {args.baseline} "
+            f"(threshold {args.threshold:.0%}):"
+        )
+        for row in diff_rows:
+            status = "REGRESSED" if row["regressed"] else (
+                "info" if row["direction"] == "info" else "ok"
+            )
+            print(
+                f"  {row['key']:<22} base {row['baseline']:>12.6g}  "
+                f"now {row['current']:>12.6g}  "
+                f"delta {row['delta']:>+12.6g}  {status}"
+            )
+        if regressions:
+            print(
+                f"FAIL: regression beyond threshold: {', '.join(regressions)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -209,24 +325,56 @@ def _cmd_traces(args: argparse.Namespace) -> int:
         scenario_fig8_without_buddy,
     )
 
-    if getattr(args, "chrome", None):
+    causal_opt = getattr(args, "causal", None)
+    if getattr(args, "chrome", None) or causal_opt is not None:
         from repro.obs.export import write_chrome_trace
         from repro.util.tracing import Tracer
 
-        result = _demo_run(buddy_help=True, tracer=Tracer())
-        path = write_chrome_trace(args.chrome, result.timeline)
-        spans = result.timeline.span_count()
-        events = result.timeline.event_count()
-        if not _emit(args, {
-            "path": str(path),
-            "spans": spans,
-            "instants": events,
-            "threads": result.timeline.whos(),
-        }):
-            print(
-                f"wrote {path} ({spans} spans, {events} instants; "
+        result = _demo_run(
+            buddy_help=True, tracer=Tracer(), causal=causal_opt is not None
+        )
+        causal = result.causal if causal_opt is not None else None
+        payload: dict[str, Any] = {}
+        lines: list[str] = []
+        if causal is not None:
+            payload["causal"] = {
+                "spans": len(causal.spans),
+                "imports": len(causal.trace_ids),
+                "resolutions": len(causal.resolutions),
+                "buddy_skips": len(causal.buddy_skips),
+            }
+            if causal_opt == "-":
+                payload["causal"]["report"] = causal.as_dict()
+                lines.append(causal.render())
+            else:
+                from pathlib import Path
+
+                Path(causal_opt).write_text(
+                    causal.to_json() + "\n", encoding="utf-8"
+                )
+                payload["causal"]["path"] = causal_opt
+                lines.append(
+                    f"wrote {causal_opt} ({len(causal.spans)} causal spans, "
+                    f"{len(causal.resolutions)} resolutions, "
+                    f"{len(causal.buddy_skips)} buddy skips)"
+                )
+        if getattr(args, "chrome", None):
+            path = write_chrome_trace(args.chrome, result.timeline, causal=causal)
+            spans = result.timeline.span_count()
+            events = result.timeline.event_count()
+            payload.update({
+                "path": str(path),
+                "spans": spans,
+                "instants": events,
+                "threads": result.timeline.whos(),
+            })
+            flows = " + causal flow arrows" if causal is not None else ""
+            lines.append(
+                f"wrote {path} ({spans} spans, {events} instants{flows}; "
                 "load in chrome://tracing or https://ui.perfetto.dev)"
             )
+        if not _emit(args, payload):
+            print("\n".join(lines))
         return 0
 
     scenarios = {
@@ -384,7 +532,33 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.micro import run_micro, write_report
+    from repro.bench.micro import compare_history, run_micro, write_report
+
+    if args.history:
+        payload = compare_history(args.dir, allowance=args.allowance)
+        regressions = payload["regressions"]
+        if _emit(args, payload):
+            return 1 if regressions else 0
+        if not payload["reports"]:
+            print(f"no BENCH_*.json reports in {args.dir}", file=sys.stderr)
+            return 1
+        print(
+            f"bench history: {len(payload['reports'])} reports, "
+            f"latest {payload['latest']}, allowance {args.allowance:.0%}"
+        )
+        for name, m in payload["metrics"].items():
+            flag = "  REGRESSED" if m["regressed"] else ""
+            print(
+                f"  {name:<26} latest {m['latest']:>9.3f}x  "
+                f"best {m['best']:>9.3f}x ({m['best_report']}){flag}"
+            )
+        if regressions:
+            print(
+                f"FAIL: speedup regression vs best: {', '.join(regressions)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     payload = run_micro(quick=args.quick)
     write_report(payload, args.out)
@@ -399,6 +573,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     print(f"wrote {args.out}")
     return 0
+
+
+def _render_snapshot(rec: dict[str, Any]) -> str:
+    """One human-readable block per ``repro.telemetry/v1`` record."""
+    totals = rec.get("totals", {})
+    head = (
+        f"{'FINAL ' if rec.get('final') else ''}t={rec.get('time', 0.0):.3f}  "
+        f"pending={totals.get('pending_imports', 0)}  "
+        f"buddy_skips={totals.get('buddy_skips', 0)}  "
+        f"T_ub={totals.get('t_ub', 0.0):.6g}  "
+        f"ctl={totals.get('ctl_messages', 0)}msg/"
+        f"{totals.get('ctl_bytes', 0)}B  "
+        f"data={totals.get('data_messages', 0)}msg"
+    )
+    parts = [head]
+    for name, p in sorted(rec.get("programs", {}).items()):
+        last = p.get("last_export_ts")
+        parts.append(
+            f"    {name}: alive={p.get('alive', 0)}/{p.get('ranks', 0)}  "
+            f"exports={p.get('exports', 0)}  "
+            f"pending={p.get('pending_imports', 0)}  "
+            f"done={p.get('imports_completed', 0)}  "
+            f"last_export={'-' if last is None else f'{last:g}'}"
+        )
+    return "\n".join(parts)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    path = Path(args.path)
+
+    def load_records() -> list[dict[str, Any]]:
+        if not path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a partially-written tail line mid-run
+            if isinstance(rec, dict):
+                records.append(rec)
+        return records
+
+    def show(rec: dict[str, Any]) -> None:
+        if args.json:
+            print(json.dumps(rec, sort_keys=True))
+        else:
+            print(_render_snapshot(rec))
+
+    if not args.follow:
+        records = load_records()
+        if not records:
+            print(f"no telemetry records in {args.path}", file=sys.stderr)
+            return 1
+        show(records[-1])
+        return 0
+
+    deadline = _time.monotonic() + args.timeout
+    shown = 0
+    while True:
+        records = load_records()
+        for rec in records[shown:]:
+            show(rec)
+            if rec.get("final"):
+                return 0
+        shown = len(records)
+        if _time.monotonic() >= deadline:
+            print(
+                f"timeout: no final snapshot in {args.path} "
+                f"after {args.timeout:g}s",
+                file=sys.stderr,
+            )
+            return 1
+        _time.sleep(args.interval)
 
 
 def _cmd_validate_config(args: argparse.Namespace) -> int:
@@ -513,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the coupled demo and write a Chrome trace_event JSON "
         "timeline to PATH (chrome://tracing / Perfetto)",
     )
+    pt.add_argument(
+        "--causal", metavar="PATH", nargs="?", const="-",
+        help="run the demo with causal tracing on; write the "
+        "repro.causal/v1 report to PATH (print the summary with no "
+        "PATH); with --chrome, adds happens-before flow arrows",
+    )
     _add_json_flag(pt)
     pt.set_defaults(fn=_cmd_traces)
 
@@ -523,6 +783,15 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--verbose", action="store_true",
         help="also print the full metric catalog per run",
+    )
+    pr.add_argument(
+        "--baseline", metavar="PATH",
+        help="diff the comparison block against a saved repro.report/v1 "
+        "payload; exit 1 on regression beyond --threshold",
+    )
+    pr.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help="relative regression allowance for --baseline (default 0.10)",
     )
     _add_json_flag(pr)
     pr.set_defaults(fn=_cmd_report)
@@ -557,11 +826,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_3.json",
-        help="report file (default BENCH_3.json)",
+        "--out", metavar="PATH", default="BENCH_5.json",
+        help="report file (default BENCH_5.json)",
+    )
+    pb.add_argument(
+        "--history", action="store_true",
+        help="compare every BENCH_*.json in --dir instead of running; "
+        "exit 1 when the newest report regresses vs the best",
+    )
+    pb.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory searched by --history (default .)",
+    )
+    pb.add_argument(
+        "--allowance", type=float, default=0.10, metavar="FRAC",
+        help="relative speedup drop tolerated by --history (default 0.10)",
     )
     _add_json_flag(pb)
     pb.set_defaults(fn=_cmd_bench)
+
+    pm = sub.add_parser(
+        "monitor", help="render streaming telemetry from a JSONL sink file"
+    )
+    pm.add_argument(
+        "path", help="JsonlSink output file (repro.telemetry/v1 lines)"
+    )
+    pm.add_argument(
+        "--follow", action="store_true",
+        help="poll for new snapshots until the final one arrives",
+    )
+    pm.add_argument(
+        "--interval", type=float, default=0.2, metavar="S",
+        help="poll interval for --follow (default 0.2s)",
+    )
+    pm.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="give up on --follow after this long (default 30s)",
+    )
+    _add_json_flag(pm)
+    pm.set_defaults(fn=_cmd_monitor)
 
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")

@@ -70,6 +70,7 @@ from repro.data.schedule import CommSchedule
 from repro.des import AnyOf, Event, Simulator
 from repro.des.channel import Delivery
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+from repro.obs.trace import CausalLog, TraceContext
 from repro.util.rng import RngRegistry
 from repro.util import tracing
 from repro.util.tracing import NullTracer
@@ -182,6 +183,11 @@ class ProcessStats:
     buddy_answers_received: int = 0
     buddy_skips: int = 0
     buddy_saved_time: float = 0.0
+    #: Per buddy-enabled skip: ``(export_ts, request_ts, lead)`` where
+    #: *lead* is how long before the skip decision the enabling buddy
+    #: answer had arrived — the per-window head start the paper's
+    #: dissemination buys (reported by the causal trace).
+    buddy_lead_times: list[tuple[float, float, float]] = field(default_factory=list)
 
     def export_times(self) -> list[float]:
         """The per-iteration export-cost series (Figure 4's y-axis)."""
@@ -283,6 +289,13 @@ class ProcessContext:
         for rname in program.regions:
             if rname not in self.export_states and rname not in self.import_states:
                 self.export_states[rname] = RegionExportState(rname, [])
+        #: Arrival bookkeeping for buddy answers, keyed by
+        #: ``(connection_id, request_ts)``: ``(arrived_at, recv_span)``.
+        #: Feeds the per-window buddy-help lead times.
+        self._buddy_arrivals: dict[tuple[str, float], tuple[float, Any]] = {}
+        #: Trace context of the last FwdRequest per request, so the
+        #: (possibly much later) match response can name its cause.
+        self._causal_fwd: dict[tuple[str, float], TraceContext | None] = {}
 
     # -- identity helpers -------------------------------------------------
     @property
@@ -385,6 +398,7 @@ class ProcessContext:
                 # credit the avoided memcpy to buddy-help.
                 self.stats.buddy_skips += 1
                 self.stats.buddy_saved_time += memcpy_cost
+                self._note_buddy_skip(ts, outcome, t0)
             if tracer.enabled:
                 tracer.record(
                     tracing.EXPORT_SKIP, self.who, t0, timestamp=ts, region=region
@@ -432,6 +446,42 @@ class ProcessContext:
             coupler.operation_log.log(self.program, self.rank, "export", region, ts)
         return outcome.decision
 
+    def _note_buddy_skip(self, ts: float, outcome: Any, now: float) -> None:
+        """Record the buddy-help lead of a skipped window.
+
+        The lead is the time from the enabling buddy answer's arrival
+        to the skip decision it enabled — how much of a head start the
+        rep's dissemination gave this process over deciding locally.
+        """
+        enabler = outcome.buddy_enabler
+        if enabler is None:
+            return
+        cid, request_ts = enabler
+        arrival = self._buddy_arrivals.get((cid, request_ts))
+        if arrival is None:
+            return
+        arrived_at, recv_span = arrival
+        lead = now - arrived_at
+        self.stats.buddy_lead_times.append((ts, request_ts, lead))
+        coupler = self._coupler
+        if coupler.causal is not None:
+            tid = (
+                recv_span.trace_id
+                if recv_span is not None
+                else coupler.causal.trace_for(cid, request_ts)
+            )
+            coupler.causal.record(
+                tid,
+                "buddy_skip",
+                self.who,
+                now,
+                parents=() if recv_span is None else (recv_span.span_id,),
+                connection=cid,
+                request=request_ts,
+                export_ts=ts,
+                lead=lead,
+            )
+
     # -- import -----------------------------------------------------------------
     def import_begin(self, region: str, ts: float) -> "ImportHandle":
         """Post the request for *ts* without waiting (non-blocking).
@@ -448,7 +498,18 @@ class ProcessContext:
         assert ist is not None
         coupler = self._coupler
         cid = ist.connection_id
-        record = ist.start_request(ts, self.sim.now)
+        now = self.sim.now
+        tr: TraceContext | None = None
+        if coupler.causal is not None:
+            tid = coupler.causal.trace_for(cid, ts)
+            tr = coupler.causal.record(
+                tid, "request", self.who, now,
+                connection=cid, request=ts, rank=self.rank,
+            )
+            coupler._causal_req[(cid, ts, self.rank)] = tr
+        record = ist.start_request(
+            ts, now, trace_id=None if tr is None else tr.trace_id
+        )
         if coupler.tracer.enabled:
             coupler.tracer.record(
                 tracing.IMPORT_REQUEST, self.who, self.sim.now, request=ts
@@ -456,7 +517,9 @@ class ProcessContext:
         coupler._net_send(
             ("cpl", self.program, self.rank),
             ("rep", self.program),
-            _ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank),
+            _ImpProcRequest(
+                connection_id=cid, request_ts=ts, rank=self.rank, trace=tr
+            ),
         )
         if coupler.operation_log is not None:
             coupler.operation_log.log(self.program, self.rank, "import", region, ts)
@@ -487,8 +550,20 @@ class ProcessContext:
         answer: FinalAnswer = delivery.payload.answer
         ist.on_answer(handle.record, answer, self.sim.now)
         handle.done = True
+        ans_span: TraceContext | None = None
+        if coupler.causal is not None:
+            ans_span = self._causal_answered(
+                cid, ts, delivery.payload.trace, str(answer.kind)
+            )
         if answer.kind is MatchKind.NO_MATCH:
             ist.complete(handle.record, self.sim.now)
+            if ans_span is not None:
+                assert coupler.causal is not None
+                coupler.causal.record(
+                    ans_span.trace_id, "complete", self.who, self.sim.now,
+                    parents=(ans_span.span_id,),
+                    connection=cid, request=ts, kind=str(answer.kind), pieces=0,
+                )
             return (None, None)
         m = answer.matched_ts
         assert m is not None
@@ -508,11 +583,38 @@ class ProcessContext:
             pieces.setdefault((d.payload.src_rank, d.payload.region), d.payload)
         block = self._assemble(handle.region, list(pieces.values()))
         ist.complete(handle.record, self.sim.now)
+        if ans_span is not None:
+            assert coupler.causal is not None
+            coupler.causal.record(
+                ans_span.trace_id, "complete", self.who, self.sim.now,
+                parents=(ans_span.span_id,),
+                connection=cid, request=ts, kind=str(answer.kind),
+                pieces=len(pieces),
+            )
         if coupler.tracer.enabled:
             coupler.tracer.record(
                 tracing.IMPORT_COMPLETE, self.who, self.sim.now, timestamp=m
             )
         return (m, block)
+
+    def _causal_answered(
+        self, cid: str, ts: float, incoming: TraceContext | None, kind: str
+    ) -> TraceContext:
+        """Record the 'answered' span when the final answer is consumed."""
+        coupler = self._coupler
+        assert coupler.causal is not None
+        root = coupler._causal_req.get((cid, ts, self.rank))
+        if incoming is not None:
+            tid = incoming.trace_id
+        elif root is not None:
+            tid = root.trace_id
+        else:
+            tid = coupler.causal.trace_for(cid, ts)
+        parents = tuple(x.span_id for x in (incoming, root) if x is not None)
+        return coupler.causal.record(
+            tid, "answered", self.who, self.sim.now,
+            parents=parents, connection=cid, request=ts, kind=kind,
+        )
 
     def _await_with_retransmit(
         self, get_ev: Event, handle: "ImportHandle"
@@ -555,6 +657,25 @@ class ProcessContext:
                     attempt=attempt,
                     rto=rto * (2 ** min(attempt, 6)),
                 )
+            tr: TraceContext | None = None
+            if coupler.causal is not None:
+                # Retransmissions keep the ORIGINAL trace id: the DAG
+                # of one import survives the fault layer intact.
+                root = coupler._causal_req.get(
+                    (handle.connection_id, handle.ts, self.rank)
+                )
+                tid = (
+                    root.trace_id
+                    if root is not None
+                    else coupler.causal.trace_for(handle.connection_id, handle.ts)
+                )
+                tr = coupler.causal.record(
+                    tid, "retransmit", self.who, self.sim.now,
+                    parents=() if root is None else (root.span_id,),
+                    connection=handle.connection_id,
+                    request=handle.ts,
+                    attempt=attempt,
+                )
             coupler._net_send(
                 ("cpl", self.program, self.rank),
                 ("rep", self.program),
@@ -562,6 +683,7 @@ class ProcessContext:
                     connection_id=handle.connection_id,
                     request_ts=handle.ts,
                     rank=self.rank,
+                    trace=tr,
                 ),
             )
 
@@ -739,6 +861,9 @@ class CoupledSimulation:
             12 if options.max_retransmits is None else options.max_retransmits
         )
         batch_control = options.batch_control
+        causal_trace = options.causal_trace
+        telemetry_sinks = options.telemetry_sinks
+        telemetry_interval = options.telemetry_interval
         require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
         self.config = parse_config(config) if isinstance(config, str) else config
         self.config.validate()
@@ -827,6 +952,18 @@ class CoupledSimulation:
         self.frames_sent = 0
         self.framed_messages = 0
         self._wire_seq = 0
+        #: Causal tracing (opt-in).  ``None`` keeps the hot path to a
+        #: single attribute check per send.
+        self.causal: CausalLog | None = CausalLog() if causal_trace else None
+        self._causal_req: dict[tuple[str, float, int], TraceContext] = {}
+        self._causal_resp: dict[tuple[str, float], list[int]] = {}
+        self._causal_agg: dict[tuple[str, float], TraceContext] = {}
+        self._causal_ans: dict[tuple[str, float], TraceContext] = {}
+        #: Streaming telemetry (opt-in).  Sinks receive periodic
+        #: snapshots from a dedicated simulation process.
+        self.telemetry_sinks: tuple[Any, ...] = tuple(telemetry_sinks or ())
+        require_positive(telemetry_interval, "telemetry_interval")
+        self.telemetry_interval = telemetry_interval
         self.sim: Simulator = self.world.sim
         self._programs: dict[str, _ProgramRuntime] = {}
         self._connections: dict[str, _ConnRuntime] = {
@@ -1004,6 +1141,8 @@ class CoupledSimulation:
                     self.sim.process(
                         self._main_proc(prog.contexts[r]), name=f"{prog.name}.{r}"
                     )
+        if self.telemetry_sinks:
+            self.sim.process(self._telemetry_proc(), name="telemetry")
 
     # -- network helpers ------------------------------------------------------
     def _stamp(self, payload: Any) -> Any:
@@ -1050,6 +1189,36 @@ class CoupledSimulation:
 
     def _cpl_mailbox(self, program: str, rank: int):
         return self.world.network.mailbox(("cpl", program, rank))
+
+    # -- causal tracing -------------------------------------------------------
+    def _causal_child(
+        self,
+        name: str,
+        who: str,
+        cause: TraceContext | None,
+        cid: str,
+        request_ts: float,
+        extra_parents: tuple[int, ...] = (),
+        **attrs: Any,
+    ) -> TraceContext:
+        """Record a span caused by *cause* (or rooted at the request key)."""
+        assert self.causal is not None
+        tid = (
+            cause.trace_id
+            if cause is not None
+            else self.causal.trace_for(cid, request_ts)
+        )
+        parents = (() if cause is None else (cause.span_id,)) + tuple(extra_parents)
+        return self.causal.record(
+            tid,
+            name,
+            who,
+            self.sim.now,
+            parents=parents,
+            connection=cid,
+            request=request_ts,
+            **attrs,
+        )
 
     # -- data plane ----------------------------------------------------------------
     def _send_pieces(self, ctx: ProcessContext, region: str, cid: str, m: float) -> None:
@@ -1117,7 +1286,20 @@ class CoupledSimulation:
                 latest=(None if response.latest_export_ts == float("-inf")
                         else response.latest_export_ts),
             )
-        payload = _ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        tr: TraceContext | None = None
+        if self.causal is not None:
+            tr = self._causal_child(
+                "match",
+                ctx.who,
+                ctx._causal_fwd.get((cid, response.request_ts)),
+                cid,
+                response.request_ts,
+                kind=str(response.kind),
+                rank=ctx.rank,
+            )
+        payload = _ProcResponse(
+            connection_id=cid, rank=ctx.rank, response=response, trace=tr
+        )
         if out is None:
             self._net_send(("cpl", ctx.program, ctx.rank), ("rep", ctx.program), payload)
         else:
@@ -1178,6 +1360,10 @@ class CoupledSimulation:
                                 cid=msg.connection_id,
                                 request=msg.request_ts,
                             )
+                        if self.causal is not None:
+                            ctx._causal_fwd[(msg.connection_id, msg.request_ts)] = (
+                                msg.trace
+                            )
                         outcome = st.on_request(msg.connection_id, msg.request_ts)
                         self._send_response(ctx, msg.connection_id, outcome.response, out)
                         if outcome.applied is not None and outcome.applied.send_now is not None:
@@ -1200,6 +1386,22 @@ class CoupledSimulation:
                                 if msg.answer.matched_ts is not None
                                 else msg.answer.request_ts,
                             )
+                        recv_tr: TraceContext | None = None
+                        if self.causal is not None:
+                            recv_tr = self._causal_child(
+                                "buddy_recv",
+                                ctx.who,
+                                msg.trace,
+                                msg.connection_id,
+                                msg.answer.request_ts,
+                                rank=ctx.rank,
+                            )
+                        # Arrival bookkeeping is unconditional (one dict
+                        # write, off the hot path): buddy-help lead times
+                        # are reported even without causal tracing.
+                        ctx._buddy_arrivals[
+                            (msg.connection_id, msg.answer.request_ts)
+                        ] = (self.sim.now, recv_tr)
                         applied = st.on_buddy_answer(msg.connection_id, msg.answer)
                         ctx.stats.buddy_answers_received += 1
                         if applied.send_now is not None:
@@ -1260,11 +1462,18 @@ class CoupledSimulation:
         out: list[tuple[Any, Any, int]] | None,
     ) -> None:
         """Dispatch one rep message to the right state machine."""
+        cause: TraceContext | None = getattr(msg, "trace", None)
         if isinstance(msg, _ReqToExpRep):
             assert prog.exp_rep is not None
             directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
         elif isinstance(msg, _ProcResponse):
             assert prog.exp_rep is not None
+            if self.causal is not None and cause is not None:
+                # The aggregate span joins every per-process match span
+                # gathered for this request, not just the finalizing one.
+                self._causal_resp.setdefault(
+                    (msg.connection_id, msg.response.request_ts), []
+                ).append(cause.span_id)
             directives = prog.exp_rep.on_response(
                 msg.connection_id, msg.rank, msg.response
             )
@@ -1275,26 +1484,31 @@ class CoupledSimulation:
             )
         elif isinstance(msg, _AnswerToImpRep):
             assert prog.imp_rep is not None
+            if self.causal is not None and cause is not None:
+                self._causal_ans[(msg.connection_id, msg.answer.request_ts)] = cause
             directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
         else:
             raise FrameworkError(f"rep received unexpected message {msg!r}")
         for d in directives:
-            self._execute_directive(prog, d, out)
+            self._execute_directive(prog, d, out, cause=cause)
 
     def _execute_directive(
         self,
         prog: _ProgramRuntime,
         d: Any,
         out: list[tuple[Any, Any, int]] | None = None,
+        cause: TraceContext | None = None,
     ) -> None:
         """Send the wire message(s) a rep directive implies.
 
         With *out* given (batch mode), rep/ctl-plane sends are collected
         for per-destination framing by the caller; data-plane deliveries
         (``cpl`` mailboxes) always go out bare — importer mailboxes match
-        on member payload types.
+        on member payload types.  *cause* is the trace context of the
+        rep message that produced the directive (causal tracing only).
         """
         rep_addr = ("rep", prog.name)
+        rep_who = f"{prog.name}.rep"
 
         def send_ctl(dst: Any, payload: Any) -> None:
             if out is None:
@@ -1303,29 +1517,60 @@ class CoupledSimulation:
                 out.append((dst, payload, _CTL_NBYTES))
 
         if isinstance(d, ForwardRequest):
+            tr: TraceContext | None = None
+            if self.causal is not None:
+                tr = self._causal_child(
+                    "fan_out", rep_who, cause, d.connection_id, d.request_ts,
+                    rank=d.rank,
+                )
             send_ctl(
                 ("ctl", prog.name, d.rank),
-                _FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
+                _FwdRequest(
+                    connection_id=d.connection_id,
+                    request_ts=d.request_ts,
+                    trace=tr,
+                ),
             )
         elif isinstance(d, AnswerImporter):
             imp_prog = self._connections[d.connection_id].spec.importer.program
             if self.tracer.enabled:
                 self.tracer.record(
                     tracing.REP_FINALIZE,
-                    f"{prog.name}.rep",
+                    rep_who,
                     self.sim.now,
                     request=d.answer.request_ts,
                     answer=str(d.answer.kind),
                 )
+            tr = None
+            if self.causal is not None:
+                key = (d.connection_id, d.answer.request_ts)
+                prior = self._causal_agg.get(key)
+                extra = tuple(self._causal_resp.pop(key, ()))
+                if prior is not None:
+                    extra = (prior.span_id,) + extra
+                attrs: dict[str, Any] = {"kind": str(d.answer.kind)}
+                finfo = getattr(prog.exp_rep, "finalize_info", None)
+                info = finfo(d.connection_id, d.answer.request_ts) if finfo else None
+                if info is not None:
+                    attrs["case"], attrs["finalizing_rank"] = info
+                if prior is not None:
+                    attrs["cached"] = True
+                tr = self._causal_child(
+                    "aggregate", rep_who, cause, d.connection_id,
+                    d.answer.request_ts, extra_parents=extra, **attrs,
+                )
+                self._causal_agg.setdefault(key, tr)
             send_ctl(
                 ("rep", imp_prog),
-                _AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
+                _AnswerToImpRep(
+                    connection_id=d.connection_id, answer=d.answer, trace=tr
+                ),
             )
         elif isinstance(d, BuddyHelp):
             if self.tracer.enabled:
                 self.tracer.record(
                     tracing.BUDDY_SEND,
-                    f"{prog.name}.rep",
+                    rep_who,
                     self.sim.now,
                     request=d.answer.request_ts,
                     answer="YES" if d.answer.is_match else "NO",
@@ -1333,24 +1578,77 @@ class CoupledSimulation:
                     if d.answer.matched_ts is not None
                     else d.answer.request_ts,
                 )
+            tr = None
+            if self.causal is not None:
+                agg = self._causal_agg.get((d.connection_id, d.answer.request_ts))
+                tr = self._causal_child(
+                    "buddy_notify",
+                    rep_who,
+                    agg if agg is not None else cause,
+                    d.connection_id,
+                    d.answer.request_ts,
+                    rank=d.rank,
+                )
             send_ctl(
                 ("ctl", prog.name, d.rank),
-                _BuddyMsg(connection_id=d.connection_id, answer=d.answer),
+                _BuddyMsg(connection_id=d.connection_id, answer=d.answer, trace=tr),
             )
         elif isinstance(d, ForwardToExporter):
             exp_prog = self._connections[d.connection_id].spec.exporter.program
+            tr = None
+            if self.causal is not None:
+                tr = self._causal_child(
+                    "rep_forward", rep_who, cause, d.connection_id, d.request_ts
+                )
             send_ctl(
                 ("rep", exp_prog),
-                _ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
+                _ReqToExpRep(
+                    connection_id=d.connection_id,
+                    request_ts=d.request_ts,
+                    trace=tr,
+                ),
             )
         elif isinstance(d, DeliverAnswer):
+            tr = None
+            if self.causal is not None:
+                ans = self._causal_ans.get((d.connection_id, d.answer.request_ts))
+                extra = () if ans is None else (ans.span_id,)
+                tr = self._causal_child(
+                    "answer", rep_who, cause, d.connection_id,
+                    d.answer.request_ts, extra_parents=extra, rank=d.rank,
+                )
             self._net_send(
                 rep_addr,
                 ("cpl", prog.name, d.rank),
-                _AnswerToProc(connection_id=d.connection_id, answer=d.answer),
+                _AnswerToProc(
+                    connection_id=d.connection_id, answer=d.answer, trace=tr
+                ),
             )
         else:  # pragma: no cover - defensive
             raise FrameworkError(f"unknown directive {d!r}")
+
+    def _telemetry_proc(self) -> Generator[Event, Any, None]:
+        """Periodic telemetry flush; ends with the last user main.
+
+        The loop must terminate (the DES scheduler otherwise never runs
+        dry), so it watches the alive count of every main-bearing
+        program and emits one ``final`` snapshot when the last exits.
+        """
+        # Imported lazily: the core stays importable without obs.stream
+        # and pays nothing when streaming is off.
+        from repro.obs.stream import emit_snapshot
+
+        def running() -> bool:
+            mains = [p for p in self._programs.values() if p.main is not None]
+            return any(p.alive > 0 for p in mains) if mains else False
+
+        emitted_final = False
+        while running():
+            yield self.sim.timeout(self.telemetry_interval)
+            emitted_final = not running()
+            emit_snapshot(self, self.telemetry_sinks, final=emitted_final)
+        if not emitted_final:
+            emit_snapshot(self, self.telemetry_sinks, final=True)
 
     def _main_proc(self, ctx: ProcessContext) -> Generator[Event, Any, None]:
         """User main wrapped with end-of-stream bookkeeping."""

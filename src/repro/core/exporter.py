@@ -114,6 +114,13 @@ class ExportOutcome:
     #: because of a buddy-help answer.  The memcpy avoided here is the
     #: paper's buddy-help saving (Figure 7 vs. Figure 8).
     buddy_skip: bool = False
+    #: For a buddy skip: ``(connection_id, request_ts)`` of the
+    #: *earliest-learned* buddy answer whose threshold raise passed
+    #: this timestamp.  The runtime subtracts the answer's arrival
+    #: time from the export time to get the buddy-help *lead* — how
+    #: far ahead of the local decision the help arrived (Eq. 1-2's
+    #: win, surfaced per skipped window by causal tracing).
+    buddy_enabler: tuple[str, float] | None = None
 
 
 class ConnectionExportState:
@@ -146,6 +153,10 @@ class ConnectionExportState:
         self.must_send: set[float] = set()
         #: Count of requests seen (N of Eq. 2); also the window index.
         self.window_count: int = 0
+        #: Threshold raises learned from buddy answers, in learn order:
+        #: ``(raised_to, request_ts)``.  :meth:`buddy_enabler` walks
+        #: this to name the answer that enabled a given buddy skip.
+        self._buddy_raises: list[tuple[float, float]] = []
 
     # -- events ---------------------------------------------------------
     def on_request(self, request_ts: float) -> RequestOutcome:
@@ -220,6 +231,8 @@ class ConnectionExportState:
             return ApplyOutcome(answer=answer, send_now=None, was_news=False)
         self.answers[ts] = answer
         self.open_requests.pop(ts, None)
+        if source == "buddy" and self.disjoint:
+            self._buddy_raises.append((self.policy.region(ts)[1], ts))
 
         send_now: float | None = None
         if answer.kind is MatchKind.MATCH:
@@ -322,6 +335,19 @@ class ConnectionExportState:
         object (and, per Figure 8, freed it unsent later).
         """
         return self.local_skip_threshold <= ts < self.skip_threshold
+
+    def buddy_enabler(self, ts: float) -> float | None:
+        """The request whose buddy answer first made *ts* skippable.
+
+        Returns the request timestamp of the earliest-learned buddy
+        answer whose threshold raise passed *ts*, or ``None`` when no
+        single buddy answer covers it (e.g. the threshold advanced for
+        local reasons too).
+        """
+        for raised_to, request_ts in self._buddy_raises:
+            if raised_to > ts:
+                return request_ts
+        return None
 
     # -- helpers -----------------------------------------------------------
     def _raise_threshold(self, value: float, *, local: bool = True) -> None:
@@ -466,6 +492,7 @@ class RegionExportState:
             decision, window, replaced_ts = conn.vote_export(ts)
             votes.append((cid, decision, window, replaced_ts))
         buddy_skip = False
+        buddy_enabler: tuple[str, float] | None = None
 
         send_connections = tuple(cid for cid, d, _w, _r in votes if d is ExportDecision.SEND)
         all_skip = all(d is ExportDecision.SKIP for _c, d, _w, _r in votes)
@@ -480,9 +507,14 @@ class RegionExportState:
             self.buffer.buffer(ts, nbytes, memcpy_cost, window=window, payload=payload)
         elif all_skip:
             decision = ExportDecision.SKIP
-            buddy_skip = any(
-                conn.skip_is_buddy(ts) for conn in self.connections.values()
-            )
+            for cid, conn in self.connections.items():
+                if not conn.skip_is_buddy(ts):
+                    continue
+                buddy_skip = True
+                if buddy_enabler is None:
+                    enabling_request = conn.buddy_enabler(ts)
+                    if enabling_request is not None:
+                        buddy_enabler = (cid, enabling_request)
         else:
             decision = ExportDecision.BUFFER
             self.buffer.buffer(ts, nbytes, memcpy_cost, window=window, payload=payload)
@@ -512,6 +544,7 @@ class RegionExportState:
             new_responses=tuple(new_responses),
             post_sends=tuple(post_sends),
             buddy_skip=buddy_skip,
+            buddy_enabler=buddy_enabler,
         )
 
     def close(self) -> tuple[list[tuple[str, MatchResponse]], list[tuple[str, float]]]:

@@ -51,6 +51,7 @@ from repro.core.rep import (
 from repro.data.region import RectRegion
 from repro.data.schedule import CommSchedule
 from repro.match.result import FinalAnswer, MatchKind
+from repro.obs.trace import CausalLog, TraceContext
 from repro.util import tracing
 from repro.util.tracing import NullTracer
 from repro.util.validation import require, require_positive
@@ -87,6 +88,10 @@ class LiveStats:
     #: avoided copy, so only the counts are kept here).
     buddy_answers_received: int = 0
     buddy_skips: int = 0
+    #: Per buddy-enabled skip: ``(export_ts, request_ts, lead_seconds)``
+    #: where *lead* is the wall-clock head start the enabling buddy
+    #: answer arrived with (see the DES twin for the full story).
+    buddy_lead_times: list[tuple[float, float, float]] = field(default_factory=list)
 
     def decisions(self) -> dict[str, int]:
         """Histogram of export decisions."""
@@ -111,6 +116,8 @@ class _LiveProgram:
         self.exp_rep: ExporterRep | None = None
         self.imp_rep: ImporterRep | None = None
         self.rep_lock = threading.Lock()
+        #: Application threads still running (telemetry snapshots).
+        self.alive = nprocs if main is not None else 0
 
 
 class LiveProcessContext:
@@ -145,6 +152,11 @@ class LiveProcessContext:
         for rname in program.regions:
             if rname not in self.export_states and rname not in self.import_states:
                 self.export_states[rname] = RegionExportState(rname, [])
+        #: Buddy-answer arrival bookkeeping (``(cid, request_ts)`` →
+        #: ``(arrived_at, recv_span)``); feeds per-window lead times.
+        self._buddy_arrivals: dict[tuple[str, float], tuple[float, Any]] = {}
+        #: Trace context of the last FwdRequest per request (causal).
+        self._causal_fwd: dict[tuple[str, float], TraceContext | None] = {}
 
     # -- identity --------------------------------------------------------
     @property
@@ -201,6 +213,7 @@ class LiveProcessContext:
         elapsed = time.perf_counter() - t0
         if outcome.buddy_skip:
             self.stats.buddy_skips += 1
+            self._note_buddy_skip(ts, outcome)
         self.stats.export_records.append(
             LiveExportRecord(ts=ts, decision=outcome.decision, seconds=elapsed)
         )
@@ -212,6 +225,33 @@ class LiveProcessContext:
             )
             self._rt.tracer.record(kind, self.who, time.perf_counter(), timestamp=ts)
         return outcome.decision
+
+    def _note_buddy_skip(self, ts: float, outcome: Any) -> None:
+        """Record the lead time (and causal span) of a buddy-enabled skip."""
+        rt = self._rt
+        enabler = getattr(outcome, "buddy_enabler", None)
+        if enabler is None:
+            return
+        arrival = self._buddy_arrivals.get(enabler)
+        if arrival is None:
+            return
+        arrived_at, recv_span = arrival
+        now = rt.elapsed()
+        cid, request_ts = enabler
+        lead = now - arrived_at
+        self.stats.buddy_lead_times.append((ts, request_ts, lead))
+        if rt.causal is not None and recv_span is not None:
+            rt.causal.record(
+                recv_span.trace_id,
+                "buddy_skip",
+                self.who,
+                now,
+                parents=(recv_span.span_id,),
+                connection=cid,
+                request=request_ts,
+                export_ts=ts,
+                lead=lead,
+            )
 
     # -- import -------------------------------------------------------------------
     def import_(
@@ -230,10 +270,22 @@ class LiveProcessContext:
         assert ist is not None
         rt = self._rt
         cid = ist.connection_id
-        record = ist.start_request(ts, time.perf_counter())
+        tr: TraceContext | None = None
+        if rt.causal is not None:
+            tid = rt.causal.trace_for(cid, ts)
+            tr = rt.causal.record(
+                tid, "request", self.who, rt.elapsed(),
+                connection=cid, request=ts, rank=self.rank,
+            )
+            rt._causal_req[(cid, ts, self.rank)] = tr
+        record = ist.start_request(
+            ts, rt.elapsed(), trace_id=None if tr is None else tr.trace_id
+        )
         rt._post(
             ("rep", self.program),
-            wire.ImpProcRequest(connection_id=cid, request_ts=ts, rank=self.rank),
+            wire.ImpProcRequest(
+                connection_id=cid, request_ts=ts, rank=self.rank, trace=tr
+            ),
         )
         box = rt._mailbox("cpl", self.program, self.rank)
         timeout = rt.default_timeout if timeout is None else timeout
@@ -247,9 +299,21 @@ class LiveProcessContext:
             timeout,
         )
         answer: FinalAnswer = answer_msg.answer
-        ist.on_answer(record, answer, time.perf_counter())
+        ist.on_answer(record, answer, rt.elapsed())
+        ans_span: TraceContext | None = None
+        if rt.causal is not None:
+            ans_span = self._causal_answered(
+                cid, ts, getattr(answer_msg, "trace", None), str(answer.kind)
+            )
         if answer.kind is MatchKind.NO_MATCH:
-            ist.complete(record, time.perf_counter())
+            ist.complete(record, rt.elapsed())
+            if rt.causal is not None and ans_span is not None:
+                rt.causal.record(
+                    ans_span.trace_id, "complete", self.who, rt.elapsed(),
+                    parents=(ans_span.span_id,),
+                    connection=cid, request=ts,
+                    kind=str(answer.kind), pieces=0,
+                )
             return (None, None)
         m = answer.matched_ts
         assert m is not None
@@ -271,8 +335,34 @@ class LiveProcessContext:
             )
             pieces.setdefault((piece.src_rank, piece.region), piece)
         block = self._assemble(region, list(pieces.values()))
-        ist.complete(record, time.perf_counter())
+        ist.complete(record, rt.elapsed())
+        if rt.causal is not None and ans_span is not None:
+            rt.causal.record(
+                ans_span.trace_id, "complete", self.who, rt.elapsed(),
+                parents=(ans_span.span_id,),
+                connection=cid, request=ts,
+                kind=str(answer.kind), pieces=len(pieces),
+            )
         return (m, block)
+
+    def _causal_answered(
+        self, cid: str, ts: float, incoming: TraceContext | None, kind: str
+    ) -> TraceContext | None:
+        """Record the importer-side ``answered`` span of one import."""
+        rt = self._rt
+        assert rt.causal is not None
+        root = rt._causal_req.get((cid, ts, self.rank))
+        if incoming is not None:
+            tid = incoming.trace_id
+        elif root is not None:
+            tid = root.trace_id
+        else:
+            tid = rt.causal.trace_for(cid, ts)
+        parents = tuple(x.span_id for x in (incoming, root) if x is not None)
+        return rt.causal.record(
+            tid, "answered", self.who, rt.elapsed(),
+            parents=parents, connection=cid, request=ts, kind=kind,
+        )
 
     def _get_with_retransmit(
         self,
@@ -309,10 +399,28 @@ class LiveProcessContext:
                         attempt=attempt,
                         rto=rto,
                     )
+                tr: TraceContext | None = None
+                if rt.causal is not None:
+                    # Retransmissions keep the ORIGINAL trace id so the
+                    # causal DAG survives the fault layer intact.
+                    root = rt._causal_req.get((cid, request_ts, self.rank))
+                    tid = (
+                        root.trace_id
+                        if root is not None
+                        else rt.causal.trace_for(cid, request_ts)
+                    )
+                    tr = rt.causal.record(
+                        tid, "retransmit", self.who, rt.elapsed(),
+                        parents=() if root is None else (root.span_id,),
+                        connection=cid, request=request_ts, attempt=attempt,
+                    )
                 rt._post(
                     ("rep", self.program),
                     wire.ImpProcRequest(
-                        connection_id=cid, request_ts=request_ts, rank=self.rank
+                        connection_id=cid,
+                        request_ts=request_ts,
+                        rank=self.rank,
+                        trace=tr,
                     ),
                 )
 
@@ -451,6 +559,23 @@ class LiveCoupledSimulation:
         self.framed_messages = 0
         self._count_lock = threading.Lock()
         self._wire_seq = 0
+        #: Causal tracing (opt-in, same span vocabulary as the DES
+        #: runtime).  The aux dicts are written by at most one thread
+        #: per key (CPython dict ops are atomic under the GIL).
+        self.causal: CausalLog | None = (
+            CausalLog() if options.causal_trace else None
+        )
+        self._causal_req: dict[tuple[str, float, int], TraceContext] = {}
+        self._causal_resp: dict[tuple[str, float], list[int]] = {}
+        self._causal_agg: dict[tuple[str, float], TraceContext] = {}
+        self._causal_ans: dict[tuple[str, float], TraceContext] = {}
+        #: Streaming telemetry (opt-in); a background thread flushes
+        #: snapshots every ``telemetry_interval`` wall seconds.
+        self.telemetry_sinks: tuple[Any, ...] = tuple(options.telemetry_sinks)
+        self.telemetry_interval = options.telemetry_interval
+        #: Run epoch: span times and import latencies are relative to
+        #: this so both runtimes report small comparable numbers.
+        self._t0 = time.perf_counter()
         self._programs: dict[str, _LiveProgram] = {}
         self._connections = {
             c.connection_id: _LiveConn(c) for c in self.config.connections
@@ -488,6 +613,10 @@ class LiveCoupledSimulation:
         prog = _LiveProgram(name, nprocs, main, regions, comms)
         self._programs[name] = prog
         return prog
+
+    def elapsed(self) -> float:
+        """Wall seconds since this runtime was constructed."""
+        return time.perf_counter() - self._t0
 
     def context(self, program: str, rank: int) -> LiveProcessContext:
         """The live context of one process (valid once run() started)."""
@@ -536,12 +665,36 @@ class LiveCoupledSimulation:
                         daemon=True,
                     )
                     mains.append(m)
+        telemetry_stop: threading.Event | None = None
+        telemetry_thread: threading.Thread | None = None
+        if self.telemetry_sinks:
+            from repro.obs.stream import emit_snapshot
+
+            telemetry_stop = threading.Event()
+
+            def telemetry_loop(stop: threading.Event) -> None:
+                while not stop.wait(self.telemetry_interval):
+                    emit_snapshot(self, self.telemetry_sinks, final=False)
+
+            telemetry_thread = threading.Thread(
+                target=telemetry_loop,
+                args=(telemetry_stop,),
+                name="telemetry",
+                daemon=True,
+            )
+            telemetry_thread.start()
         for t in service:
             t.start()
         for t in mains:
             t.start()
         for t in mains:
             t.join(timeout=join_timeout)
+        if telemetry_stop is not None and telemetry_thread is not None:
+            telemetry_stop.set()
+            telemetry_thread.join(timeout=5.0)
+            from repro.obs.stream import emit_snapshot
+
+            emit_snapshot(self, self.telemetry_sinks, final=True)
         alive = [t.name for t in mains if t.is_alive()]
         # Stop the service loops regardless of outcome.
         for prog in self._programs.values():
@@ -636,6 +789,35 @@ class LiveCoupledSimulation:
     def _mailbox(self, *address: Any) -> ThreadMailbox:
         return self.world.mailbox(tuple(address))
 
+    def _causal_child(
+        self,
+        name: str,
+        who: str,
+        cause: TraceContext | None,
+        cid: str,
+        request_ts: float,
+        extra_parents: tuple[int, ...] = (),
+        **attrs: Any,
+    ) -> TraceContext:
+        """Record a span caused by *cause* (or rooted at the request key)."""
+        assert self.causal is not None
+        tid = (
+            cause.trace_id
+            if cause is not None
+            else self.causal.trace_for(cid, request_ts)
+        )
+        parents = (() if cause is None else (cause.span_id,)) + tuple(extra_parents)
+        return self.causal.record(
+            tid,
+            name,
+            who,
+            self.elapsed(),
+            parents=parents,
+            connection=cid,
+            request=request_ts,
+            **attrs,
+        )
+
     def _stamp(self, msg: Any) -> Any:
         """Give *msg* a fresh wire sequence number if unstamped."""
         if getattr(msg, "seq", None) == -1:
@@ -681,7 +863,20 @@ class LiveCoupledSimulation:
         response,
         out: list[tuple[Any, Any]] | None = None,
     ) -> None:
-        payload = wire.ProcResponse(connection_id=cid, rank=ctx.rank, response=response)
+        tr: TraceContext | None = None
+        if self.causal is not None:
+            tr = self._causal_child(
+                "match",
+                ctx.who,
+                ctx._causal_fwd.get((cid, response.request_ts)),
+                cid,
+                response.request_ts,
+                kind=str(response.kind),
+                rank=ctx.rank,
+            )
+        payload = wire.ProcResponse(
+            connection_id=cid, rank=ctx.rank, response=response, trace=tr
+        )
         if out is None:
             self._post(("rep", ctx.program), payload)
         else:
@@ -783,6 +978,8 @@ class LiveCoupledSimulation:
         if isinstance(msg, wire.FwdRequest):
             region = self._region_of_connection(ctx.program, msg.connection_id)
             st = ctx.export_states[region]
+            if self.causal is not None:
+                ctx._causal_fwd[(msg.connection_id, msg.request_ts)] = msg.trace
             with ctx.lock:
                 outcome = st.on_request(msg.connection_id, msg.request_ts)
                 self._send_response(ctx, msg.connection_id, outcome.response, out)
@@ -805,6 +1002,22 @@ class LiveCoupledSimulation:
                     if msg.answer.matched_ts is not None
                     else msg.answer.request_ts,
                 )
+            recv_tr: TraceContext | None = None
+            if self.causal is not None:
+                recv_tr = self._causal_child(
+                    "buddy_recv",
+                    ctx.who,
+                    msg.trace,
+                    msg.connection_id,
+                    msg.answer.request_ts,
+                    rank=ctx.rank,
+                )
+            # Unconditional arrival bookkeeping: lead times are
+            # reported even without causal tracing.
+            ctx._buddy_arrivals[(msg.connection_id, msg.answer.request_ts)] = (
+                self.elapsed(),
+                recv_tr,
+            )
             with ctx.lock:
                 applied = st.on_buddy_answer(msg.connection_id, msg.answer)
                 ctx.stats.buddy_answers_received += 1
@@ -844,12 +1057,17 @@ class LiveCoupledSimulation:
         self, prog: _LiveProgram, msg: Any, out: list[tuple[Any, Any]] | None
     ) -> None:
         """Dispatch one rep message to the right state machine."""
+        cause: TraceContext | None = getattr(msg, "trace", None)
         with prog.rep_lock:
             if isinstance(msg, wire.ReqToExpRep):
                 assert prog.exp_rep is not None
                 directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
             elif isinstance(msg, wire.ProcResponse):
                 assert prog.exp_rep is not None
+                if self.causal is not None and cause is not None:
+                    self._causal_resp.setdefault(
+                        (msg.connection_id, msg.response.request_ts), []
+                    ).append(cause.span_id)
                 directives = prog.exp_rep.on_response(
                     msg.connection_id, msg.rank, msg.response
                 )
@@ -860,15 +1078,25 @@ class LiveCoupledSimulation:
                 )
             elif isinstance(msg, wire.AnswerToImpRep):
                 assert prog.imp_rep is not None
+                if self.causal is not None and cause is not None:
+                    self._causal_ans[(msg.connection_id, msg.answer.request_ts)] = (
+                        cause
+                    )
                 directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
             else:
                 raise FrameworkError(f"rep received unexpected message {msg!r}")
         for d in directives:
-            self._execute_directive(prog, d, out)
+            self._execute_directive(prog, d, out, cause=cause)
 
     def _execute_directive(
-        self, prog: _LiveProgram, d: Any, out: list[tuple[Any, Any]] | None = None
+        self,
+        prog: _LiveProgram,
+        d: Any,
+        out: list[tuple[Any, Any]] | None = None,
+        cause: TraceContext | None = None,
     ) -> None:
+        rep_who = f"{prog.name}.rep"
+
         def send_ctl(dst: Any, payload: Any) -> None:
             if out is None:
                 self._post(dst, payload)
@@ -876,31 +1104,94 @@ class LiveCoupledSimulation:
                 out.append((dst, payload))
 
         if isinstance(d, ForwardRequest):
+            tr: TraceContext | None = None
+            if self.causal is not None:
+                tr = self._causal_child(
+                    "fan_out", rep_who, cause, d.connection_id, d.request_ts,
+                    rank=d.rank,
+                )
             send_ctl(
                 ("ctl", prog.name, d.rank),
-                wire.FwdRequest(connection_id=d.connection_id, request_ts=d.request_ts),
+                wire.FwdRequest(
+                    connection_id=d.connection_id,
+                    request_ts=d.request_ts,
+                    trace=tr,
+                ),
             )
         elif isinstance(d, AnswerImporter):
             imp_prog = self._connections[d.connection_id].spec.importer.program
+            tr = None
+            if self.causal is not None:
+                key = (d.connection_id, d.answer.request_ts)
+                prior = self._causal_agg.get(key)
+                extra = tuple(self._causal_resp.pop(key, ()))
+                if prior is not None:
+                    extra = (prior.span_id,) + extra
+                attrs: dict[str, Any] = {"kind": str(d.answer.kind)}
+                finfo = getattr(prog.exp_rep, "finalize_info", None)
+                info = finfo(d.connection_id, d.answer.request_ts) if finfo else None
+                if info is not None:
+                    attrs["case"], attrs["finalizing_rank"] = info
+                if prior is not None:
+                    attrs["cached"] = True
+                tr = self._causal_child(
+                    "aggregate", rep_who, cause, d.connection_id,
+                    d.answer.request_ts, extra_parents=extra, **attrs,
+                )
+                self._causal_agg.setdefault(key, tr)
             send_ctl(
                 ("rep", imp_prog),
-                wire.AnswerToImpRep(connection_id=d.connection_id, answer=d.answer),
+                wire.AnswerToImpRep(
+                    connection_id=d.connection_id, answer=d.answer, trace=tr
+                ),
             )
         elif isinstance(d, BuddyHelp):
+            tr = None
+            if self.causal is not None:
+                agg = self._causal_agg.get((d.connection_id, d.answer.request_ts))
+                tr = self._causal_child(
+                    "buddy_notify",
+                    rep_who,
+                    agg if agg is not None else cause,
+                    d.connection_id,
+                    d.answer.request_ts,
+                    rank=d.rank,
+                )
             send_ctl(
                 ("ctl", prog.name, d.rank),
-                wire.BuddyMsg(connection_id=d.connection_id, answer=d.answer),
+                wire.BuddyMsg(
+                    connection_id=d.connection_id, answer=d.answer, trace=tr
+                ),
             )
         elif isinstance(d, ForwardToExporter):
             exp_prog = self._connections[d.connection_id].spec.exporter.program
+            tr = None
+            if self.causal is not None:
+                tr = self._causal_child(
+                    "rep_forward", rep_who, cause, d.connection_id, d.request_ts
+                )
             send_ctl(
                 ("rep", exp_prog),
-                wire.ReqToExpRep(connection_id=d.connection_id, request_ts=d.request_ts),
+                wire.ReqToExpRep(
+                    connection_id=d.connection_id,
+                    request_ts=d.request_ts,
+                    trace=tr,
+                ),
             )
         elif isinstance(d, DeliverAnswer):
+            tr = None
+            if self.causal is not None:
+                ans = self._causal_ans.get((d.connection_id, d.answer.request_ts))
+                extra = () if ans is None else (ans.span_id,)
+                tr = self._causal_child(
+                    "answer", rep_who, cause, d.connection_id,
+                    d.answer.request_ts, extra_parents=extra, rank=d.rank,
+                )
             self._post(
                 ("cpl", prog.name, d.rank),
-                wire.AnswerToProc(connection_id=d.connection_id, answer=d.answer),
+                wire.AnswerToProc(
+                    connection_id=d.connection_id, answer=d.answer, trace=tr
+                ),
             )
         else:  # pragma: no cover - defensive
             raise FrameworkError(f"unknown directive {d!r}")
@@ -910,6 +1201,8 @@ class LiveCoupledSimulation:
         try:
             ctx._program.main(ctx)
         finally:
+            with self._count_lock:
+                ctx._program.alive -= 1
             with ctx.lock:
                 for region, st in ctx.export_states.items():
                     responses, post_sends = st.close()

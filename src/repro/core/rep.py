@@ -98,6 +98,11 @@ class _ExpRequestState:
     responses: dict[int, MatchResponse] = field(default_factory=dict)
     definitive_ranks: set[int] = field(default_factory=set)
     finalized: FinalAnswer | None = None
+    #: Which of the five legal cases the finalization hit, and whose
+    #: response triggered it (Property 1: the first definitive one).
+    #: Kept for causal tracing and post-hoc attribution.
+    finalized_case: str | None = None
+    finalizing_rank: int | None = None
 
 
 class ExporterRep:
@@ -235,6 +240,8 @@ class ExporterRep:
         st.finalized = answer
         self.finalized_count += 1
         case = classify_case(list(st.responses.values()))
+        st.finalized_case = case
+        st.finalizing_rank = rank
         self.aggregate_cases[case] = self.aggregate_cases.get(case, 0) + 1
         directives: list[Directive] = [
             AnswerImporter(connection_id=connection_id, answer=answer)
@@ -261,6 +268,20 @@ class ExporterRep:
         """The final answer for a request, if decided."""
         st = self._conn(connection_id).get(request_ts)
         return st.finalized if st else None
+
+    def finalize_info(
+        self, connection_id: str, request_ts: float
+    ) -> tuple[str, int] | None:
+        """``(case, finalizing_rank)`` of a decided request, else ``None``.
+
+        The finalizing rank is the process whose first definitive
+        response triggered Property 1; causal tracing attaches both to
+        the ``aggregate`` span.
+        """
+        st = self._conn(connection_id).get(request_ts)
+        if st is None or st.finalized_case is None or st.finalizing_rank is None:
+            return None
+        return (st.finalized_case, st.finalizing_rank)
 
     def aggregate_case_counts(self) -> dict[str, int]:
         """Finalization cases plus still-open all-PENDING requests."""

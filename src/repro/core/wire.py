@@ -30,6 +30,19 @@ id, timestamp, rank, and the sequence word all fit comfortably, so the
 constant is unchanged by the seq field.  Retransmitted and duplicated
 control messages are real sends and are charged at full ``CTL_NBYTES``
 each, keeping the DES traffic/timing model honest under faults.
+
+Trace contexts
+--------------
+Every control message also carries an optional ``trace`` field: a
+:class:`~repro.obs.trace.TraceContext` (trace id + parent span id)
+stamped by the sending runtime when causal tracing is enabled
+(``RunOptions(causal_trace=True)``).  ``None`` — the default, and the
+only value ever stamped when tracing is off — keeps hand-built test
+messages and untraced runs byte-identical to before.  Like the seq
+word, the two trace integers ride inside ``CTL_NBYTES``.  Duplicated
+deliveries carry the *same* context as the original; retransmissions
+get a fresh span id but keep the original trace id, so the causal DAG
+of an import survives the fault layer intact.
 """
 
 from __future__ import annotations
@@ -40,6 +53,7 @@ import numpy as np
 
 from repro.data.region import RectRegion
 from repro.match.result import FinalAnswer, MatchResponse
+from repro.obs.trace import TraceContext
 
 #: Modelled wire size of a control message (headers + a few scalars,
 #: including the sequence number).
@@ -53,6 +67,7 @@ class ReqToExpRep:
     connection_id: str
     request_ts: float
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,7 @@ class FwdRequest:
     connection_id: str
     request_ts: float
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,7 @@ class ProcResponse:
     rank: int
     response: MatchResponse
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +98,7 @@ class BuddyMsg:
     connection_id: str
     answer: FinalAnswer
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,7 @@ class AnswerToImpRep:
     connection_id: str
     answer: FinalAnswer
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -100,6 +119,7 @@ class ImpProcRequest:
     request_ts: float
     rank: int
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -109,6 +129,7 @@ class AnswerToProc:
     connection_id: str
     answer: FinalAnswer
     seq: int = -1
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,14 @@ Three pillars (see ``docs/observability.md``):
 * :mod:`repro.obs.collect` + :mod:`repro.obs.export` — post-run
   collection into a registry, Chrome ``trace_event`` JSON, and the
   ``repro report`` payload validators.
+* :mod:`repro.obs.trace` + :mod:`repro.obs.stream` — causal
+  (happens-before) tracing of every control-plane message with
+  critical-path stage attribution per import, and opt-in streaming
+  telemetry sinks (JSONL, OpenMetrics) for live monitoring.
 
 The usual entry point is the facade: ``result.metrics`` /
-``result.timeline`` on :class:`repro.api.RunResult`.
+``result.timeline`` / ``result.causal`` on
+:class:`repro.api.RunResult`.
 """
 
 from repro.obs.collect import collect_metrics
@@ -24,6 +29,21 @@ from repro.obs.export import (
     validate_chrome_trace,
     validate_report_payload,
     write_chrome_trace,
+)
+from repro.obs.stream import (
+    JsonlSink,
+    OpenMetricsSink,
+    TelemetrySink,
+    build_snapshot,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.trace import (
+    CausalLog,
+    CausalReport,
+    CausalSpan,
+    TraceContext,
+    build_causal_report,
 )
 from repro.obs.metrics import (
     Counter,
@@ -40,24 +60,35 @@ from repro.obs.spans import Span, SpanRecorder, Timeline, TimelineSet, build_tim
 
 __all__ = [
     "REPORT_SCHEMA",
+    "CausalLog",
+    "CausalReport",
+    "CausalSpan",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricSample",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullMetrics",
+    "OpenMetricsSink",
     "PaperMetrics",
     "Span",
     "SpanRecorder",
+    "TelemetrySink",
     "Timeline",
     "TimelineSet",
     "Timer",
+    "TraceContext",
+    "build_causal_report",
+    "build_snapshot",
     "build_timelines",
     "chrome_trace",
     "collect_metrics",
     "compute_paper_metrics",
+    "render_openmetrics",
     "validate_chrome_trace",
+    "validate_openmetrics",
     "validate_report_payload",
     "write_chrome_trace",
 ]

@@ -149,6 +149,11 @@ def _collect_context(ctx: Any, reg: MetricsRegistry) -> None:
         reg.gauge("buddy.saved_time", program=program, rank=rank).set(
             float(getattr(stats, "buddy_saved_time", 0.0))
         )
+    leads = getattr(stats, "buddy_lead_times", ())
+    if leads:
+        lead_hist = reg.histogram("buddy.lead_time", program=program, rank=rank)
+        for _export_ts, _request_ts, lead in leads:
+            lead_hist.observe(float(lead))
 
     for region, st in getattr(ctx, "export_states", {}).items():
         if not getattr(st, "is_connected", False):

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs.spans import TimelineSet
+from repro.obs.trace import CausalReport
 
 #: Version tag stamped into (and required of) ``repro report --json``.
 REPORT_SCHEMA = "repro.report/v1"
@@ -42,10 +43,25 @@ def _thread_sort_key(thread: str) -> tuple[int, int | str]:
     return (1, thread)
 
 
-def chrome_trace(timelines: TimelineSet, *, time_scale: float = 1e6) -> dict[str, Any]:
-    """Render *timelines* as a Chrome ``trace_event`` JSON object."""
+def chrome_trace(
+    timelines: TimelineSet,
+    *,
+    time_scale: float = 1e6,
+    causal: CausalReport | None = None,
+) -> dict[str, Any]:
+    """Render *timelines* as a Chrome ``trace_event`` JSON object.
+
+    With *causal* given, every happens-before edge of the causal DAG
+    additionally becomes a flow-event pair (``ph: "s"`` at the parent
+    span, ``ph: "f"`` with ``bp: "e"`` at the child) and every causal
+    span a thread-scoped instant — the viewer then draws arrows along
+    each import's resolution chain.
+    """
     programs: dict[str, dict[str, int]] = {}
-    for who in timelines.whos():
+    causal_whos = (
+        sorted({s.who for s in causal.spans}) if causal is not None else []
+    )
+    for who in list(timelines.whos()) + causal_whos:
         prog, thread = _split_who(who)
         programs.setdefault(prog, {})[thread] = 0
     pids = {prog: i + 1 for i, prog in enumerate(sorted(programs))}
@@ -107,30 +123,85 @@ def chrome_trace(timelines: TimelineSet, *, time_scale: float = 1e6) -> dict[str
                 }
             )
 
+    if causal is not None:
+        by_id = {s.span_id: s for s in causal.spans}
+        for span in causal.spans:
+            prog, thread = _split_who(span.who)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "causal",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pids[prog],
+                    "tid": tids[prog][thread],
+                    "ts": span.time * time_scale,
+                    "args": {
+                        "span_id": span.span_id,
+                        "trace_id": span.trace_id,
+                        **{str(k): v for k, v in span.attrs.items()},
+                    },
+                }
+            )
+        edge_id = 0
+        for parent_id, child_id in causal.edges():
+            parent = by_id[parent_id]
+            child = by_id[child_id]
+            edge_id += 1
+            for span, ph in ((parent, "s"), (child, "f")):
+                prog, thread = _split_who(span.who)
+                ev: dict[str, Any] = {
+                    "name": "causal",
+                    "cat": "causal",
+                    "ph": ph,
+                    "id": edge_id,
+                    "pid": pids[prog],
+                    "tid": tids[prog][thread],
+                    "ts": span.time * time_scale,
+                }
+                if ph == "f":
+                    ev["bp"] = "e"
+                events.append(ev)
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
-    path: str | Path, timelines: TimelineSet, *, time_scale: float = 1e6
+    path: str | Path,
+    timelines: TimelineSet,
+    *,
+    time_scale: float = 1e6,
+    causal: CausalReport | None = None,
 ) -> Path:
     """Write :func:`chrome_trace` output to *path*; returns the path."""
     out = Path(path)
-    out.write_text(json.dumps(chrome_trace(timelines, time_scale=time_scale)) + "\n")
+    out.write_text(
+        json.dumps(chrome_trace(timelines, time_scale=time_scale, causal=causal))
+        + "\n"
+    )
     return out
 
 
 _PHASES_WITH_DUR = {"X"}
-_KNOWN_PHASES = {"X", "i", "M", "B", "E", "C"}
+_KNOWN_PHASES = {"X", "i", "M", "B", "E", "C", "s", "t", "f"}
+#: Flow phases: binding pairs that must share an ``id``.
+_FLOW_PHASES = {"s", "t", "f"}
 
 
 def validate_chrome_trace(obj: Any) -> list[str]:
-    """Problems that would stop ``chrome://tracing`` loading *obj*."""
+    """Problems that would stop ``chrome://tracing`` loading *obj*.
+
+    Flow events (``ph`` in ``s``/``t``/``f``) must carry an ``id``, and
+    every flow-finish (``f``) id must have a matching flow-start (``s``).
+    """
     problems: list[str] = []
     if not isinstance(obj, dict):
         return [f"top level must be an object, got {type(obj).__name__}"]
     events = obj.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents must be a list"]
+    flow_starts: set[Any] = set()
+    flow_finishes: list[tuple[str, Any]] = []
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(e, dict):
@@ -156,6 +227,18 @@ def validate_chrome_trace(obj: Any) -> list[str]:
                 problems.append(f"{where}: dur must be a non-negative number")
         if ph == "i" and e.get("s") not in (None, "t", "p", "g"):
             problems.append(f"{where}: instant scope must be t, p or g")
+        if ph in _FLOW_PHASES:
+            fid = e.get("id")
+            if not isinstance(fid, (int, str)):
+                problems.append(f"{where}: flow event needs an id")
+                continue
+            if ph == "s":
+                flow_starts.add(fid)
+            else:
+                flow_finishes.append((where, fid))
+    for where, fid in flow_finishes:
+        if fid not in flow_starts:
+            problems.append(f"{where}: flow finish id {fid!r} has no flow start")
     return problems
 
 

@@ -142,8 +142,10 @@ class SpanRecorder:
         rec.end("solve", ctx.who, ctx.sim.now)
 
     or add a finished interval directly with :meth:`add`.  Unbalanced
-    ``begin`` calls are reported by :meth:`open_spans`; they are
-    dropped (not guessed at) when merged into a run's timelines.
+    ``begin`` calls are reported by :meth:`open_spans`; when merged
+    into a run's timelines by :func:`build_timelines` they are flushed
+    at the run's end time with an ``unclosed: True`` annotation rather
+    than silently dropped (an interrupted phase is still a phase).
     """
 
     def __init__(self) -> None:
@@ -173,6 +175,24 @@ class SpanRecorder:
     def open_spans(self) -> list[tuple[str, str]]:
         """(name, who) pairs begun but never ended."""
         return sorted(self._open)
+
+    def flush_open(self, time: float) -> list[Span]:
+        """Close every open interval at *time*, marked ``unclosed=True``.
+
+        Called by :func:`build_timelines` at a run's end time so spans
+        a crashed or early-exiting ``main`` never closed still appear
+        in the timeline (annotated, not guessed at).  Returns the
+        flushed spans; afterwards :meth:`open_spans` is empty.
+        """
+        flushed: list[Span] = []
+        for (name, who), stack in sorted(self._open.items()):
+            for start, start_args in stack:
+                end = max(time, start)
+                flushed.append(
+                    self.add(name, who, start, end, **{**start_args, "unclosed": True})
+                )
+        self._open.clear()
+        return flushed
 
 
 def _export_spans(sim: Any) -> Iterable[Span]:
@@ -221,6 +241,20 @@ def _import_spans(sim: Any) -> Iterable[Span]:
                         )
 
 
+def _end_time(sim: Any, recorder: SpanRecorder) -> float:
+    """Best-known run end time for flushing unclosed user spans."""
+    inner = getattr(sim, "sim", None)
+    if inner is not None and hasattr(inner, "now"):
+        return float(inner.now)
+    clock = getattr(sim, "elapsed", None)
+    if callable(clock):
+        return float(clock())
+    # No runtime clock (bare recorder merge): latest known timestamp.
+    times = [s.end for s in recorder.spans]
+    times.extend(t for stack in recorder._open.values() for t, _ in stack)
+    return max(times, default=0.0)
+
+
 def build_timelines(
     sim: Any,
     tracer: Any = None,
@@ -238,6 +272,8 @@ def build_timelines(
     for span in _import_spans(sim):
         out.timeline(span.who).spans.append(span)
     if recorder is not None:
+        if recorder.open_spans():
+            recorder.flush_open(_end_time(sim, recorder))
         for span in recorder.spans:
             out.timeline(span.who).spans.append(span)
     tracer = tracer if tracer is not None else getattr(sim, "tracer", None)

@@ -155,11 +155,23 @@ class DesCommunicator:
         """This rank's network address."""
         return self._addresses[self.rank]
 
-    def send(self, obj: Any, dest: int, tag: int | str = 0) -> None:
-        """Asynchronous eager send of *obj* to rank *dest*."""
+    def send(
+        self, obj: Any, dest: int, tag: int | str = 0, trace: Any = None
+    ) -> None:
+        """Asynchronous eager send of *obj* to rank *dest*.
+
+        *trace* is an optional causal trace context stamped verbatim on
+        the envelope (see :class:`repro.vmpi.message.Message`).
+        """
         require(0 <= dest < self.size, f"dest {dest} out of range")
         nbytes = nbytes_of(obj) + HEADER_BYTES
-        msg = Message(src=self.rank, tag=(self.comm_id, tag), payload=obj, nbytes=nbytes)
+        msg = Message(
+            src=self.rank,
+            tag=(self.comm_id, tag),
+            payload=obj,
+            nbytes=nbytes,
+            trace=trace,
+        )
         self.world.network.send(
             self.address, self._addresses[dest], msg, nbytes=nbytes
         )

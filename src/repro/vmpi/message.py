@@ -38,12 +38,19 @@ class Message:
         mpi4py's pickle-path semantics give the receiver a fresh object.
     nbytes:
         Modelled wire size (for the DES backend's timing).
+    trace:
+        Optional causal trace context
+        (:class:`repro.obs.trace.TraceContext`) propagated end to end:
+        backends stamp it on the envelope when the sender passes one
+        and never touch it otherwise, so application-level sends can
+        join the coupled run's happens-before DAG.
     """
 
     src: int
     tag: int | str
     payload: Any
     nbytes: int = 0
+    trace: Any = None
 
 
 def match_predicate(

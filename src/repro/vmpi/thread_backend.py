@@ -209,11 +209,23 @@ class ThreadCommunicator:
         return self._addresses[self.rank]
 
     # -- point to point --------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int | str = 0) -> None:
-        """Asynchronous send of *obj* to rank *dest*."""
+    def send(
+        self, obj: Any, dest: int, tag: int | str = 0, trace: Any = None
+    ) -> None:
+        """Asynchronous send of *obj* to rank *dest*.
+
+        *trace* is an optional causal trace context stamped verbatim on
+        the envelope (see :class:`repro.vmpi.message.Message`).
+        """
         require(0 <= dest < self.size, f"dest {dest} out of range")
         nbytes = nbytes_of(obj) + HEADER_BYTES
-        msg = Message(src=self.rank, tag=(self.comm_id, tag), payload=obj, nbytes=nbytes)
+        msg = Message(
+            src=self.rank,
+            tag=(self.comm_id, tag),
+            payload=obj,
+            nbytes=nbytes,
+            trace=trace,
+        )
         self.world.mailbox(self._addresses[dest]).put(msg)
         self.sent_messages += 1
         if isinstance(tag, str) and tag.startswith(_INTERNAL_PREFIX):

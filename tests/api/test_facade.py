@@ -302,3 +302,23 @@ class TestRunOptionsValidation:
     def test_bad_buffer_policy_rejected(self):
         with pytest.raises(ValueError):
             RunOptions(buffer_policy="drop")
+
+    def test_telemetry_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RunOptions(telemetry_interval=0.0)
+        with pytest.raises(ValueError):
+            RunOptions(telemetry_interval=-1.0)
+
+    def test_telemetry_sinks_coerced_to_tuple(self):
+        class Sink:
+            def emit(self, record):
+                pass
+
+            def close(self):
+                pass
+
+        sink = Sink()
+        opts = RunOptions(telemetry_sinks=[sink])
+        assert opts.telemetry_sinks == (sink,)
+        assert RunOptions().telemetry_sinks == ()
+        assert RunOptions().causal_trace is False

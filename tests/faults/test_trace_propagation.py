@@ -1,0 +1,144 @@
+"""Causal-trace propagation under fault injection.
+
+The invariants: a retransmitted request keeps the *original* trace id
+(a fresh span, same trace — the retry is part of the same causal
+story), wire-level duplicates are discarded without forking the DAG,
+and the reconstructed causal graph is bit-identical across replays of
+the same fault seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RunOptions
+from repro.core.coupler import CoupledSimulation, ProcessContext, RegionDef
+from repro.data.decomposition import BlockDecomposition
+from repro.faults import FaultPlan
+
+CONFIG = "E c0 /bin/E 2\nI c1 /bin/I 2\n#\nE.d I.d REGL 2.5\n"
+SHAPE = (16, 16)
+REQUESTS = (2.0, 4.0, 6.0)
+
+
+def chaos_run(
+    fault_seed: int | None,
+    drop: float = 0.25,
+    dup: float = 0.2,
+) -> tuple[CoupledSimulation, dict[int, list[tuple[float, float | None]]]]:
+    """One causally-traced chaos run; returns (sim, per-rank answers)."""
+    answers: dict[int, list[tuple[float, float | None]]] = {}
+
+    def e_main(ctx: ProcessContext):
+        for k in range(10):
+            yield from ctx.export("d", 1.6 + k)
+            yield from ctx.compute(2e-3)
+
+    def i_main(ctx: ProcessContext):
+        got: list[tuple[float, float | None]] = []
+        for ts in REQUESTS:
+            yield from ctx.compute(5e-4)
+            m, _block = yield from ctx.import_("d", ts)
+            got.append((ts, m))
+        answers[ctx.rank] = got
+
+    plan = (
+        None
+        if fault_seed is None
+        else FaultPlan(seed=fault_seed, drop=drop, dup=dup, delay_jitter=5e-5)
+    )
+    cs = CoupledSimulation(
+        CONFIG,
+        options=RunOptions(seed=0, fault_plan=plan, causal_trace=True),
+    )
+    cs.add_program(
+        "E", main=e_main,
+        regions={"d": RegionDef(BlockDecomposition(SHAPE, (2, 1)))},
+    )
+    cs.add_program(
+        "I", main=i_main,
+        regions={"d": RegionDef(BlockDecomposition(SHAPE, (1, 2)))},
+    )
+    cs.run()
+    return cs, answers
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    return chaos_run(fault_seed=11)
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    return chaos_run(fault_seed=None)
+
+
+class TestRetransmitKeepsTraceId:
+    def test_chaos_actually_fired(self, chaos):
+        cs, _ = chaos
+        stats = cs.world.network.stats
+        assert stats.dropped > 0
+        assert stats.duplicated > 0
+        assert cs.retransmissions > 0
+        assert cs.dup_discards > 0
+
+    def test_retransmits_share_the_original_trace(self, chaos):
+        cs, _ = chaos
+        spans = cs.causal.spans
+        retransmits = [s for s in spans if s.name == "retransmit"]
+        assert retransmits, "drop rate produced no retransmissions"
+        for rt in retransmits:
+            roots = [
+                s
+                for s in spans
+                if s.name == "request"
+                and s.who == rt.who
+                and s.attrs.get("connection") == rt.attrs.get("connection")
+                and s.attrs.get("request") == rt.attrs.get("request")
+            ]
+            assert len(roots) == 1, "a retry must not fork a new trace"
+            root = roots[0]
+            assert rt.trace_id == root.trace_id
+            assert root.span_id in rt.parents
+            assert rt.attrs["attempt"] >= 1
+
+    def test_duplicates_do_not_fork_the_dag(self, chaos, fault_free):
+        cs, answers = chaos
+        clean_cs, clean_answers = fault_free
+        from repro.obs.trace import build_causal_report
+
+        # Protocol answers survive chaos byte-identically (Property 1)
+        assert answers == clean_answers
+        chaos_report = build_causal_report(cs)
+        clean_report = build_causal_report(clean_cs)
+        # One trace and one resolution per (rank, request) either way.
+        assert len(chaos_report.resolutions) == len(clean_report.resolutions) == 6
+        keys = {(r.who, r.request_ts) for r in chaos_report.resolutions}
+        assert keys == {
+            (f"I.p{rank}", ts) for rank in (0, 1) for ts in REQUESTS
+        }
+
+    def test_stage_sums_still_telescope_under_faults(self, chaos):
+        cs, _ = chaos
+        from repro.obs.trace import build_causal_report
+
+        report = build_causal_report(cs)
+        assert any(r.retransmits > 0 for r in report.resolutions)
+        for r in report.resolutions:
+            assert sum(r.stages.values()) == pytest.approx(r.latency, abs=1e-12)
+
+
+class TestSeedReplayDeterminism:
+    def test_same_fault_seed_same_causal_graph(self):
+        from repro.obs.trace import build_causal_report
+
+        a, _ = chaos_run(fault_seed=11)
+        b, _ = chaos_run(fault_seed=11)
+        assert build_causal_report(a).as_dict() == build_causal_report(b).as_dict()
+
+    def test_different_fault_seed_changes_the_graph(self):
+        from repro.obs.trace import build_causal_report
+
+        a, _ = chaos_run(fault_seed=11)
+        c, _ = chaos_run(fault_seed=12)
+        assert build_causal_report(a).as_dict() != build_causal_report(c).as_dict()

@@ -21,7 +21,9 @@ from repro.util.tracing import Tracer
 CONFIG = "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n"
 
 
-def demo_run(buddy_help: bool = True, with_tracer: bool = True) -> repro.RunResult:
+def demo_run(
+    buddy_help: bool = True, with_tracer: bool = True, **options: Any
+) -> repro.RunResult:
     def f_main(ctx: ProcessContext) -> Generator[Any, Any, None]:
         scale = 4.0 if ctx.rank == 1 else 1.0
         for k in range(46):
@@ -51,6 +53,7 @@ def demo_run(buddy_help: bool = True, with_tracer: bool = True) -> repro.RunResu
             buddy_help=buddy_help,
             tracer=Tracer() if with_tracer else None,
             seed=2,
+            **options,
         ),
     )
 
@@ -65,3 +68,15 @@ def demo_result() -> repro.RunResult:
 def demo_result_nohelp() -> repro.RunResult:
     """The same scenario with buddy-help disabled."""
     return demo_run(buddy_help=False, with_tracer=False)
+
+
+@pytest.fixture(scope="session")
+def causal_result() -> repro.RunResult:
+    """A buddy-help run with causal tracing enabled."""
+    return demo_run(buddy_help=True, with_tracer=False, causal_trace=True)
+
+
+@pytest.fixture(scope="session")
+def demo_runner() -> Any:
+    """The :func:`demo_run` factory, for tests that need fresh runs."""
+    return demo_run

@@ -56,6 +56,27 @@ class TestSpanRecorder:
         r.begin("phase", "F.p0", 1.0)
         assert r.open_spans() == [("phase", "F.p0")]
 
+    def test_flush_open_closes_and_annotates(self):
+        r = SpanRecorder()
+        r.begin("solve", "F.p0", 1.0, step=3)
+        r.begin("io", "F.p1", 2.5)
+        flushed = r.flush_open(4.0)
+        assert r.open_spans() == []
+        assert {(s.name, s.who, s.start, s.end) for s in flushed} == {
+            ("solve", "F.p0", 1.0, 4.0),
+            ("io", "F.p1", 2.5, 4.0),
+        }
+        assert all(s.args["unclosed"] is True for s in flushed)
+        # begin-time args survive the flush.
+        solve = next(s for s in flushed if s.name == "solve")
+        assert solve.args["step"] == 3
+
+    def test_flush_open_never_goes_backwards(self):
+        r = SpanRecorder()
+        r.begin("late", "F.p0", 5.0)
+        (span,) = r.flush_open(3.0)  # flush time before the begin
+        assert span.start == span.end == 5.0
+
 
 class TestBuildTimelines:
     def test_export_import_spans_from_run(self, demo_result):
@@ -80,3 +101,20 @@ class TestBuildTimelines:
         for span in demo_result.timeline.all_spans():
             assert span.end >= span.start >= 0.0
             assert span.who
+
+    def test_unclosed_user_spans_flush_at_run_end(self, demo_result):
+        rec = SpanRecorder()
+        rec.add("solve", "F.p0", 0.0, 0.05)
+        rec.begin("crashed-phase", "F.p1", 0.01)
+        tls = build_timelines(demo_result.simulation, recorder=rec)
+        assert rec.open_spans() == []
+        flushed = [
+            s for s in tls.all_spans() if s.name == "crashed-phase"
+        ]
+        assert len(flushed) == 1
+        end_time = float(demo_result.simulation.sim.now)
+        assert flushed[0].end == end_time
+        assert flushed[0].args == {"unclosed": True}
+        # The explicitly closed span rides along unannotated.
+        solve = next(s for s in tls.all_spans() if s.name == "solve")
+        assert "unclosed" not in solve.args

@@ -1,0 +1,229 @@
+"""Streaming telemetry: sinks, snapshots, OpenMetrics exposition.
+
+Covers the :class:`TelemetrySink` protocol, both shipped sinks against
+real DES and live runs (periodic snapshots plus the mandatory final
+one), and the in-repo OpenMetrics validator that CI points at the
+exposition file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import Program, RunOptions, run
+from repro.core.coupler import RegionDef
+from repro.data.decomposition import BlockDecomposition
+from repro.obs.stream import (
+    SCHEMA,
+    JsonlSink,
+    OpenMetricsSink,
+    TelemetrySink,
+    build_snapshot,
+    emit_snapshot,
+    render_openmetrics,
+    validate_openmetrics,
+)
+
+
+class RecordingSink:
+    """Minimal structural TelemetrySink: keeps every record."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestProtocolAndSnapshot:
+    def test_sinks_satisfy_protocol(self, tmp_path):
+        assert isinstance(RecordingSink(), TelemetrySink)
+        assert isinstance(JsonlSink(tmp_path / "t.jsonl"), TelemetrySink)
+        assert isinstance(OpenMetricsSink(tmp_path / "t.om"), TelemetrySink)
+        assert not isinstance(object(), TelemetrySink)
+
+    def test_snapshot_of_finished_run(self, causal_result):
+        rec = build_snapshot(causal_result.simulation, final=True)
+        assert rec["schema"] == SCHEMA
+        assert rec["final"] is True
+        assert set(rec["programs"]) == {"F", "U"}
+        assert rec["totals"]["pending_imports"] == 0
+        assert rec["totals"]["buddy_skips"] == 4
+        assert rec["programs"]["F"]["exports"] == 92  # 46 steps x 2 ranks
+        assert rec["programs"]["U"]["imports_completed"] == 4
+        assert rec["programs"]["F"]["last_export_ts"] == pytest.approx(46.6)
+
+    def test_emit_snapshot_fans_out(self, causal_result):
+        a, b = RecordingSink(), RecordingSink()
+        rec = emit_snapshot(causal_result.simulation, (a, b), final=True)
+        assert a.records == [rec] and b.records == [rec]
+
+
+class TestDesStreaming:
+    def test_jsonl_sink_records_periodic_and_final(self, tmp_path, demo_runner):
+        path = tmp_path / "tele.jsonl"
+        sink = JsonlSink(path)
+        demo_runner(
+            with_tracer=False,
+            telemetry_sinks=(sink,),
+            telemetry_interval=0.05,
+        )
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert len(lines) == sink.records >= 2
+        assert all(rec["schema"] == SCHEMA for rec in lines)
+        # Exactly one final snapshot, and it is the last line.
+        assert [rec["final"] for rec in lines].count(True) == 1
+        assert lines[-1]["final"] is True
+        assert lines[-1]["totals"]["pending_imports"] == 0
+        # Time and counters are monotonic across snapshots.
+        times = [rec["time"] for rec in lines]
+        assert times == sorted(times)
+        exports = [rec["programs"]["F"]["exports"] for rec in lines]
+        assert exports == sorted(exports)
+
+    def test_openmetrics_sink_validates(self, tmp_path, demo_runner):
+        path = tmp_path / "tele.om"
+        sink = OpenMetricsSink(path)
+        demo_runner(
+            with_tracer=False,
+            telemetry_sinks=[sink],  # lists are coerced by RunOptions
+            telemetry_interval=0.05,
+        )
+        text = path.read_text()
+        assert validate_openmetrics(text) == []
+        assert text.endswith("# EOF\n")
+        assert "repro_buddy_skips_total 4" in text
+        assert 'repro_exports_total{program="F"} 92' in text
+        assert "repro_run_final 1" in text
+        assert sink.records >= 2 and sink.last is not None
+
+    def test_no_sinks_means_no_telemetry_process(self, demo_result):
+        # The opt-out default: nothing registered, nothing emitted.
+        assert demo_result.simulation.telemetry_sinks == ()
+
+
+class TestLiveStreaming:
+    def test_live_run_streams_and_traces(self, tmp_path):
+        config = "E c0 /bin/E 2\nI c1 /bin/I 2\n#\nE.d I.d REGL 2.5\n"
+
+        def e_main(ctx):
+            for k in range(6):
+                ctx.export("d", 1.0 + k)
+                ctx.compute(1e-3)
+
+        def i_main(ctx):
+            for j in range(1, 4):
+                ctx.compute(5e-4)
+                ctx.import_("d", 2.0 * j)
+
+        path = tmp_path / "live.jsonl"
+        sink = JsonlSink(path)
+        result = run(
+            config,
+            [
+                Program(
+                    "E",
+                    main=e_main,
+                    regions={"d": RegionDef(BlockDecomposition((16, 16), (2, 1)))},
+                ),
+                Program(
+                    "I",
+                    main=i_main,
+                    regions={"d": RegionDef(BlockDecomposition((16, 16), (1, 2)))},
+                ),
+            ],
+            RunOptions(
+                runtime="live",
+                time_scale=0.01,
+                causal_trace=True,
+                telemetry_sinks=(sink,),
+                telemetry_interval=0.02,
+            ),
+        )
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert lines and lines[-1]["final"] is True
+        assert lines[-1]["totals"]["pending_imports"] == 0
+        assert lines[-1]["programs"]["I"]["imports_completed"] == 6
+        # Causal tracing works on the threaded runtime too: every
+        # resolution carries the full chain and exact stage sums.
+        report = result.causal
+        assert len(report.resolutions) == 6
+        for r in report.resolutions:
+            # A rank whose request hit an already-aggregated answer
+            # roots its (clipped) path mid-protocol; the others walk
+            # all the way back to their own request span.
+            assert r.chain[-1] == "complete"
+            assert "answer" in r.chain
+            assert sum(r.stages.values()) == pytest.approx(r.latency, abs=1e-9)
+        assert any(r.chain[0] == "request" for r in report.resolutions)
+
+
+class TestOpenMetricsValidator:
+    def good(self) -> str:
+        rec = {
+            "schema": SCHEMA,
+            "time": 1.5,
+            "final": False,
+            "programs": {
+                "F": {
+                    "ranks": 2,
+                    "alive": 2,
+                    "last_export_ts": 4.6,
+                    "exports": 10,
+                    "pending_imports": 1,
+                    "imports_completed": 0,
+                    "buddy_skips": 0,
+                    "t_ub": 0.0,
+                    "compute_time": 0.01,
+                }
+            },
+            "totals": {
+                "pending_imports": 1,
+                "buddy_skips": 0,
+                "t_ub": 0.0,
+                "ctl_messages": 5,
+                "ctl_bytes": 320,
+                "data_messages": 0,
+                "data_bytes": 0,
+                "retransmissions": 0,
+                "dup_discards": 0,
+            },
+        }
+        return render_openmetrics(rec)
+
+    def test_rendered_exposition_is_clean(self):
+        text = self.good()
+        assert validate_openmetrics(text) == []
+        assert "# TYPE repro_pending_imports gauge" in text
+        assert 'repro_alive_processes{program="F"} 2' in text
+
+    def test_missing_eof_is_flagged(self):
+        text = self.good().replace("# EOF\n", "")
+        assert any("EOF" in p for p in validate_openmetrics(text))
+
+    def test_counter_sample_needs_total_suffix(self):
+        text = self.good().replace(
+            "repro_ctl_messages_total 5", "repro_ctl_messages 5"
+        )
+        assert validate_openmetrics(text) != []
+
+    def test_unknown_type_and_bad_value_are_flagged(self):
+        bad = "# TYPE foo sometype\nfoo 1\n# EOF\n"
+        assert any("sometype" in p for p in validate_openmetrics(bad))
+        bad = "# TYPE foo gauge\nfoo notanumber\n# EOF\n"
+        assert validate_openmetrics(bad) != []
+
+    def test_sample_before_type_is_flagged(self):
+        bad = "foo_total 1\n# TYPE foo counter\n# EOF\n"
+        assert validate_openmetrics(bad) != []

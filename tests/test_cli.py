@@ -242,6 +242,231 @@ class TestBench:
         assert out.exists()
 
 
+class TestCausalTraceCli:
+    def test_causal_report_written(self, tmp_path, capsys):
+        path = tmp_path / "causal.json"
+        rc = main(["trace", "--causal", str(path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["causal"]["path"] == str(path)
+        assert payload["causal"]["resolutions"] == 4
+        assert payload["causal"]["buddy_skips"] == 4
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.causal/v1"
+        for r in report["resolutions"]:
+            assert r["chain"][0] == "request"
+            assert r["chain"][-1] == "complete"
+            assert sum(r["stages"].values()) == pytest.approx(r["latency"])
+
+    def test_causal_summary_to_stdout(self, capsys):
+        rc = main(["trace", "--causal"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "causal trace:" in out
+        assert "buddy-skip" in out
+
+    def test_causal_chrome_gains_flow_arrows(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        chrome = tmp_path / "chrome.json"
+        rc = main(
+            ["trace", "--causal", str(tmp_path / "c.json"),
+             "--chrome", str(chrome)]
+        )
+        assert rc == 0
+        obj = json.loads(chrome.read_text())
+        assert validate_chrome_trace(obj) == []
+        phases = {e["ph"] for e in obj["traceEvents"]}
+        assert {"s", "f"} <= phases
+        assert "causal flow arrows" in capsys.readouterr().out
+
+    def test_chrome_without_causal_has_no_flows(self, tmp_path, capsys):
+        chrome = tmp_path / "chrome.json"
+        assert main(["trace", "--chrome", str(chrome)]) == 0
+        obj = json.loads(chrome.read_text())
+        assert not {"s", "f"} & {e["ph"] for e in obj["traceEvents"]}
+
+
+class TestReportBaseline:
+    def current_payload(self, capsys) -> dict:
+        assert main(["report", "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_self_baseline_is_clean(self, tmp_path, capsys):
+        payload = self.current_payload(capsys)
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        rc = main(["report", "--baseline", str(base), "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["baseline"]["regressions"] == []
+        diffed = {row["key"] for row in out["baseline"]["diff"]}
+        assert "t_ub_with_help" in diffed and "t_ub_saving" in diffed
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        payload = self.current_payload(capsys)
+        # A baseline that was much better than today: halve the T_ub
+        # costs and triple the saving.
+        payload["comparison"]["t_ub_with_help"] *= 0.5
+        payload["comparison"]["t_ub_saving"] *= 3.0
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        rc = main(["report", "--baseline", str(base), "--json"])
+        assert rc == 1
+        out = json.loads(capsys.readouterr().out)
+        assert set(out["baseline"]["regressions"]) == {
+            "t_ub_with_help", "t_ub_saving"
+        }
+
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        payload = self.current_payload(capsys)
+        payload["comparison"]["t_ub_with_help"] *= 0.95  # 5% drift
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        assert main(["report", "--baseline", str(base), "--json"]) == 0
+        capsys.readouterr()
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", "--baseline", str(bad)]) == 2
+        assert main(["report", "--baseline", str(tmp_path / "nope.json")]) == 2
+        invalid = tmp_path / "invalid.json"
+        invalid.write_text(json.dumps({"schema": "wrong"}))
+        assert main(["report", "--baseline", str(invalid)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestBenchHistory:
+    def write_report(self, directory, n: int, speedups: dict) -> None:
+        payload = {
+            "bench": "repro micro hot paths",
+            "quick": True,
+            "results": [
+                {"name": name, "speedup": s} for name, s in speedups.items()
+            ],
+        }
+        (directory / f"BENCH_{n}.json").write_text(json.dumps(payload))
+
+    def test_default_out_is_bench_5(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_5.json"
+
+    def test_improving_history_passes(self, tmp_path, capsys):
+        self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
+        self.write_report(tmp_path, 2, {"des_dispatch": 3.5, "redistribution": 20.0})
+        rc = main(["bench", "--history", "--dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latest BENCH_2.json" in out
+        assert "REGRESSED" not in out
+
+    def test_regression_vs_best_fails(self, tmp_path, capsys):
+        self.write_report(tmp_path, 1, {"des_dispatch": 4.0})
+        self.write_report(tmp_path, 2, {"des_dispatch": 3.0})
+        rc = main(["bench", "--history", "--dir", str(tmp_path), "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == ["des_dispatch"]
+        assert payload["metrics"]["des_dispatch"]["best_report"] == "BENCH_1.json"
+
+    def test_allowance_tolerates_small_drops(self, tmp_path, capsys):
+        self.write_report(tmp_path, 1, {"des_dispatch": 4.0})
+        self.write_report(tmp_path, 2, {"des_dispatch": 3.7})
+        rc = main(
+            ["bench", "--history", "--dir", str(tmp_path), "--allowance", "0.10"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_metric_new_in_latest_is_not_a_regression(self, tmp_path, capsys):
+        # Older reports lack obs_noop_overhead; it must not trip the gate.
+        self.write_report(tmp_path, 1, {"des_dispatch": 4.0})
+        self.write_report(
+            tmp_path, 2, {"des_dispatch": 4.1, "obs_noop_overhead": 1.0}
+        )
+        assert main(["bench", "--history", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_empty_history_fails(self, tmp_path, capsys):
+        assert main(["bench", "--history", "--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+
+class TestMonitor:
+    def snapshot(self, t: float, final: bool = False) -> dict:
+        return {
+            "schema": "repro.telemetry/v1",
+            "time": t,
+            "final": final,
+            "programs": {
+                "F": {
+                    "ranks": 2, "alive": 0 if final else 2,
+                    "last_export_ts": 46.6, "exports": 92,
+                    "pending_imports": 0, "imports_completed": 0,
+                    "buddy_skips": 4, "t_ub": 4e-6, "compute_time": 0.1,
+                }
+            },
+            "totals": {
+                "pending_imports": 0 if final else 2, "buddy_skips": 4,
+                "t_ub": 4e-6, "ctl_messages": 23, "ctl_bytes": 1472,
+                "data_messages": 8, "data_bytes": 8192,
+                "retransmissions": 0, "dup_discards": 0,
+            },
+        }
+
+    def write_log(self, path, records) -> None:
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+
+    def test_shows_latest_snapshot(self, tmp_path, capsys):
+        log = tmp_path / "tele.jsonl"
+        self.write_log(log, [self.snapshot(0.1), self.snapshot(0.2, final=True)])
+        assert main(["monitor", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "FINAL" in out and "t=0.200" in out
+        assert "F: alive=0/2" in out and "buddy_skips=4" in out
+
+    def test_json_mode_emits_record(self, tmp_path, capsys):
+        log = tmp_path / "tele.jsonl"
+        self.write_log(log, [self.snapshot(0.1, final=True)])
+        assert main(["monitor", str(log), "--json"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["final"] is True
+
+    def test_follow_stops_at_final(self, tmp_path, capsys):
+        log = tmp_path / "tele.jsonl"
+        self.write_log(log, [self.snapshot(0.1), self.snapshot(0.2, final=True)])
+        assert main(["monitor", str(log), "--follow", "--timeout", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("t=0.") == 2  # every snapshot rendered, then stop
+
+    def test_follow_times_out_without_final(self, tmp_path, capsys):
+        log = tmp_path / "tele.jsonl"
+        self.write_log(log, [self.snapshot(0.1)])
+        rc = main(
+            ["monitor", str(log), "--follow",
+             "--timeout", "0.3", "--interval", "0.05"]
+        )
+        assert rc == 1
+        assert "timeout" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "none.jsonl")]) == 1
+        assert "no telemetry records" in capsys.readouterr().err
+
+    def test_partial_tail_line_is_skipped(self, tmp_path, capsys):
+        log = tmp_path / "tele.jsonl"
+        log.write_text(
+            json.dumps(self.snapshot(0.1, final=True)) + "\n" + '{"half'
+        )
+        assert main(["monitor", str(log)]) == 0
+        assert "FINAL" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
