@@ -18,16 +18,36 @@ collective discipline *proactively*, in three coordinated passes:
   state transitions and the trace stream that turns silent protocol
   corruption into immediate, located failures.
 
-All three passes share the findings model of
+Beyond those source-level passes, the *verification* layer reasons
+about executions (exposed as ``repro verify``):
+
+* :mod:`repro.analysis.model` — an explicit-state model checker that
+  exhaustively explores every bounded message interleaving and fault
+  action of a two-program world through the real protocol
+  implementations (rules ``M2xx``), with replayable counterexample
+  schedules;
+* :mod:`repro.analysis.races` — a vector-clock happens-before race
+  detector for the threaded live runtime's shared state (rules
+  ``R2xx``), attached via ``RunOptions(race_monitor=...)``.
+
+All passes share the findings model of
 :mod:`repro.analysis.report` (severity, rule code, locus, paper-section
 citation) with text and JSON renderers, and are exposed on the command
-line as ``repro lint``.
+line as ``repro lint`` and ``repro verify``.
 """
 
 from repro.analysis.report import Finding, Report, Severity
 from repro.analysis.graph import analyze_config, analyze_config_text
 from repro.analysis.astlint import lint_path, lint_source
 from repro.analysis.sanitizer import ProtocolSanitizer, SanitizerError
+from repro.analysis.model import (
+    ModelConfig,
+    check,
+    check_suite,
+    mutation_config,
+    replay_schedule,
+)
+from repro.analysis.races import RaceMonitor, RaceRecord
 
 __all__ = [
     "Finding",
@@ -39,4 +59,11 @@ __all__ = [
     "lint_source",
     "ProtocolSanitizer",
     "SanitizerError",
+    "ModelConfig",
+    "check",
+    "check_suite",
+    "mutation_config",
+    "replay_schedule",
+    "RaceMonitor",
+    "RaceRecord",
 ]

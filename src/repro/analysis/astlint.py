@@ -78,12 +78,41 @@ def _assigned_names(target: ast.expr) -> list[str]:
     """Plain names bound by an assignment target (tuples unpacked)."""
     if isinstance(target, ast.Name):
         return [target.id]
+    if isinstance(target, ast.Starred):
+        return _assigned_names(target.value)
     if isinstance(target, (ast.Tuple, ast.List)):
         out: list[str] = []
         for elt in target.elts:
             out.extend(_assigned_names(elt))
         return out
     return []  # subscripts/attributes do not bind a local name
+
+
+def _expand_assignment(
+    target: ast.expr, value: ast.expr
+) -> list[tuple[list[str], ast.expr]]:
+    """Pair assignment targets with the sub-expressions feeding them.
+
+    Tuple unpacking is matched element-wise when both sides have the
+    same fixed shape: ``a, b = ctx.rank, 0`` taints only ``a`` and
+    keeps ``b`` clean.  Any shape mismatch — a starred target, a
+    non-literal right-hand side, differing lengths — falls back to
+    binding every unpacked name (starred ones included) to the whole
+    value, which errs toward reporting and loses no taint.
+    """
+    if (
+        isinstance(target, (ast.Tuple, ast.List))
+        and isinstance(value, (ast.Tuple, ast.List))
+        and len(target.elts) == len(value.elts)
+        and not any(isinstance(e, ast.Starred) for e in target.elts)
+        and not any(isinstance(e, ast.Starred) for e in value.elts)
+    ):
+        out: list[tuple[list[str], ast.expr]] = []
+        for t, v in zip(target.elts, value.elts):
+            out.extend(_expand_assignment(t, v))
+        return out
+    names = _assigned_names(target)
+    return [(names, value)] if names else []
 
 
 def _compute_taint(body: Sequence[ast.stmt]) -> frozenset[str]:
@@ -99,9 +128,8 @@ def _compute_taint(body: Sequence[ast.stmt]) -> frozenset[str]:
 
     class Collect(ast.NodeVisitor):
         def visit_Assign(self, node: ast.Assign) -> None:
-            names = [n for t in node.targets for n in _assigned_names(t)]
-            if names:
-                assignments.append((names, node.value))
+            for target in node.targets:
+                assignments.extend(_expand_assignment(target, node.value))
             self.generic_visit(node)
 
         def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -114,9 +142,7 @@ def _compute_taint(body: Sequence[ast.stmt]) -> frozenset[str]:
 
         def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
             if node.value is not None:
-                names = _assigned_names(node.target)
-                if names:
-                    assignments.append((names, node.value))
+                assignments.extend(_expand_assignment(node.target, node.value))
             self.generic_visit(node)
 
         def visit_NamedExpr(self, node: ast.NamedExpr) -> None:

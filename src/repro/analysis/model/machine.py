@@ -1,0 +1,1299 @@
+"""The control-plane model: real protocol code under a small-world harness.
+
+The model checker does not re-implement the protocol.  Each abstract
+state wraps live instances of the *real* state machines —
+:class:`repro.core.rep.ImporterRep`, :class:`repro.core.rep.ExporterRep`
+and :class:`repro.core.exporter.RegionExportState` (which transitively
+exercises :class:`repro.match.engine.MatchEngine` and
+:class:`repro.core.buffers.BufferManager`) — plus the wire-level glue
+the runtimes add around them: per-``(src, dst)`` FIFO channels (the
+ordering contract of :mod:`repro.faults.plan`), per-receiver sequence
+deduplication (the coupler's ``_seq_duplicate`` layer) and the
+importer's bounded retransmission.  A transition *is* a call into the
+shipped code; whatever the checker proves, it proves about the code
+that runs.
+
+World shape: one importing program ``I`` (``nimp`` ranks + rep) and one
+exporting program ``E`` (``nexp`` ranks + rep) over one connection.
+Every importer rank issues the same scripted request sequence
+(collective imports block, so a rank issues request *k+1* only after
+*k* resolved); every exporter rank walks the same scripted export
+stream at its own pace and closes it at the end.  Fault actions carry
+bounded budgets and reuse the :mod:`repro.faults.plan` vocabulary:
+
+* ``drop``  — lose the head message of a channel;
+* ``dup``   — duplicate the head message *wire-level* (the copy keeps
+  the original's sequence number, exactly like
+  :class:`~repro.faults.plan.FaultPlan` duplicates);
+* ``stall`` — not an explicit action: a message may rest in its channel
+  arbitrarily long while every other action interleaves, so stalls are
+  subsumed by the exploration itself;
+* ``crash`` — fail-stop an exporter rank (at most ``nexp - 1``, so the
+  collective always keeps one live responder).
+
+Sequence numbers are stamped per *sender* as ``(sender, k)`` with the
+smallest *k* not colliding with any copy still in flight to the
+receiver or still remembered by its dedup layer — uniqueness while a
+collision is possible is all dedup needs, and the scheme is
+memoryless: no global counter ticks, so states that differ only in
+message-numbering history merge.  For the same reason each receiver's
+seen-set is pruned down to seqs still in transit toward it whenever a
+wire copy disappears (delivery or drop) — a remembered seq with no
+live copy can never be consulted again, and keeping it would make the
+stamper's choice depend on dead history.
+
+States are canonicalized into nested tuples (:meth:`ModelMachine.encode`)
+for hashing; behavioural fields only — reporting counters are excluded
+so states that cannot be distinguished by any future behaviour merge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.buffers import BufferEntry
+from repro.core.config import ConnectionSpec, Endpoint
+from repro.core.exceptions import (
+    FrameworkError,
+    ProtocolError,
+    PropertyViolationError,
+)
+from repro.core.exporter import OpenRequest, RegionExportState
+from repro.core.rep import (
+    AnswerImporter,
+    BuddyHelp,
+    DeliverAnswer,
+    ExporterRep,
+    ForwardRequest,
+    ForwardToExporter,
+    ImporterRep,
+    _ExpRequestState,
+    _ImpRequestState,
+)
+from repro.match.aggregate import CollectiveViolationError
+from repro.match.policies import parse_policy
+from repro.match.result import FinalAnswer, MatchKind, MatchResponse
+from repro.faults.plan import FRAMEWORK_PLANES
+from repro.obs.trace import TraceContext
+from repro.util.validation import require
+
+__all__ = [
+    "ModelConfig",
+    "ModelMachine",
+    "MUTATIONS",
+    "VIOLATION_ERRORS",
+    "NoAnswerCacheExporterRep",
+    "clone_working",
+    "mutation_config",
+    "plane_of_channel",
+]
+
+#: Exceptions the real protocol code raises when its collective
+#: discipline is violated; the checker maps any of these to M203.
+VIOLATION_ERRORS = (
+    ProtocolError,
+    PropertyViolationError,
+    CollectiveViolationError,
+    FrameworkError,
+    ValueError,  # require() failures inside the match engine
+)
+
+#: The supported self-test mutations (see ``docs/static_analysis.md``).
+MUTATIONS = ("no_dedup", "no_answer_cache")
+
+#: Channel endpoints -> the repro.faults.plan plane the link models.
+_PLANES = {
+    ("I", "IR"): "cpl",
+    ("IR", "I"): "cpl",
+    ("IR", "ER"): "rep",
+    ("ER", "IR"): "rep",
+    ("ER", "E"): "ctl",
+    ("E", "ER"): "ctl",
+}
+
+
+def plane_of_channel(src: str, dst: str) -> str:
+    """The :data:`repro.faults.plan.FRAMEWORK_PLANES` plane of a link."""
+    return _PLANES[(src[:2].rstrip("0123456789"), dst[:2].rstrip("0123456789"))]
+
+
+class NoAnswerCacheExporterRep(ExporterRep):
+    """Mutation fixture: the rep's final-answer cache is skipped.
+
+    A retransmitted request whose answer is already finalized goes
+    *unanswered* instead of being re-served from the cache — the exact
+    resilience bug the answer cache exists to prevent.  The model
+    checker must rediscover it as an M202 retransmission livelock.
+    """
+
+    def on_request(self, connection_id: str, request_ts: float) -> list[Any]:
+        st = self._conn(connection_id).get(request_ts)
+        if st is not None and not self.strict_order and st.finalized is not None:
+            self.duplicate_requests += 1
+            return []  # the mutation: cache bypassed, importer hears nothing
+        return super().on_request(connection_id, request_ts)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One bounded verification world.
+
+    The defaults are the acceptance configuration: 2 importer ranks x
+    2 exporter ranks, one collective request against a two-step export
+    stream, resilient mode with one drop, one duplication and one
+    crash in the budget, and two retransmissions per importer rank.
+    The scripts are deliberately short: the default ``repro verify``
+    suite explores several *directed* worlds built from this config
+    (each restricting faults to one plane) and every one of them must
+    finish exhaustively.  Longer scripts remain available for deeper
+    offline runs.
+
+    ``retransmit_budget >= drop_budget`` is required in resilient mode:
+    each lost message costs at most one re-drive to recover, so under
+    that inequality an unresolved terminal state is a genuine protocol
+    failure rather than an artefact of the bounded adversary.
+    """
+
+    nimp: int = 2
+    nexp: int = 2
+    requests: tuple[float, ...] = (4.0,)
+    exports: tuple[float, ...] = (1.5, 3.5)
+    policy: str = "REGL 0.5"
+    buddy_help: bool = True
+    mode: str = "resilient"  # "resilient" | "strict"
+    drop_budget: int = 1
+    dup_budget: int = 1
+    crash_budget: int = 1
+    retransmit_budget: int = 2
+    #: Which control-plane links drop/dup may target, in the
+    #: :data:`repro.faults.plan.FRAMEWORK_PLANES` vocabulary.  The
+    #: verify suite explores one directed world per plane so each world
+    #: stays exhaustible.
+    fault_planes: tuple[str, ...] = ("ctl", "cpl", "rep")
+    mutate: str | None = None
+    region: str = "d"
+
+    def __post_init__(self) -> None:
+        require(self.nimp >= 1 and self.nexp >= 1, "need at least one rank per side")
+        require(self.mode in ("strict", "resilient"), f"unknown mode {self.mode!r}")
+        for plane in self.fault_planes:
+            require(
+                plane in FRAMEWORK_PLANES,
+                f"unknown fault plane {plane!r}; expected one of "
+                f"{sorted(FRAMEWORK_PLANES)}",
+            )
+        require(
+            self.mutate is None or self.mutate in MUTATIONS,
+            f"unknown mutation {self.mutate!r}; expected one of {MUTATIONS}",
+        )
+        for name in ("drop_budget", "dup_budget", "crash_budget", "retransmit_budget"):
+            require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        require(
+            list(self.requests) == sorted(set(self.requests)),
+            "request script must be strictly increasing",
+        )
+        require(
+            list(self.exports) == sorted(set(self.exports)),
+            "export script must be strictly increasing",
+        )
+        if self.mode == "strict":
+            require(
+                self.drop_budget == 0 and self.retransmit_budget == 0,
+                "strict mode has no retransmission: drop/retransmit budgets must be 0",
+            )
+        else:
+            require(
+                self.retransmit_budget >= self.drop_budget,
+                "resilient mode needs retransmit_budget >= drop_budget "
+                "(one re-drive recovers one loss)",
+            )
+
+    @property
+    def strict_order(self) -> bool:
+        """Whether the wrapped state machines run in strict mode."""
+        return self.mode == "strict"
+
+    def connection_spec(self) -> ConnectionSpec:
+        """The single connection of the model world."""
+        return ConnectionSpec(
+            exporter=Endpoint("E", self.region),
+            importer=Endpoint("I", self.region),
+            policy=parse_policy(self.policy),
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary (stamped into reports and schedules)."""
+        return {
+            "nimp": self.nimp,
+            "nexp": self.nexp,
+            "requests": list(self.requests),
+            "exports": list(self.exports),
+            "policy": self.policy,
+            "buddy_help": self.buddy_help,
+            "mode": self.mode,
+            "drop_budget": self.drop_budget,
+            "dup_budget": self.dup_budget,
+            "crash_budget": self.crash_budget,
+            "retransmit_budget": self.retransmit_budget,
+            "fault_planes": list(self.fault_planes),
+            "mutate": self.mutate,
+        }
+
+
+def mutation_config(name: str) -> ModelConfig:
+    """The directed world in which mutation *name*'s bug is observable.
+
+    * ``no_dedup`` — strict mode plus one wire duplicate: the copy
+      re-enters the strictly-ordered collective and the real code must
+      reject it (**M203**).
+    * ``no_answer_cache`` — resilient mode plus one drop: recovery from
+      the loss re-drives the request, and the rep must serve the
+      finalized duplicate from its answer cache; without the cache the
+      re-drives go unanswered until the budget burns out (**M202**).
+
+    Both worlds direct their fault at the ``rep`` plane (the rep<->rep
+    link): that is where duplicated requests meet the collective and
+    where a lost aggregate answer forces the cache onto the recovery
+    path, so it is the cheapest world in which each bug is observable
+    (a drop on the other planes recovers without consulting the cache
+    at all).
+    """
+    require(
+        name in MUTATIONS,
+        f"unknown mutation {name!r}; expected one of {MUTATIONS}",
+    )
+    if name == "no_dedup":
+        return ModelConfig(
+            mode="strict",
+            drop_budget=0,
+            dup_budget=1,
+            crash_budget=0,
+            retransmit_budget=0,
+            fault_planes=("rep",),
+            mutate=name,
+        )
+    return ModelConfig(
+        mode="resilient",
+        drop_budget=1,
+        dup_budget=0,
+        crash_budget=0,
+        retransmit_budget=2,
+        fault_planes=("rep",),
+        mutate=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# working (decoded) state
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ImpRank:
+    next_req: int = 0
+    outstanding: float | None = None
+    retr_left: int = 0
+    resolved: dict[float, tuple[str, float | None]] = field(default_factory=dict)
+    seen: set[tuple[str, int]] = field(default_factory=set)
+
+
+@dataclass
+class _ExpRank:
+    region: RegionExportState
+    pos: int = 0
+    closed: bool = False
+    crashed: bool = False
+    seen: set[tuple[str, int]] = field(default_factory=set)
+
+
+class _Working:
+    """A fully materialized model state (mutable; one per transition)."""
+
+    __slots__ = (
+        "imp", "exp", "irep", "erep", "irep_seen", "erep_seen",
+        "chans", "drop_left", "dup_left", "crash_left", "trace",
+    )
+
+    def __init__(self) -> None:
+        self.imp: list[_ImpRank] = []
+        self.exp: list[_ExpRank] = []
+        self.irep: ImporterRep
+        self.erep: ExporterRep
+        self.irep_seen: set[tuple[str, int]] = set()
+        self.erep_seen: set[tuple[str, int]] = set()
+        self.chans: dict[tuple[str, str], list[tuple[Any, ...]]] = {}
+        self.drop_left = 0
+        self.dup_left = 0
+        self.crash_left = 0
+        #: Replay-only span bookkeeping (never part of the encoded state).
+        self.trace: dict[str, Any] = {}
+
+
+#: Fast enum lookup (bypasses the EnumMeta call in hot paths).
+_KIND = {k.value: k for k in MatchKind}
+
+#: Decode caches: answers and responses are frozen dataclasses, so one
+#: instance per distinct value can be shared across all model states.
+_ANSWER_CACHE: dict[tuple[float, str, float | None], FinalAnswer] = {}
+_RESPONSE_CACHE: dict[
+    tuple[float, str, float | None, float], MatchResponse
+] = {}
+
+
+def _enc_answer(a: FinalAnswer | None) -> tuple[str, float | None] | None:
+    return None if a is None else (a.kind.value, a.matched_ts)
+
+
+def _dec_answer(enc: tuple[str, float | None] | None, ts: float) -> FinalAnswer | None:
+    if enc is None:
+        return None
+    key = (ts, enc[0], enc[1])
+    a = _ANSWER_CACHE.get(key)
+    if a is None:
+        a = FinalAnswer(request_ts=ts, kind=_KIND[enc[0]], matched_ts=enc[1])
+        _ANSWER_CACHE[key] = a
+    return a
+
+
+def _dec_response(
+    ts: float, kind: str, matched: float | None, latest: float
+) -> MatchResponse:
+    key = (ts, kind, matched, latest)
+    r = _RESPONSE_CACHE.get(key)
+    if r is None:
+        r = MatchResponse(
+            request_ts=ts,
+            kind=_KIND[kind],
+            matched_ts=matched,
+            latest_export_ts=latest,
+        )
+        _RESPONSE_CACHE[key] = r
+    return r
+
+
+def _clone_dictobj(obj: Any) -> Any:
+    """Shallow-copy an ordinary object (``__dict__``-based, no ``__init__``)."""
+    new = object.__new__(type(obj))
+    new.__dict__.update(obj.__dict__)
+    return new
+
+
+def _clone_exp_state(st: _ExpRequestState) -> _ExpRequestState:
+    new = _ExpRequestState(request_ts=st.request_ts)
+    new.responses = dict(st.responses)
+    new.definitive_ranks = set(st.definitive_ranks)
+    new.finalized = st.finalized
+    new.finalized_case = st.finalized_case
+    new.finalizing_rank = st.finalizing_rank
+    return new
+
+
+def _clone_conn(conn: Any, hist: Any) -> Any:
+    new = _clone_dictobj(conn)
+    eng = _clone_dictobj(conn.engine)
+    eng.history = hist
+    new.engine = eng
+    new.open_requests = {
+        ts: OpenRequest(r.ts, r.window, r.candidate_ts)
+        for ts, r in conn.open_requests.items()
+    }
+    new.answers = dict(conn.answers)
+    new.must_send = set(conn.must_send)
+    new._buddy_raises = list(conn._buddy_raises)
+    return new
+
+
+def _clone_region(region: RegionExportState) -> RegionExportState:
+    new = _clone_dictobj(region)
+    hist = _clone_dictobj(region.history)
+    hist._ts = list(region.history._ts)
+    new.history = hist
+    buf = _clone_dictobj(region.buffer)
+    buf._entries = {
+        ts: BufferEntry(e.ts, e.nbytes, e.memcpy_cost, e.window, e.sent, e.payload)
+        for ts, e in region.buffer._entries.items()
+    }
+    buf._sent_ts = set(region.buffer._sent_ts)
+    buf.t_by_window = dict(region.buffer.t_by_window)
+    new.buffer = buf
+    new.connections = {
+        cid: _clone_conn(conn, hist) for cid, conn in region.connections.items()
+    }
+    return new
+
+
+def clone_working(w: _Working) -> _Working:
+    """Deep-copy a working state along its mutable spine only.
+
+    The DFS expands each state once per enabled action; re-decoding the
+    canonical tuple per transition dominated exploration time, so the
+    checker clones instead.  Immutable leaves (frozen answers/responses,
+    specs, policies) are shared between parent and child — only the
+    containers and the handful of mutable protocol objects are copied.
+    """
+    c = _Working()
+    c.imp = [
+        _ImpRank(i.next_req, i.outstanding, i.retr_left, dict(i.resolved), set(i.seen))
+        for i in w.imp
+    ]
+    irep = _clone_dictobj(w.irep)
+    irep._requests = {
+        cid: {
+            ts: _ImpRequestState(ts, set(st.waiting), set(st.asked), st.answer)
+            for ts, st in states.items()
+        }
+        for cid, states in w.irep._requests.items()
+    }
+    c.irep = irep
+    erep = _clone_dictobj(w.erep)
+    erep._requests = {
+        cid: {ts: _clone_exp_state(st) for ts, st in states.items()}
+        for cid, states in w.erep._requests.items()
+    }
+    erep._last_request_ts = dict(w.erep._last_request_ts)
+    erep.aggregate_cases = dict(w.erep.aggregate_cases)
+    c.erep = erep
+    c.irep_seen = set(w.irep_seen)
+    c.erep_seen = set(w.erep_seen)
+    c.exp = [
+        _ExpRank(
+            region=_clone_region(e.region),
+            pos=e.pos,
+            closed=e.closed,
+            crashed=e.crashed,
+            seen=set(e.seen),
+        )
+        for e in w.exp
+    ]
+    c.chans = {k: list(v) for k, v in w.chans.items()}
+    c.drop_left = w.drop_left
+    c.dup_left = w.dup_left
+    c.crash_left = w.crash_left
+    return c
+
+
+class ModelMachine:
+    """Transition function + canonical encoding for one :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        self.spec = config.connection_spec()
+        self.cid = self.spec.connection_id
+        self._imp_ids = tuple(f"I{r}" for r in range(config.nimp))
+        self._exp_ids = tuple(f"E{r}" for r in range(config.nexp))
+
+    # -- construction -------------------------------------------------------
+    def _new_exporter_rep(self) -> ExporterRep:
+        cls = (
+            NoAnswerCacheExporterRep
+            if self.config.mutate == "no_answer_cache"
+            else ExporterRep
+        )
+        return cls(
+            "E",
+            self.config.nexp,
+            [self.cid],
+            buddy_help=self.config.buddy_help,
+            strict_order=self.config.strict_order,
+        )
+
+    def _new_region(self) -> RegionExportState:
+        return RegionExportState(
+            self.config.region,
+            [self.spec],
+            strict_order=self.config.strict_order,
+        )
+
+    def initial(self) -> tuple[Any, ...]:
+        """The canonical initial state."""
+        return self.encode(self.initial_working())
+
+    def initial_working(self) -> _Working:
+        """A fresh, fully materialized initial state."""
+        cfg = self.config
+        w = _Working()
+        w.imp = [
+            _ImpRank(retr_left=cfg.retransmit_budget) for _ in range(cfg.nimp)
+        ]
+        w.exp = [_ExpRank(region=self._new_region()) for _ in range(cfg.nexp)]
+        w.irep = ImporterRep("I", cfg.nimp, [self.cid])
+        w.erep = self._new_exporter_rep()
+        w.drop_left = cfg.drop_budget
+        w.dup_left = cfg.dup_budget
+        w.crash_left = cfg.crash_budget
+        return w
+
+    # -- canonical encoding -------------------------------------------------
+    def encode(self, w: _Working) -> tuple[Any, ...]:
+        """Canonical nested-tuple form of *w* (behavioural fields only)."""
+        imp = tuple(
+            (
+                i.next_req,
+                i.outstanding,
+                i.retr_left,
+                tuple(sorted(i.resolved.items())),
+            )
+            for i in w.imp
+        )
+        irep = tuple(
+            (
+                cid,
+                tuple(
+                    (
+                        ts,
+                        tuple(sorted(st.waiting)),
+                        tuple(sorted(st.asked)),
+                        _enc_answer(st.answer),
+                    )
+                    for ts, st in sorted(states.items())
+                ),
+            )
+            for cid, states in sorted(w.irep._requests.items())
+        )
+        erep = tuple(
+            (
+                cid,
+                w.erep._last_request_ts[cid],
+                tuple(
+                    (
+                        ts,
+                        tuple(
+                            (rank, r.kind.value, r.matched_ts, r.latest_export_ts)
+                            for rank, r in sorted(st.responses.items())
+                        ),
+                        tuple(sorted(st.definitive_ranks)),
+                        _enc_answer(st.finalized),
+                        st.finalized_case,
+                        st.finalizing_rank,
+                    )
+                    for ts, st in sorted(states.items())
+                ),
+            )
+            for cid, states in sorted(w.erep._requests.items())
+        )
+        exp = []
+        for e in w.exp:
+            region = e.region
+            conns = []
+            for cid, conn in sorted(region.connections.items()):
+                conns.append(
+                    (
+                        cid,
+                        conn.engine.last_request_ts,
+                        tuple(
+                            (ts, r.window, r.candidate_ts)
+                            for ts, r in sorted(conn.open_requests.items())
+                        ),
+                        tuple(
+                            (ts, _enc_answer(a))
+                            for ts, a in sorted(conn.answers.items())
+                        ),
+                        conn.skip_threshold,
+                        conn.local_skip_threshold,
+                        tuple(sorted(conn.must_send)),
+                        conn.window_count,
+                        tuple(conn._buddy_raises),
+                    )
+                )
+            buf = tuple(
+                (ts, entry.window, entry.sent)
+                for ts, entry in sorted(region.buffer._entries.items())
+            )
+            exp.append(
+                (
+                    e.pos,
+                    e.closed,
+                    e.crashed,
+                    tuple(conns),
+                    buf,
+                )
+            )
+        chans = tuple(
+            (key, tuple(msgs))
+            for key, msgs in sorted(w.chans.items())
+            if msgs
+        )
+        # Prune dedup memory to seqs still in transit toward each
+        # receiver: a remembered seq with no live copy can never be
+        # consulted again, so keeping it would only split states.
+        in_flight: dict[str, set[tuple[str, int]]] = {}
+        for (_src, dst), msgs in w.chans.items():
+            if msgs:
+                in_flight.setdefault(dst, set()).update(m[-2] for m in msgs)
+        def _pruned(dst: str, seen: set[tuple[str, int]]) -> tuple[Any, ...]:
+            live = in_flight.get(dst)
+            if not live:
+                return ()
+            return tuple(sorted(seen & live))
+        imp_pruned = tuple(
+            enc + (_pruned(f"I{r}", w.imp[r].seen),)
+            for r, enc in enumerate(imp)
+        )
+        exp_pruned = tuple(
+            enc + (_pruned(f"E{r}", w.exp[r].seen),)
+            for r, enc in enumerate(exp)
+        )
+        return (
+            imp_pruned,
+            irep,
+            _pruned("IR", w.irep_seen),
+            erep,
+            _pruned("ER", w.erep_seen),
+            exp_pruned,
+            chans,
+            (w.drop_left, w.dup_left, w.crash_left),
+        )
+
+    def decode(self, canon: tuple[Any, ...]) -> _Working:
+        """Materialize real protocol objects from a canonical state."""
+        cfg = self.config
+        imp_c, irep_c, irep_seen, erep_c, erep_seen, exp_c, chans, budgets = canon
+        w = _Working()
+        for next_req, outstanding, retr_left, resolved, seen in imp_c:
+            w.imp.append(
+                _ImpRank(
+                    next_req=next_req,
+                    outstanding=outstanding,
+                    retr_left=retr_left,
+                    resolved=dict(resolved),
+                    seen=set(seen),
+                )
+            )
+        w.irep = ImporterRep("I", cfg.nimp, [self.cid])
+        for cid, states in irep_c:
+            store = w.irep._requests[cid]
+            for ts, waiting, asked, answer in states:
+                store[ts] = _ImpRequestState(
+                    request_ts=ts,
+                    waiting=set(waiting),
+                    asked=set(asked),
+                    answer=_dec_answer(answer, ts),
+                )
+        w.irep_seen = set(irep_seen)
+        w.erep = self._new_exporter_rep()
+        for cid, last_ts, states in erep_c:
+            w.erep._last_request_ts[cid] = last_ts
+            store2 = w.erep._requests[cid]
+            for ts, responses, definitive, finalized, case, fin_rank in states:
+                st = _ExpRequestState(request_ts=ts)
+                for rank, kind, matched, latest in responses:
+                    st.responses[rank] = _dec_response(ts, kind, matched, latest)
+                st.definitive_ranks = set(definitive)
+                st.finalized = _dec_answer(finalized, ts)
+                st.finalized_case = case
+                st.finalizing_rank = fin_rank
+                store2[ts] = st
+        w.erep_seen = set(erep_seen)
+        for pos, closed, crashed, conns, buf, seen in exp_c:  # seen appended last
+
+            region = self._new_region()
+            hist = [self.config.exports[i] for i in range(pos)]
+            region.history._ts = hist
+            region.history._closed = closed
+            for (
+                cid, last_req, open_reqs, answers, skip, local_skip,
+                must_send, window_count, buddy_raises,
+            ) in conns:
+                conn = region.connections[cid]
+                conn.engine._last_request_ts = last_req
+                conn.open_requests = {
+                    ts: OpenRequest(ts=ts, window=wnd, candidate_ts=cand)
+                    for ts, wnd, cand in open_reqs
+                }
+                conn.answers = {
+                    ts: a
+                    for ts, enc in answers
+                    if (a := _dec_answer(enc, ts)) is not None
+                }
+                conn.skip_threshold = skip
+                conn.local_skip_threshold = local_skip
+                conn.must_send = set(must_send)
+                conn.window_count = window_count
+                conn._buddy_raises = [tuple(b) for b in buddy_raises]
+            for ts, window, sent in buf:
+                entry = region.buffer.buffer(ts, nbytes=8, memcpy_cost=1.0, window=window)
+                if sent:
+                    entry.sent = True
+                    region.buffer._sent_ts.add(ts)
+            w.exp.append(
+                _ExpRank(
+                    region=region, pos=pos, closed=closed,
+                    crashed=crashed, seen=set(seen),
+                )
+            )
+        w.chans = {tuple(k): list(msgs) for k, msgs in chans}
+        w.drop_left, w.dup_left, w.crash_left = budgets
+        return w
+
+    # -- actions ------------------------------------------------------------
+    def enabled_actions(self, w: _Working) -> list[tuple[Any, ...]]:
+        """Every action enabled in *w*, in a fixed deterministic order.
+
+        Retransmission is *quiescence-gated*, the standard timeout
+        abstraction: the real runtime retransmits on a timeout, and a
+        timeout only matters once the system has gone quiet (every
+        in-flight message that could still resolve the import has been
+        delivered).  Modelling "retransmit at any moment, from a finite
+        budget" instead would let the explorer waste the whole budget
+        *before* a loss and then report a phantom livelock the real
+        unbounded-timeout runtime cannot exhibit.
+        """
+        cfg = self.config
+        actions: list[tuple[Any, ...]] = []
+        crashed = {self._exp_ids[r] for r, e in enumerate(w.exp) if e.crashed}
+        live_chans = [
+            key for key, msgs in sorted(w.chans.items())
+            if msgs and key[1] not in crashed
+        ]
+        for src, dst in live_chans:
+            actions.append(("deliver", src, dst))
+        for r, i in enumerate(w.imp):
+            if i.outstanding is None and i.next_req < len(cfg.requests):
+                actions.append(("issue", r))
+        for r, e in enumerate(w.exp):
+            if e.crashed:
+                continue
+            if e.pos < len(cfg.exports):
+                actions.append(("export", r))
+            elif not e.closed:
+                actions.append(("close", r))
+        if not actions and cfg.mode == "resilient":
+            for r, i in enumerate(w.imp):
+                if i.outstanding is not None and i.retr_left > 0:
+                    actions.append(("retransmit", r))
+        fault_chans = [
+            ch for ch in live_chans
+            if plane_of_channel(*ch) in cfg.fault_planes
+        ]
+        if w.drop_left > 0:
+            for src, dst in fault_chans:
+                actions.append(("drop", src, dst))
+        if w.dup_left > 0:
+            for src, dst in fault_chans:
+                actions.append(("dup", src, dst))
+        if w.crash_left > 0 and len(crashed) < cfg.nexp - 1:
+            for r, e in enumerate(w.exp):
+                if not e.crashed:
+                    actions.append(("crash", r))
+        return actions
+
+    def footprint(self, action: tuple[Any, ...]) -> frozenset[Any]:
+        """Dependency footprint for the sleep-set independence relation.
+
+        Two actions are independent iff their footprints are disjoint.
+        Tokens: ``("c", comp)`` — mutates a component's state;
+        ``("h", src, dst)`` — consumes the head of a FIFO;
+        ``("t", src, dst)`` — affects what the next *send* on that FIFO
+        is stamped with: pushes, drops and deliveries all change the
+        in-flight-or-remembered seq set the memoryless stamper
+        consults (a delivered seq is pruned from dedup memory the
+        moment its last wire copy is gone); ``"F"`` — spends shared
+        fault budget; ``"Q"`` — quiescence-gated (one retransmit
+        un-quiesces the state and disables the others, so retransmits
+        never commute).
+        """
+        kind = action[0]
+        if kind == "deliver":
+            src, dst = action[1], action[2]
+            toks: set[Any] = {("h", src, dst), ("c", dst), ("t", src, dst)}
+            # Processing a delivery can send on the component's
+            # outgoing links.
+            toks.update(("t", dst, out) for out in self._out_links(dst))
+            return frozenset(toks)
+        if kind == "drop":
+            return frozenset(
+                {("h", action[1], action[2]), ("t", action[1], action[2]), "F"}
+            )
+        if kind == "dup":
+            return frozenset({("h", action[1], action[2]), "F"})
+        if kind == "issue":
+            return frozenset({("c", f"I{action[1]}"), ("t", f"I{action[1]}", "IR")})
+        if kind == "retransmit":
+            return frozenset(
+                {("c", f"I{action[1]}"), ("t", f"I{action[1]}", "IR"), "Q"}
+            )
+        if kind in ("export", "close"):
+            return frozenset({("c", f"E{action[1]}"), ("t", f"E{action[1]}", "ER")})
+        if kind == "crash":
+            return frozenset({("c", f"E{action[1]}"), "F"})
+        raise ValueError(f"unknown action {action!r}")
+
+    def _out_links(self, comp: str) -> tuple[str, ...]:
+        """Components *comp* may send to while processing a delivery."""
+        if comp == "IR":
+            return ("ER",) + self._imp_ids
+        if comp == "ER":
+            return ("IR",) + self._exp_ids
+        if comp.startswith("E"):
+            return ("ER",)
+        return ()  # importer ranks never send from a delivery
+
+    # -- transition ---------------------------------------------------------
+    def apply(
+        self,
+        w: _Working,
+        action: tuple[Any, ...],
+        recorder: Any = None,
+        now: float = 0.0,
+    ) -> None:
+        """Execute *action* on *w* in place.
+
+        Raises one of :data:`VIOLATION_ERRORS` when the real protocol
+        code rejects the transition — the checker maps that to M203.
+        With *recorder* (a :class:`repro.obs.trace.CausalLog`), every
+        protocol event is recorded as a causal span at time *now*
+        (counterexample replay; exploration passes ``recorder=None``).
+        """
+        kind = action[0]
+        if kind == "issue":
+            self._do_issue(w, action[1], recorder, now)
+        elif kind == "retransmit":
+            self._do_retransmit(w, action[1], recorder, now)
+        elif kind == "export":
+            self._do_export(w, action[1], recorder, now)
+        elif kind == "close":
+            self._do_close(w, action[1], recorder, now)
+        elif kind == "crash":
+            w.exp[action[1]].crashed = True
+            w.crash_left -= 1
+        elif kind == "drop":
+            w.chans[(action[1], action[2])].pop(0)
+            w.drop_left -= 1
+            self._prune_seen(w, action[2])
+        elif kind == "dup":
+            chan = w.chans[(action[1], action[2])]
+            chan.insert(1, chan[0])  # wire-level copy: same sequence number
+            w.dup_left -= 1
+        elif kind == "deliver":
+            self._do_deliver(w, action[1], action[2], recorder, now)
+        else:
+            raise ValueError(f"unknown action {action!r}")
+
+    # -- sends ----------------------------------------------------------------
+    def _send(
+        self, w: _Working, src: str, dst: str, msg: tuple[Any, ...], ctx: Any = None
+    ) -> None:
+        # Memoryless stamping: smallest k whose (src, k) neither rides a
+        # copy still in flight to dst nor sits in dst's dedup memory.
+        taken = {s for s in self._seen_of(w, dst) if s[0] == src}
+        taken.update(
+            m[-2] for m in w.chans.get((src, dst), ()) if m[-2][0] == src
+        )
+        k = 0
+        while (src, k) in taken:
+            k += 1
+        w.chans.setdefault((src, dst), []).append(msg + ((src, k), ctx))
+
+    # -- local steps -----------------------------------------------------------
+    def _do_issue(self, w: _Working, r: int, rec: Any, now: float) -> None:
+        i = w.imp[r]
+        ts = self.config.requests[i.next_req]
+        i.next_req += 1
+        i.outstanding = ts
+        ctx = None
+        if rec is not None:
+            trace = rec.trace_for(self.cid, ts)
+            ctx = rec.record(
+                trace, "request", f"I.p{r}", now,
+                connection=self.cid, request=ts,
+            )
+            w.trace.setdefault("req_span", {})[(r, ts)] = ctx.span_id
+        self._send(w, f"I{r}", "IR", ("req", ts, r), ctx)
+
+    def _do_retransmit(self, w: _Working, r: int, rec: Any, now: float) -> None:
+        i = w.imp[r]
+        ts = i.outstanding
+        assert ts is not None
+        i.retr_left -= 1
+        ctx = None
+        if rec is not None:
+            trace = rec.trace_for(self.cid, ts)
+            orig = w.trace.get("req_span", {}).get((r, ts))
+            ctx = rec.record(
+                trace, "retransmit", f"I.p{r}", now,
+                parents=() if orig is None else (orig,),
+                connection=self.cid, request=ts,
+            )
+        self._send(w, f"I{r}", "IR", ("req", ts, r), ctx)
+
+    def _mark_sent(self, region: RegionExportState, ts: float) -> None:
+        if region.buffer.has(ts) and not region.buffer.get(ts).sent:
+            region.buffer.mark_sent(ts)
+
+    def _do_export(self, w: _Working, r: int, rec: Any, now: float) -> None:
+        e = w.exp[r]
+        ts = self.config.exports[e.pos]
+        e.pos += 1
+        outcome = e.region.on_export(ts, nbytes=8, memcpy_cost=1.0)
+        if outcome.send_connections:
+            self._mark_sent(e.region, ts)
+        for _cid, m in outcome.post_sends:
+            self._mark_sent(e.region, m)
+        if rec is not None and outcome.buddy_skip:
+            enabler = outcome.buddy_enabler
+            req = 0.0 if enabler is None else enabler[1]
+            rec.record(
+                rec.trace_for(self.cid, req), "buddy_skip", f"E.p{r}", now,
+                connection=self.cid, request=req, export_ts=ts, lead=0.0,
+            )
+        for cid, resp in outcome.new_responses:
+            self._send_response(w, r, cid, resp, rec, now, parent=None)
+        e.region.collect_evictions()
+
+    def _do_close(self, w: _Working, r: int, rec: Any, now: float) -> None:
+        e = w.exp[r]
+        e.closed = True
+        responses, post_sends = e.region.close()
+        for _cid, m in post_sends:
+            self._mark_sent(e.region, m)
+        for cid, resp in responses:
+            self._send_response(w, r, cid, resp, rec, now, parent=None)
+        e.region.collect_evictions()
+
+    def _send_response(
+        self,
+        w: _Working,
+        r: int,
+        cid: str,
+        resp: MatchResponse,
+        rec: Any,
+        now: float,
+        parent: int | None,
+    ) -> None:
+        ctx = None
+        if rec is not None:
+            ctx = rec.record(
+                rec.trace_for(cid, resp.request_ts), "match", f"E.p{r}", now,
+                parents=() if parent is None else (parent,),
+                kind=resp.kind.value, matched=resp.matched_ts,
+            )
+        self._send(
+            w, f"E{r}", "ER",
+            ("resp", resp.request_ts, r, resp.kind.value,
+             resp.matched_ts, resp.latest_export_ts),
+            ctx,
+        )
+
+    # -- delivery --------------------------------------------------------------
+    def _do_deliver(
+        self, w: _Working, src: str, dst: str, rec: Any, now: float
+    ) -> None:
+        msg = w.chans[(src, dst)].pop(0)
+        seq, ctx = msg[-2], msg[-1]
+        body = msg[:-2]
+        seen = self._seen_of(w, dst)
+        if self.config.mutate != "no_dedup":
+            if seq in seen:
+                self._prune_seen(w, dst)
+                return  # wire-level duplicate: the dedup layer discards it
+            seen.add(seq)
+        self._prune_seen(w, dst)
+        if dst == "IR":
+            self._deliver_irep(w, body, rec, now, ctx)
+        elif dst == "ER":
+            self._deliver_erep(w, body, rec, now, ctx)
+        elif dst.startswith("I"):
+            self._deliver_imp(w, int(dst[1:]), body, rec, now, ctx)
+        else:
+            self._deliver_exp(w, int(dst[1:]), body, rec, now, ctx)
+
+    def _prune_seen(self, w: _Working, dst: str) -> None:
+        """Drop dedup memory for seqs with no wire copy left toward *dst*.
+
+        This keeps the working state identical to its canonical form at
+        all times: a remembered seq whose last copy is gone can never be
+        dedup-checked again, but the memoryless stamper *would* consult
+        it and pick a higher ``k`` — states that differ only in that
+        numbering history would then fail to merge.  Pruning eagerly
+        (not just at encode time) makes stamping a function of the
+        canonical state, so cloned and decoded states behave alike.
+        """
+        seen = self._seen_of(w, dst)
+        if not seen:
+            return
+        live: set[tuple[str, int]] = set()
+        for (_src, d), msgs in w.chans.items():
+            if d == dst and msgs:
+                live.update(m[-2] for m in msgs)
+        seen &= live
+
+    def _seen_of(self, w: _Working, dst: str) -> set[tuple[str, int]]:
+        if dst == "IR":
+            return w.irep_seen
+        if dst == "ER":
+            return w.erep_seen
+        if dst.startswith("I"):
+            return w.imp[int(dst[1:])].seen
+        return w.exp[int(dst[1:])].seen
+
+    def _deliver_irep(
+        self, w: _Working, body: tuple[Any, ...], rec: Any, now: float, ctx: Any
+    ) -> None:
+        parent = () if ctx is None else (ctx.span_id,)
+        if body[0] == "req":
+            _, ts, rank = body
+            directives = w.irep.on_process_request(self.cid, ts, rank)
+        else:  # a2i
+            _, ts, kind, matched = body
+            answer = FinalAnswer(
+                request_ts=ts, kind=MatchKind(kind), matched_ts=matched
+            )
+            directives = w.irep.on_answer(self.cid, answer)
+            if rec is not None:
+                w.trace.setdefault("answer_span", {})[ts] = (
+                    None if ctx is None else ctx.span_id
+                )
+        for d in directives:
+            if isinstance(d, ForwardToExporter):
+                fctx = None
+                if rec is not None:
+                    fctx = rec.record(
+                        rec.trace_for(self.cid, d.request_ts),
+                        "rep_forward", "I.rep", now, parents=parent,
+                    )
+                self._send(w, "IR", "ER", ("r2e", d.request_ts), fctx)
+            elif isinstance(d, DeliverAnswer):
+                actx = None
+                if rec is not None:
+                    parents = list(parent)
+                    stored = w.trace.get("answer_span", {}).get(d.answer.request_ts)
+                    if stored is not None and stored not in parents:
+                        parents.append(stored)
+                    actx = rec.record(
+                        rec.trace_for(self.cid, d.answer.request_ts),
+                        "answer", "I.rep", now, parents=parents,
+                    )
+                self._send(
+                    w, "IR", f"I{d.rank}",
+                    ("ans", d.answer.request_ts, d.answer.kind.value,
+                     d.answer.matched_ts, d.rank),
+                    actx,
+                )
+            else:  # pragma: no cover - the importer rep has no other directives
+                raise ProtocolError(f"unexpected importer-rep directive {d!r}")
+
+    def _deliver_erep(
+        self, w: _Working, body: tuple[Any, ...], rec: Any, now: float, ctx: Any
+    ) -> None:
+        parent = () if ctx is None else (ctx.span_id,)
+        if body[0] == "r2e":
+            _, ts = body
+            directives = w.erep.on_request(self.cid, ts)
+        else:  # resp
+            _, ts, rank, kind, matched, latest = body
+            resp = MatchResponse(
+                request_ts=ts, kind=MatchKind(kind),
+                matched_ts=matched, latest_export_ts=latest,
+            )
+            directives = w.erep.on_response(self.cid, rank, resp)
+        agg_span: int | None = None
+        if rec is not None:
+            for d in directives:
+                if isinstance(d, AnswerImporter):
+                    info = w.erep.finalize_info(self.cid, d.answer.request_ts)
+                    aggctx = rec.record(
+                        rec.trace_for(self.cid, d.answer.request_ts),
+                        "aggregate", "E.rep", now, parents=parent,
+                        case=None if info is None else info[0],
+                        finalizing_rank=None if info is None else info[1],
+                    )
+                    agg_span = aggctx.span_id
+        for d in directives:
+            if isinstance(d, ForwardRequest):
+                fctx = None
+                if rec is not None:
+                    fctx = rec.record(
+                        rec.trace_for(self.cid, d.request_ts),
+                        "fan_out", "E.rep", now, parents=parent, rank=d.rank,
+                    )
+                self._send(w, "ER", f"E{d.rank}", ("fwd", d.request_ts, d.rank), fctx)
+            elif isinstance(d, AnswerImporter):
+                actx = None
+                if rec is not None and agg_span is not None:
+                    actx = TraceContext(
+                        trace_id=rec.trace_for(self.cid, d.answer.request_ts),
+                        span_id=agg_span,
+                    )
+                self._send(
+                    w, "ER", "IR",
+                    ("a2i", d.answer.request_ts, d.answer.kind.value,
+                     d.answer.matched_ts),
+                    actx,
+                )
+            elif isinstance(d, BuddyHelp):
+                bctx = None
+                if rec is not None:
+                    bctx = rec.record(
+                        rec.trace_for(self.cid, d.answer.request_ts),
+                        "buddy_notify", "E.rep", now,
+                        parents=() if agg_span is None else (agg_span,),
+                        rank=d.rank,
+                    )
+                self._send(
+                    w, "ER", f"E{d.rank}",
+                    ("buddy", d.answer.request_ts, d.answer.kind.value,
+                     d.answer.matched_ts, d.rank),
+                    bctx,
+                )
+            else:  # pragma: no cover - the exporter rep has no other directives
+                raise ProtocolError(f"unexpected exporter-rep directive {d!r}")
+
+    def _deliver_imp(
+        self, w: _Working, r: int, body: tuple[Any, ...], rec: Any, now: float, ctx: Any
+    ) -> None:
+        _, ts, kind, matched, _rank = body
+        i = w.imp[r]
+        known = i.resolved.get(ts)
+        if known is not None:
+            if known != (kind, matched):
+                raise ProtocolError(
+                    f"I.p{r}: conflicting answers for request @{ts}: "
+                    f"{known} then {(kind, matched)}"
+                )
+            return
+        i.resolved[ts] = (kind, matched)
+        if i.outstanding == ts:
+            i.outstanding = None
+        if rec is not None:
+            rec.record(
+                rec.trace_for(self.cid, ts), "answered", f"I.p{r}", now,
+                parents=() if ctx is None else (ctx.span_id,),
+                kind=kind, importer=f"I.p{r}",
+            )
+
+    def _deliver_exp(
+        self, w: _Working, r: int, body: tuple[Any, ...], rec: Any, now: float, ctx: Any
+    ) -> None:
+        e = w.exp[r]
+        region = e.region
+        if body[0] == "fwd":
+            _, ts, _rank = body
+            outcome = region.on_request(self.cid, ts)
+            if outcome.applied is not None and outcome.applied.send_now is not None:
+                self._mark_sent(region, outcome.applied.send_now)
+            self._send_response(
+                w, r, self.cid, outcome.response, rec, now,
+                parent=None if ctx is None else ctx.span_id,
+            )
+        else:  # buddy
+            _, ts, kind, matched, _rank = body
+            answer = FinalAnswer(
+                request_ts=ts, kind=MatchKind(kind), matched_ts=matched
+            )
+            applied = region.on_buddy_answer(self.cid, answer)
+            if applied.send_now is not None:
+                self._mark_sent(region, applied.send_now)
+            if rec is not None:
+                rec.record(
+                    rec.trace_for(self.cid, ts), "buddy_recv", f"E.p{r}", now,
+                    parents=() if ctx is None else (ctx.span_id,),
+                )
+        region.collect_evictions()
+
+    # -- invariants -----------------------------------------------------------
+    def check_occupancy(self, w: _Working) -> str | None:
+        """M204: buffer occupancy must respect the Eq. 1-2 window bound.
+
+        Two checks per live exporter rank:
+
+        * the *eviction line*: no live, unsent entry may sit strictly
+          below the connection-agreed eviction threshold unless some
+          connection's keep-set protects it (a candidate or an unsent
+          match) — everything below the line is outside every live
+          acceptable window and must have been freed;
+        * the *numeric bound* derived from the scripts: occupancy never
+          exceeds the number of scripted exports at or above the
+          eviction line plus the protected set.
+        """
+        for r, e in enumerate(w.exp):
+            if e.crashed:
+                continue
+            region = e.region
+            threshold = region.evict_threshold()
+            keep: set[float] = set()
+            for conn in region.connections.values():
+                keep |= conn.keep_set()
+            for ts, entry in region.buffer._entries.items():
+                if ts < threshold and not entry.sent and ts not in keep:
+                    return (
+                        f"E.p{r}: buffered object @{ts:g} lies below the "
+                        f"eviction line {threshold:g} outside every keep-set "
+                        "— occupancy exceeds the Eq. 1-2 window bound"
+                    )
+            if threshold != -math.inf:
+                bound = sum(
+                    1 for ts in self.config.exports if ts >= threshold
+                ) + len(keep)
+                if region.buffer.live_count > bound:
+                    return (
+                        f"E.p{r}: {region.buffer.live_count} live objects "
+                        f"exceed the window bound {bound} "
+                        f"(eviction line {threshold:g})"
+                    )
+        return None
+
+    def unresolved(self, w: _Working) -> list[tuple[int, float]]:
+        """Importer ranks still blocked on a request: ``(rank, ts)``."""
+        return [
+            (r, i.outstanding)
+            for r, i in enumerate(w.imp)
+            if i.outstanding is not None
+        ]
+
+    def faults_used(self, w: _Working) -> dict[str, int]:
+        """Fault/retransmit counts consumed so far (from the budgets)."""
+        cfg = self.config
+        return {
+            "drop": cfg.drop_budget - w.drop_left,
+            "dup": cfg.dup_budget - w.dup_left,
+            "crash": cfg.crash_budget - w.crash_left,
+            "retransmit": sum(
+                cfg.retransmit_budget - i.retr_left for i in w.imp
+            ),
+        }
+
+    def classify_terminal(self, w: _Working) -> tuple[str, str] | None:
+        """Rule + message for a terminal state, or ``None`` when clean.
+
+        A terminal state (no enabled action) is clean iff every issued
+        import resolved.  Otherwise:
+
+        * **M201** — no fault and no retransmission happened: a pure
+          message-interleaving deadlock;
+        * **M202** — retransmissions were spent re-driving the request
+          and the protocol still failed to resolve it: a
+          retransmission livelock (each re-drive returned the system
+          to an equivalent stuck state);
+        * **M205** — the importer still holds a PENDING import after
+          faults the protocol claims to absorb.
+        """
+        stuck = self.unresolved(w)
+        if not stuck:
+            return None
+        used = self.faults_used(w)
+        who = ", ".join(f"I.p{r}@{ts:g}" for r, ts in stuck)
+        if not any(used.values()):
+            return (
+                "M201",
+                f"deadlock: {who} blocked with all channels quiescent and "
+                "no fault injected",
+            )
+        if used["retransmit"] > 0:
+            return (
+                "M202",
+                f"retransmission livelock: {who} unresolved after "
+                f"{used['retransmit']} retransmission(s) re-drove the "
+                f"request (faults injected: {used['drop']} drop, "
+                f"{used['dup']} dup, {used['crash']} crash)",
+            )
+        return (
+            "M205",
+            f"unresolved import: {who} still PENDING at quiescence "
+            f"(faults injected: {used['drop']} drop, {used['dup']} dup, "
+            f"{used['crash']} crash)",
+        )
+
+
+# A callable alias used by the checker for monkeypatch-friendly tests.
+ViolationHandler = Callable[[str, str], None]

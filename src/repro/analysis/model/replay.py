@@ -1,0 +1,137 @@
+"""Replay model-checker counterexamples through the real DES runtime.
+
+A counterexample is a ``repro.verify/v1`` schedule: the exact action
+path the explorer took from the initial state to the violation, plus
+the :class:`~repro.analysis.model.machine.ModelConfig` it was found
+under.  Replaying drives the *same real protocol objects* the checker
+wrapped, one action per DES tick, with a
+:class:`~repro.obs.trace.CausalLog` recording every protocol event —
+so a violation renders as a PR-5 ``repro.causal/v1`` happens-before
+DAG (a clickable trace), not a state dump.
+
+Replay is deterministic: the schedule fixes the interleaving, the DES
+clock fixes the span times, and :class:`CausalLog` allocates span and
+trace ids in record order — two replays of the same schedule produce
+byte-identical DAG exports (asserted by the determinism tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.model.checker import SCHEMA
+from repro.analysis.model.machine import (
+    VIOLATION_ERRORS,
+    ModelConfig,
+    ModelMachine,
+)
+from repro.des.core import Simulator
+from repro.obs.trace import CausalLog, CausalReport, build_causal_report
+from repro.util.validation import require
+
+__all__ = ["ReplayResult", "config_from_payload", "replay_schedule"]
+
+
+def config_from_payload(payload: dict[str, Any]) -> ModelConfig:
+    """Rebuild the :class:`ModelConfig` embedded in a schedule."""
+    return ModelConfig(
+        nimp=int(payload["nimp"]),
+        nexp=int(payload["nexp"]),
+        requests=tuple(float(t) for t in payload["requests"]),
+        exports=tuple(float(t) for t in payload["exports"]),
+        policy=str(payload["policy"]),
+        buddy_help=bool(payload["buddy_help"]),
+        mode=str(payload["mode"]),
+        drop_budget=int(payload["drop_budget"]),
+        dup_budget=int(payload["dup_budget"]),
+        crash_budget=int(payload["crash_budget"]),
+        retransmit_budget=int(payload["retransmit_budget"]),
+        fault_planes=tuple(str(p) for p in payload["fault_planes"]),
+        mutate=payload.get("mutate"),
+    )
+
+
+def _actions_from(schedule: dict[str, Any]) -> list[tuple[Any, ...]]:
+    """Validate a schedule payload and extract its action list."""
+    require(
+        schedule.get("schema") == SCHEMA,
+        f"not a {SCHEMA} schedule: schema={schedule.get('schema')!r}",
+    )
+    require(
+        schedule.get("kind") == "counterexample",
+        f"not a counterexample schedule: kind={schedule.get('kind')!r}",
+    )
+    actions = schedule.get("actions")
+    require(isinstance(actions, list) and len(actions) > 0, "empty schedule")
+    assert isinstance(actions, list)
+    return [tuple(a) for a in actions]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one counterexample schedule."""
+
+    #: The rule the schedule claims to demonstrate.
+    rule: str
+    #: Causal DAG of the replayed run (``repro.causal/v1``).
+    report: CausalReport
+    #: The violation the replay reproduced (exception text for M203,
+    #: ``None`` for terminal-state rules, whose evidence is the DAG
+    #: ending without a resolution).
+    error: str | None
+    #: Actions actually executed (equals the schedule for terminal
+    #: rules; for M203 the final action is the one that raised).
+    executed: int
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready form: the DAG plus replay metadata."""
+        return {
+            "schema": SCHEMA,
+            "kind": "replay",
+            "rule": self.rule,
+            "error": self.error,
+            "executed": self.executed,
+            "causal": self.report.as_dict(),
+        }
+
+
+def replay_schedule(schedule: dict[str, Any]) -> ReplayResult:
+    """Re-execute *schedule* through the DES runtime, one action per tick.
+
+    The driver process applies one schedule action per unit of virtual
+    time, so span timestamps encode schedule positions and the causal
+    DAG reads as a timeline of the counterexample.  An M203 schedule
+    ends in the violating call: the exception is caught, reported in
+    ``error``, and the spans recorded up to that point form the DAG.
+    """
+    actions = _actions_from(schedule)
+    config = config_from_payload(schedule["config"])
+    machine = ModelMachine(config)
+    w = machine.initial_working()
+    sim = Simulator()
+    log = CausalLog()
+    state = {"error": None, "executed": 0}
+
+    def driver() -> Any:
+        for action in actions:
+            yield sim.timeout(1.0)
+            state["executed"] += 1
+            try:
+                machine.apply(w, action, recorder=log, now=sim.now)
+            except VIOLATION_ERRORS as exc:
+                state["error"] = (
+                    f"{type(exc).__name__} at action "
+                    f"{state['executed']}/{len(actions)} "
+                    f"({' '.join(str(p) for p in action)}): {exc}"
+                )
+                return
+
+    sim.process(driver(), name="cex-replay")
+    sim.run()
+    return ReplayResult(
+        rule=str(schedule.get("rule", "")),
+        report=build_causal_report(log),
+        error=state["error"],
+        executed=state["executed"],
+    )

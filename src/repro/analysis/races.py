@@ -1,0 +1,263 @@
+"""Vector-clock happens-before race detection for the live runtime.
+
+The threaded live runtime (:mod:`repro.core.live`) shares three kinds
+of protocol state between its application, agent and rep threads: the
+buffer ledger, the rep's answer cache, and the per-region match
+engine.  When a :class:`RaceMonitor` is attached
+(``RunOptions(race_monitor=...)``), the runtime reports every touch of
+those sites together with its synchronization events — lock
+acquire/release and wire-message send/receive (keyed by the same
+sequence numbers that stamp the PR-5 trace-annotated messages) — and
+the monitor maintains one vector clock per thread:
+
+* ``acquire(k)`` joins the acquiring thread's clock with the clock
+  stored at lock *k*'s last release;
+* ``release(k)`` stores a snapshot of the releasing thread's clock and
+  ticks it;
+* ``send(m)`` / ``recv(m)`` transfer a snapshot through message *m*,
+  ordering cross-thread hand-offs that never share a lock.
+
+Two accesses to the same site *race* when neither clock snapshot
+happens-before the other and at least one access is a write.  Races
+are reported once per (rule, site) as ERROR findings in the shared
+:mod:`repro.analysis.report` model, R-coded by the kind of state:
+
+=========  =========================================================
+``R201``   unsynchronized access to a buffer ledger
+``R202``   unsynchronized access to a rep answer cache
+``R203``   unsynchronized access to a match engine
+=========  =========================================================
+
+The detector is sound for the monitored sites (no false negatives on
+observed schedules) and precise (lock and message edges mean properly
+synchronized runs — the stock runtime — produce zero findings).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.report import Finding, Report, Severity
+
+__all__ = [
+    "RACE_RULE_PAPER",
+    "RaceMonitor",
+    "RaceRecord",
+    "ledger_site",
+    "match_site",
+    "rep_cache_site",
+]
+
+#: Paper citation per R-rule (used in findings).
+RACE_RULE_PAPER = {
+    "R201": "§4.1 (buffer management)",
+    "R202": "§3.1 (rep answer cache)",
+    "R203": "§4 (match engine)",
+}
+
+#: Site kind (first tuple element) -> rule code.
+_SITE_RULES = {"ledger": "R201", "rep_cache": "R202", "match": "R203"}
+
+Site = tuple[str, ...]
+
+
+def ledger_site(who: str, region: str) -> Site:
+    """The buffer-ledger site of process *who*'s *region*."""
+    return ("ledger", who, region)
+
+
+def match_site(who: str, region: str) -> Site:
+    """The match-engine site of process *who*'s *region*."""
+    return ("match", who, region)
+
+
+def rep_cache_site(rep_who: str) -> Site:
+    """The answer-cache site of rep *rep_who* (e.g. ``"F.rep"``)."""
+    return ("rep_cache", rep_who)
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One unordered conflicting access pair."""
+
+    site: Site
+    first_thread: str
+    first_where: str
+    first_kind: str
+    second_thread: str
+    second_where: str
+    second_kind: str
+
+    @property
+    def rule(self) -> str:
+        """The R-rule code of this record's site kind."""
+        return _SITE_RULES.get(self.site[0], "R203")
+
+
+@dataclass
+class _Access:
+    thread: int
+    clock: dict[int, int]
+    kind: str
+    where: str
+
+
+class RaceMonitor:
+    """Happens-before detector shared by every thread of a live run.
+
+    All methods are thread-safe; the internal lock serializes event
+    processing in the order the instrumented code observed it (hooks
+    run while the instrumented lock is still held, so lock events
+    reach the monitor in their true serialization order).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # Keyed by the Thread *object*, not get_ident(): the OS reuses
+        # idents once a thread exits, which would silently merge a new
+        # thread's clock with a dead one's (a false happens-before
+        # edge).  Holding the object strongly keeps the key unique.
+        self._index: dict[threading.Thread, int] = {}
+        self._names: dict[int, str] = {}
+        self._clocks: dict[int, dict[int, int]] = {}
+        self._released: dict[Any, dict[int, int]] = {}
+        self._messages: dict[Any, dict[int, int]] = {}
+        self._sites: dict[Site, dict[tuple[int, str], _Access]] = {}
+        self.records: list[RaceRecord] = []
+        self.accesses = 0
+
+    # -- clock plumbing (caller must hold self._lock) -----------------------
+    def _me(self) -> int:
+        thread = threading.current_thread()
+        idx = self._index.get(thread)
+        if idx is None:
+            idx = len(self._index)
+            self._index[thread] = idx
+            self._names[idx] = thread.name
+            self._clocks[idx] = {idx: 1}
+        return idx
+
+    def _join(self, idx: int, other: dict[int, int]) -> None:
+        clock = self._clocks[idx]
+        for t, c in other.items():
+            if clock.get(t, 0) < c:
+                clock[t] = c
+
+    def _tick(self, idx: int) -> None:
+        self._clocks[idx][idx] += 1
+
+    # -- synchronization events ---------------------------------------------
+    def acquire(self, lock_key: Any) -> None:
+        """The calling thread acquired lock *lock_key*."""
+        with self._lock:
+            idx = self._me()
+            released = self._released.get(lock_key)
+            if released is not None:
+                self._join(idx, released)
+
+    def release(self, lock_key: Any) -> None:
+        """The calling thread is about to release lock *lock_key*."""
+        with self._lock:
+            idx = self._me()
+            self._released[lock_key] = dict(self._clocks[idx])
+            self._tick(idx)
+
+    def send(self, msg_key: Any) -> None:
+        """The calling thread sent the message keyed *msg_key*."""
+        with self._lock:
+            idx = self._me()
+            self._messages[msg_key] = dict(self._clocks[idx])
+            self._tick(idx)
+
+    def recv(self, msg_key: Any) -> None:
+        """The calling thread received the message keyed *msg_key*.
+
+        The send snapshot is kept (not popped): retransmissions reuse
+        the original sequence number, and a missing edge would turn
+        into a false positive, not a missed race.
+        """
+        with self._lock:
+            idx = self._me()
+            sent = self._messages.get(msg_key)
+            if sent is not None:
+                self._join(idx, sent)
+
+    # -- accesses ------------------------------------------------------------
+    def access(self, site: Site, kind: str = "write", where: str = "") -> None:
+        """The calling thread touched *site* (``kind`` read or write)."""
+        with self._lock:
+            idx = self._me()
+            clock = self._clocks[idx]
+            self.accesses += 1
+            history = self._sites.setdefault(site, {})
+            for (other, other_kind), prev in history.items():
+                if other == idx:
+                    continue
+                if kind == "read" and other_kind == "read":
+                    continue
+                # prev happens-before the current access iff our clock
+                # has caught up with the accessor's epoch.
+                if prev.clock[other] <= clock.get(other, 0):
+                    continue
+                self.records.append(
+                    RaceRecord(
+                        site=site,
+                        first_thread=self._names[other],
+                        first_where=prev.where,
+                        first_kind=other_kind,
+                        second_thread=self._names[idx],
+                        second_where=where,
+                        second_kind=kind,
+                    )
+                )
+            history[(idx, kind)] = _Access(
+                thread=idx, clock=dict(clock), kind=kind, where=where
+            )
+            self._tick(idx)
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> Report:
+        """Findings for every raced site (one per rule + site)."""
+        out = Report()
+        seen: set[tuple[str, Site]] = set()
+        with self._lock:
+            records = list(self.records)
+            out.examined = self.accesses
+        for rec in records:
+            key = (rec.rule, rec.site)
+            if key in seen:
+                continue
+            seen.add(key)
+            program, rank = _locus(rec.site)
+            out.add(
+                Finding(
+                    rule=rec.rule,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"unordered conflicting access to {rec.site[0]} "
+                        f"{'/'.join(rec.site[1:])}: "
+                        f"{rec.first_kind} by {rec.first_thread} "
+                        f"({rec.first_where or 'unknown'}) vs "
+                        f"{rec.second_kind} by {rec.second_thread} "
+                        f"({rec.second_where or 'unknown'}) "
+                        "with no happens-before edge"
+                    ),
+                    paper=RACE_RULE_PAPER[rec.rule],
+                    program=program,
+                    rank=rank,
+                )
+            )
+        return out
+
+
+def _locus(site: Site) -> tuple[str | None, int | None]:
+    """Extract ``(program, rank)`` from a site's ``who`` element."""
+    if len(site) < 2:
+        return None, None
+    who = site[1]
+    prog, _, proc = who.partition(".")
+    if proc.startswith("p") and proc[1:].isdigit():
+        return prog, int(proc[1:])
+    return prog or None, None

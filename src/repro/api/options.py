@@ -93,6 +93,12 @@ class RunOptions:
     telemetry_interval:
         Period between telemetry snapshots — virtual seconds on the
         DES runtime, wall seconds on the live runtime.
+    race_monitor:
+        Live runtime: a :class:`repro.analysis.races.RaceMonitor`
+        receiving shared-state accesses and synchronization events
+        (lock acquire/release, message send/receive) from every
+        thread of the run, for happens-before race detection.
+        ``None`` (default) disables instrumentation entirely.
     """
 
     runtime: str = "des"
@@ -114,6 +120,7 @@ class RunOptions:
     causal_trace: bool = False
     telemetry_sinks: tuple[Any, ...] = ()
     telemetry_interval: float = 0.25
+    race_monitor: Any | None = None
 
     def __post_init__(self) -> None:
         require(

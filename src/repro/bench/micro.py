@@ -21,8 +21,13 @@ same workload, so every report carries its own baseline:
   time comparing the shipped kernel against itself with the always-on
   observability counters stripped (:class:`_PreObsSimulator`); the
   run *fails* if the counters cost more than 3%.
+* **Verify exploration rate** — distinct states/sec of the
+  control-plane model checker exploring one clean world, sleep-set
+  partial-order reduction on (shipped) vs off (baseline).  POR visits
+  the identical state set with fewer redundant transitions, so the
+  rate ratio is the measured value of the reduction.
 
-``python -m repro bench`` runs all four and writes ``BENCH_5.json``;
+``python -m repro bench`` runs all five and writes ``BENCH_6.json``;
 ``repro bench --history`` compares every ``BENCH_*.json`` in a
 directory (see :func:`compare_history`) and flags regressions against
 the best recorded speedup.  The numbers are wall-clock measurements
@@ -464,11 +469,59 @@ def run_control_plane_micro(
     )
 
 
+# -- verify exploration rate ----------------------------------------------
+
+
+def run_verify_micro(repeats: int = 2) -> MicroComparison:
+    """Model-checker states/sec, sleep-set POR on vs off.
+
+    Both runs exhaustively explore the same clean 2-program ×
+    2-process world and visit the identical distinct-state set (an
+    invariant the model tests assert); POR prunes provably redundant
+    transitions, so its higher exploration rate is pure win, not a
+    coverage trade.
+    """
+    from repro.analysis.model import ModelConfig, check
+
+    cfg = ModelConfig(
+        drop_budget=0, dup_budget=0, crash_budget=0, retransmit_budget=0
+    )
+
+    def best_rate(por: bool) -> tuple[float, dict[str, Any]]:
+        best = 0.0
+        stats: dict[str, Any] = {}
+        for _ in range(repeats):
+            result = check(cfg, por=por)
+            if result.stats["states_per_sec"] > best:
+                best = result.stats["states_per_sec"]
+                stats = result.stats
+        return best, stats
+
+    baseline, base_stats = best_rate(por=False)
+    optimized, por_stats = best_rate(por=True)
+    require(
+        por_stats["states"] == base_stats["states"],
+        "POR changed the reachable state set",
+    )
+    return MicroComparison(
+        name="verify_states_per_sec",
+        unit="states/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail={
+            "states": por_stats["states"],
+            "transitions_por": por_stats["transitions"],
+            "transitions_full": base_stats["transitions"],
+            "sleep_skips": por_stats["sleep_skips"],
+        },
+    )
+
+
 # -- report ---------------------------------------------------------------
 
 
 def run_micro(quick: bool = False) -> dict[str, Any]:
-    """Run every micro-benchmark; return the ``BENCH_3.json`` payload."""
+    """Run every micro-benchmark; return the ``BENCH_6.json`` payload."""
     if quick:
         des = run_des_micro(pending=20_000, burst=2_000, rounds=5, repeats=2)
         redist = run_redistribution_micro(shape=(128, 128), calls=8, repeats=2)
@@ -477,11 +530,13 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         # and shrinking the rounds would cost more precision than the
         # few seconds the full sizes take.
         obs = run_obs_overhead_micro()
+        verify = run_verify_micro(repeats=1)
     else:
         des = run_des_micro()
         redist = run_redistribution_micro()
         ctl = run_control_plane_micro()
         obs = run_obs_overhead_micro()
+        verify = run_verify_micro()
     return {
         "bench": "repro micro hot paths",
         "quick": quick,
@@ -492,6 +547,7 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
             redist.as_dict(),
             ctl.as_dict(),
             obs.as_dict(),
+            verify.as_dict(),
         ],
     }
 

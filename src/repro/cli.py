@@ -23,7 +23,7 @@ Commands
     until the run's final snapshot.
 ``bench``
     Hot-path micro benchmarks vs embedded seed baselines; writes
-    ``BENCH_5.json``.  ``--history`` compares every ``BENCH_*.json``
+    ``BENCH_6.json``.  ``--history`` compares every ``BENCH_*.json``
     and exits 1 when the newest report regresses vs. the best.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
@@ -37,13 +37,23 @@ Commands
     Static analysis: coupling-graph checks over configuration files
     and Property-1 AST lint over coupling programs (see
     ``docs/static_analysis.md``).
+``verify``
+    Exhaustive control-plane model checking (``repro.verify/v1``):
+    explore every bounded message interleaving and fault action of a
+    2-program world through the real protocol code, checking the M2xx
+    invariants; ``--mutate`` checks a deliberately broken protocol,
+    ``--replay`` re-executes a counterexample schedule through the DES
+    runtime as a causal DAG, and ``--races`` runs the live runtime
+    under the vector-clock race detector (R2xx rules).
 ``version``
     Print the package version.
 
 Conventions (see ``docs/cli.md``): every subcommand accepts ``--json``
 for machine-readable output on stdout, and exit codes are shared —
-0 success, 1 findings (divergent answers, lint errors, invalid
-config), 2 usage errors (argparse's own convention).
+:data:`EXIT_OK` (0) success, :data:`EXIT_FINDINGS` (1) findings
+(divergent answers, lint errors, verify violations, invalid config),
+:data:`EXIT_USAGE` (2) usage or internal errors (argparse's own
+convention).
 """
 
 from __future__ import annotations
@@ -66,6 +76,17 @@ def _emit(args: argparse.Namespace, payload: dict[str, Any]) -> bool:
         print(json.dumps(payload, indent=2))
         return True
     return False
+
+
+#: Shared exit-code contract of every finding-producing subcommand.
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _finding_exit(report: Any) -> int:
+    """Map a :class:`repro.analysis.report.Report` to an exit code."""
+    return EXIT_FINDINGS if report.has_errors() else EXIT_OK
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -701,7 +722,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         p = Path(raw)
         if not p.exists():
             print(f"error: no such path: {raw}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         if p.is_dir():
             report.extend(lint_path(p))
             for suffix in _CONFIG_SUFFIXES:
@@ -721,7 +742,118 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(report.render_json())
     else:
         print(report.render_text())
-    return 1 if report.has_errors() else 0
+    return _finding_exit(report)
+
+
+def _verify_races(args: argparse.Namespace) -> int:
+    """Run the live runtime under the happens-before race detector."""
+    import numpy as np
+
+    from repro.analysis.model import SCHEMA
+    from repro.analysis.races import RaceMonitor
+    from repro.api import RunOptions
+    from repro.core.coupler import RegionDef
+    from repro.core.live import LiveCoupledSimulation
+    from repro.data import BlockDecomposition
+
+    def f_main(ctx: Any) -> None:
+        shape = ctx.local_region("d").shape
+        for k in range(16):
+            ts = 1.6 + k
+            ctx.export("d", ts, data=np.full(shape, ts))
+            ctx.compute(0.001)
+
+    def u_main(ctx: Any) -> None:
+        for want in (8.0, 14.0):
+            ctx.compute(0.002)
+            ctx.import_("d", want)
+
+    monitor = RaceMonitor()
+    sim = LiveCoupledSimulation(
+        "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n",
+        options=RunOptions(
+            runtime="live", race_monitor=monitor, default_timeout=20.0
+        ),
+    )
+    sim.add_program(
+        "F", main=f_main,
+        regions={"d": RegionDef(BlockDecomposition((8, 8), (2, 1)))},
+    )
+    sim.add_program(
+        "U", main=u_main,
+        regions={"d": RegionDef(BlockDecomposition((8, 8), (1, 2)))},
+    )
+    sim.run(join_timeout=60.0)
+    report = monitor.report()
+    payload = {
+        "schema": SCHEMA,
+        "mode": "races",
+        "stats": {"accesses": report.examined},
+        "report": report.to_dict(),
+    }
+    if not _emit(args, payload):
+        print(f"monitored {report.examined} shared-state accesses")
+        print(report.render_text())
+    return _finding_exit(report)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.model import (
+        check_suite,
+        mutation_config,
+        replay_schedule,
+    )
+    from repro.util.validation import ValidationError
+
+    if args.replay:
+        path = Path(args.replay)
+        if not path.exists():
+            print(f"error: no such schedule: {args.replay}", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            schedule = json.loads(path.read_text(encoding="utf-8"))
+            result = replay_schedule(schedule)
+        except (ValidationError, ValueError, KeyError) as exc:
+            print(f"error: bad schedule: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if not _emit(args, result.to_payload()):
+            print(
+                f"replayed {result.executed} actions"
+                + (f" (rule {result.rule})" if result.rule else "")
+            )
+            if result.error:
+                print(f"violation reproduced: {result.error}")
+            print(result.report.render())
+        return EXIT_OK
+
+    if args.races:
+        return _verify_races(args)
+
+    base = mutation_config(args.mutate) if args.mutate else None
+    suite = check_suite(base, max_states=args.max_states, por=not args.no_por)
+    if args.cex:
+        Path(args.cex).write_text(
+            json.dumps(suite.counterexamples, indent=2), encoding="utf-8"
+        )
+    if not _emit(args, suite.to_payload()):
+        for name, result in suite.worlds:
+            s = result.stats
+            flag = "complete" if s["complete"] else "TRUNCATED"
+            print(
+                f"{name:>10}: {s['states']:>8} states "
+                f"{s['transitions']:>9} transitions "
+                f"{s['elapsed_sec']:6.1f}s  {flag}"
+            )
+        print(
+            f"{'total':>10}: {suite.total_states:>8} states across "
+            f"{len(suite.worlds)} worlds"
+        )
+        print(suite.report.render_text())
+        if args.cex:
+            print(f"counterexample schedules written to {args.cex}")
+    return _finding_exit(suite.report)
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -826,8 +958,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_5.json",
-        help="report file (default BENCH_5.json)",
+        "--out", metavar="PATH", default="BENCH_6.json",
+        help="report file (default BENCH_6.json)",
     )
     pb.add_argument(
         "--history", action="store_true",
@@ -885,6 +1017,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(pl)
     pl.set_defaults(fn=_cmd_lint)
+
+    pvf = sub.add_parser(
+        "verify",
+        help="exhaustive control-plane model checking + race detection",
+    )
+    pvf.add_argument(
+        "--mutate",
+        # Mirrors repro.analysis.model.MUTATIONS (kept literal so parser
+        # construction stays import-light; asserted equal in the tests).
+        choices=["no_dedup", "no_answer_cache"],
+        help="check a deliberately broken protocol (expects a violation)",
+    )
+    pvf.add_argument(
+        "--max-states",
+        type=int,
+        default=500_000,
+        help="per-world distinct-state cap (default 500000)",
+    )
+    pvf.add_argument(
+        "--no-por",
+        action="store_true",
+        help="disable sleep-set partial-order reduction",
+    )
+    pvf.add_argument(
+        "--cex",
+        metavar="PATH",
+        help="write counterexample schedules (JSON) to PATH",
+    )
+    pvf.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay one counterexample schedule through the DES runtime",
+    )
+    pvf.add_argument(
+        "--races",
+        action="store_true",
+        help="run the live runtime under the vector-clock race detector",
+    )
+    _add_json_flag(pvf)
+    pvf.set_defaults(fn=_cmd_verify)
 
     pe = sub.add_parser(
         "experiments", help="run all experiments; emit a markdown report"

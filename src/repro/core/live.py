@@ -195,6 +195,11 @@ class LiveProcessContext:
             nbytes = local.size * self._program.regions[region].itemsize
         t0 = time.perf_counter()
         with self.lock:
+            self._rt._race_enter(
+                ("ctx", self.who),
+                (("match", self.who, region), "write", "export.on_export"),
+                (("ledger", self.who, region), "write", "export.buffer"),
+            )
             outcome = st.on_export(ts, nbytes, memcpy_cost=0.0)
             if outcome.decision in (ExportDecision.BUFFER, ExportDecision.SEND):
                 copy_start = time.perf_counter()
@@ -210,6 +215,7 @@ class LiveProcessContext:
             for cid, response in outcome.new_responses:
                 self._rt._send_response(self, cid, response)
             st.collect_evictions()
+            self._rt._race_exit(("ctx", self.who))
         elapsed = time.perf_counter() - t0
         if outcome.buddy_skip:
             self.stats.buddy_skips += 1
@@ -565,6 +571,10 @@ class LiveCoupledSimulation:
         self.causal: CausalLog | None = (
             CausalLog() if options.causal_trace else None
         )
+        #: Happens-before race detection (opt-in, duck-typed so the
+        #: core layer does not import :mod:`repro.analysis.races`).
+        #: ``None`` keeps every hook a single attribute check.
+        self.races: Any | None = options.race_monitor
         self._causal_req: dict[tuple[str, float, int], TraceContext] = {}
         self._causal_resp: dict[tuple[str, float], list[int]] = {}
         self._causal_agg: dict[tuple[str, float], TraceContext] = {}
@@ -824,7 +834,33 @@ class LiveCoupledSimulation:
             with self._count_lock:
                 self._wire_seq += 1
                 msg = dataclasses.replace(msg, seq=self._wire_seq)
+            if self.races is not None:
+                self.races.send(msg.seq)
         return msg
+
+    # -- race-detector hooks ----------------------------------------------
+    # Each hook is one attribute check when no monitor is attached.
+    # _race_enter runs *after* the instrumented lock is taken and
+    # _race_exit *before* it is dropped, so the monitor observes lock
+    # events in their true serialization order.
+    def _race_enter(
+        self, lock_key: Any, *accesses: tuple[tuple[str, ...], str, str]
+    ) -> None:
+        mon = self.races
+        if mon is not None:
+            mon.acquire(lock_key)
+            for site, kind, where in accesses:
+                mon.access(site, kind, where=where)
+
+    def _race_exit(self, lock_key: Any) -> None:
+        if self.races is not None:
+            self.races.release(lock_key)
+
+    def _race_recv(self, msg: Any) -> None:
+        if self.races is not None:
+            seq = getattr(msg, "seq", -1)
+            if seq >= 0:
+                self.races.recv(seq)
 
     def _post(self, address: tuple[Any, ...], msg: Any) -> None:
         """Stamp a fresh sequence number and deliver via the fault hook."""
@@ -963,6 +999,7 @@ class LiveCoupledSimulation:
                 for msg in members:
                     if self._seq_duplicate(msg, seen, f"{ctx.who}.agent"):
                         continue
+                    self._race_recv(msg)
                     self._agent_handle(ctx, msg, out)
             if out:
                 self._flush_frames(out)
@@ -981,6 +1018,11 @@ class LiveCoupledSimulation:
             if self.causal is not None:
                 ctx._causal_fwd[(msg.connection_id, msg.request_ts)] = msg.trace
             with ctx.lock:
+                self._race_enter(
+                    ("ctx", ctx.who),
+                    (("match", ctx.who, region), "write", "agent.on_request"),
+                    (("ledger", ctx.who, region), "write", "agent.pieces"),
+                )
                 outcome = st.on_request(msg.connection_id, msg.request_ts)
                 self._send_response(ctx, msg.connection_id, outcome.response, out)
                 if outcome.applied is not None and outcome.applied.send_now is not None:
@@ -988,6 +1030,7 @@ class LiveCoupledSimulation:
                         ctx, region, msg.connection_id, outcome.applied.send_now
                     )
                 st.collect_evictions()
+                self._race_exit(("ctx", ctx.who))
         elif isinstance(msg, wire.BuddyMsg):
             region = self._region_of_connection(ctx.program, msg.connection_id)
             st = ctx.export_states[region]
@@ -1019,11 +1062,17 @@ class LiveCoupledSimulation:
                 recv_tr,
             )
             with ctx.lock:
+                self._race_enter(
+                    ("ctx", ctx.who),
+                    (("match", ctx.who, region), "write", "agent.on_buddy_answer"),
+                    (("ledger", ctx.who, region), "write", "agent.buddy_pieces"),
+                )
                 applied = st.on_buddy_answer(msg.connection_id, msg.answer)
                 ctx.stats.buddy_answers_received += 1
                 if applied.send_now is not None:
                     self._send_pieces(ctx, region, msg.connection_id, applied.send_now)
                 st.collect_evictions()
+                self._race_exit(("ctx", ctx.who))
         else:
             raise FrameworkError(f"agent received unexpected message {msg!r}")
 
@@ -1047,6 +1096,7 @@ class LiveCoupledSimulation:
                 for msg in members:
                     if self._seq_duplicate(msg, seen, f"{prog.name}.rep"):
                         continue
+                    self._race_recv(msg)
                     self._rep_handle(prog, msg, out)
             if out:
                 self._flush_frames(out)
@@ -1059,6 +1109,10 @@ class LiveCoupledSimulation:
         """Dispatch one rep message to the right state machine."""
         cause: TraceContext | None = getattr(msg, "trace", None)
         with prog.rep_lock:
+            self._race_enter(
+                ("rep", prog.name),
+                (("rep_cache", f"{prog.name}.rep"), "write", "rep.dispatch"),
+            )
             if isinstance(msg, wire.ReqToExpRep):
                 assert prog.exp_rep is not None
                 directives = prog.exp_rep.on_request(msg.connection_id, msg.request_ts)
@@ -1085,6 +1139,7 @@ class LiveCoupledSimulation:
                 directives = prog.imp_rep.on_answer(msg.connection_id, msg.answer)
             else:
                 raise FrameworkError(f"rep received unexpected message {msg!r}")
+            self._race_exit(("rep", prog.name))
         for d in directives:
             self._execute_directive(prog, d, out, cause=cause)
 

@@ -159,6 +159,53 @@ class TestP103RankTaintedTimestamp:
         )
         assert rules(report) == []
 
+    def test_tuple_unpacking_propagates_taint(self):
+        # Regression: rank taint must survive tuple unpacking.
+        report = lint(
+            """
+            def main(ctx):
+                a, b = ctx.rank, 0
+                for k in range(10):
+                    yield from ctx.export("r", 1.0 + k + a)
+            """
+        )
+        assert "P103" in rules(report)
+
+    def test_tuple_unpacking_is_element_wise(self):
+        # ...and the clean element must NOT be tainted along the way.
+        report = lint(
+            """
+            def main(ctx):
+                a, b = ctx.rank, 0
+                for k in range(10):
+                    yield from ctx.compute(0.01 * a)
+                    yield from ctx.export("r", 1.0 + k + b)
+            """
+        )
+        assert rules(report) == []
+
+    def test_starred_unpacking_keeps_taint(self):
+        # A shape mismatch (starred target) falls back to whole-value
+        # taint; the starred name itself must not lose the taint.
+        report = lint(
+            """
+            def main(ctx):
+                first, *rest = ctx.rank, 1.0, 2.0
+                yield from ctx.export("r", rest[0])
+            """
+        )
+        assert "P103" in rules(report)
+
+    def test_nested_unpacking_is_element_wise(self):
+        report = lint(
+            """
+            def main(ctx):
+                x, (y, z) = 0, (ctx.rank, 1)
+                yield from ctx.export("r", 1.0 + x + z)
+            """
+        )
+        assert rules(report) == []
+
 
 class TestP104RankDependentEarlyExit:
     def test_rank_conditioned_break_in_collective_loop(self):

@@ -1,0 +1,80 @@
+"""Counterexample replay: schedules re-execute deterministically.
+
+Every M-rule counterexample the checker produces must replay through
+the real DES runtime, and two replays of the same schedule must
+produce byte-identical ``repro.causal/v1`` DAG exports — the schedule
+fully determines the run.
+"""
+
+import pytest
+
+from repro.analysis.model import (
+    SCHEMA,
+    config_from_payload,
+    replay_schedule,
+)
+
+
+def _all_counterexamples(no_dedup_suite, no_answer_cache_suite):
+    out = []
+    for suite in (no_dedup_suite, no_answer_cache_suite):
+        out.extend(suite.counterexamples)
+    return out
+
+
+class TestReplayDeterminism:
+    def test_every_counterexample_replays_byte_identically(
+        self, no_dedup_suite, no_answer_cache_suite
+    ):
+        cexs = _all_counterexamples(no_dedup_suite, no_answer_cache_suite)
+        assert cexs, "mutation suites produced no counterexamples"
+        for cex in cexs:
+            first = replay_schedule(cex)
+            second = replay_schedule(cex)
+            assert first.report.to_json() == second.report.to_json()
+            assert first.error == second.error
+            assert first.executed == second.executed
+
+    def test_replay_emits_causal_schema(self, no_answer_cache_suite):
+        cex = no_answer_cache_suite.counterexamples[0]
+        payload = replay_schedule(cex).to_payload()
+        assert payload["schema"] == SCHEMA
+        assert payload["kind"] == "replay"
+        assert payload["causal"]["schema"] == "repro.causal/v1"
+        assert payload["causal"]["spans"]
+
+
+class TestReplayReproducesViolations:
+    def test_m203_schedule_raises_through_real_code(self, no_dedup_suite):
+        cexs = [c for c in no_dedup_suite.counterexamples if c["rule"] == "M203"]
+        result = replay_schedule(cexs[0])
+        assert result.error is not None
+        assert "timestamps must increase" in result.error
+
+    def test_m202_schedule_ends_unresolved(self, no_answer_cache_suite):
+        cexs = [
+            c for c in no_answer_cache_suite.counterexamples if c["rule"] == "M202"
+        ]
+        result = replay_schedule(cexs[0])
+        # Livelock evidence is the DAG ending without a resolution,
+        # not an exception.
+        assert result.error is None
+        assert result.executed == len(cexs[0]["actions"])
+        assert not result.report.resolutions
+
+
+class TestScheduleValidation:
+    def test_config_round_trips(self, no_dedup_suite):
+        cex = no_dedup_suite.counterexamples[0]
+        cfg = config_from_payload(cex["config"])
+        assert cfg.describe() == cex["config"]
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(Exception, match="schedule"):
+            replay_schedule({"schema": "nope", "kind": "counterexample"})
+
+    def test_bad_kind_rejected(self, no_dedup_suite):
+        cex = dict(no_dedup_suite.counterexamples[0])
+        cex["kind"] = "replay"
+        with pytest.raises(Exception, match="counterexample"):
+            replay_schedule(cex)

@@ -1,0 +1,205 @@
+"""Tests for the vector-clock happens-before race detector.
+
+Unit tests drive the monitor from short-lived real threads (the
+monitor keys clocks by thread identity); integration tests attach it
+to the live runtime — the stock runtime must stay silent, and a
+seeded unsynchronized ledger access must be flagged R201.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import (
+    RACE_RULE_PAPER,
+    RaceMonitor,
+    ledger_site,
+    match_site,
+    rep_cache_site,
+)
+
+SITE = ledger_site("F.p0", "d")
+
+
+def _in_thread(fn, name):
+    t = threading.Thread(target=fn, name=name)
+    t.start()
+    t.join()
+
+
+class TestMonitorUnit:
+    def test_unordered_writes_race(self):
+        mon = RaceMonitor()
+        _in_thread(lambda: mon.access(SITE, "write", where="a"), "t1")
+        _in_thread(lambda: mon.access(SITE, "write", where="b"), "t2")
+        report = mon.report()
+        assert [f.rule for f in report.findings] == ["R201"]
+        assert report.findings[0].program == "F"
+        assert report.findings[0].rank == 0
+
+    def test_reads_never_race(self):
+        mon = RaceMonitor()
+        _in_thread(lambda: mon.access(SITE, "read"), "t1")
+        _in_thread(lambda: mon.access(SITE, "read"), "t2")
+        assert mon.report().findings == []
+
+    def test_lock_edge_orders_accesses(self):
+        mon = RaceMonitor()
+
+        def first():
+            mon.acquire("L")
+            mon.access(SITE, "write", where="a")
+            mon.release("L")
+
+        def second():
+            mon.acquire("L")
+            mon.access(SITE, "write", where="b")
+            mon.release("L")
+
+        _in_thread(first, "t1")
+        _in_thread(second, "t2")
+        assert mon.report().findings == []
+
+    def test_message_edge_orders_accesses(self):
+        mon = RaceMonitor()
+
+        def sender():
+            mon.access(SITE, "write", where="send-side")
+            mon.send(41)
+
+        def receiver():
+            mon.recv(41)
+            mon.access(SITE, "write", where="recv-side")
+
+        _in_thread(sender, "t1")
+        _in_thread(receiver, "t2")
+        assert mon.report().findings == []
+
+    def test_recv_keeps_edge_for_retransmissions(self):
+        mon = RaceMonitor()
+
+        def sender():
+            mon.access(SITE, "write")
+            mon.send(7)
+
+        def receiver():
+            mon.recv(7)
+            mon.recv(7)  # duplicate delivery of the same wire seq
+            mon.access(SITE, "write")
+
+        _in_thread(sender, "t1")
+        _in_thread(receiver, "t2")
+        assert mon.report().findings == []
+
+    def test_findings_dedup_per_rule_and_site(self):
+        mon = RaceMonitor()
+        _in_thread(lambda: [mon.access(SITE, "write") for _ in range(3)], "t1")
+        _in_thread(lambda: [mon.access(SITE, "write") for _ in range(3)], "t2")
+        report = mon.report()
+        assert len(report.findings) == 1
+        assert len(mon.records) > 1
+
+    def test_rule_mapping_covers_all_sites(self):
+        mon = RaceMonitor()
+        for site in (
+            ledger_site("F.p0", "d"),
+            rep_cache_site("F.rep"),
+            match_site("U.p1", "d"),
+        ):
+            _in_thread(lambda s=site: mon.access(s, "write"), "t1")
+            _in_thread(lambda s=site: mon.access(s, "write"), "t2")
+        rules = sorted(f.rule for f in mon.report().findings)
+        assert rules == ["R201", "R202", "R203"]
+        assert all(rule in RACE_RULE_PAPER for rule in rules)
+
+
+CONFIG = """
+F c0 /bin/F 2
+U c1 /bin/U 2
+#
+F.d U.d REGL 2.5
+"""
+
+
+def _build_live(monitor):
+    from repro.api import RunOptions
+    from repro.core.coupler import RegionDef
+    from repro.core.live import LiveCoupledSimulation
+    from repro.data import BlockDecomposition
+
+    def f_main(ctx):
+        shape = ctx.local_region("d").shape
+        for k in range(20):
+            ts = 1.6 + k
+            ctx.export("d", ts, data=np.full(shape, ts))
+            ctx.compute(0.001)
+
+    def u_main(ctx):
+        for want in (10.0, 18.0):
+            ctx.compute(0.002)
+            ctx.import_("d", want)
+
+    sim = LiveCoupledSimulation(
+        CONFIG,
+        options=RunOptions(
+            runtime="live", race_monitor=monitor, default_timeout=20.0
+        ),
+    )
+    sim.add_program(
+        "F", main=f_main,
+        regions={"d": RegionDef(BlockDecomposition((8, 8), (2, 1)))},
+    )
+    sim.add_program(
+        "U", main=u_main,
+        regions={"d": RegionDef(BlockDecomposition((8, 8), (1, 2)))},
+    )
+    return sim
+
+
+class TestLiveRuntime:
+    def test_stock_runtime_is_silent(self):
+        """Every shared-state touchpoint in the live runtime is lock-
+        or message-ordered: the detector must report nothing."""
+        monitor = RaceMonitor()
+        sim = _build_live(monitor)
+        sim.run(join_timeout=60.0)
+        report = monitor.report()
+        assert report.findings == []
+        assert report.examined > 0  # the hooks did fire
+
+    def test_seeded_unsynchronized_ledger_access_is_flagged(self):
+        """A rogue thread reading the buffer ledger without taking
+        ``ctx.lock`` races with the main thread's export writes."""
+        monitor = RaceMonitor()
+        sim = _build_live(monitor)
+        stop = threading.Event()
+
+        def rogue():
+            while not stop.is_set():
+                contexts = sim._programs["F"].contexts
+                if contexts:
+                    st = contexts[0].export_states.get("d")
+                    if st is not None:
+                        _ = st.buffer.live_count  # no ctx.lock held
+                        monitor.access(
+                            ledger_site(contexts[0].who, "d"),
+                            "read",
+                            where="rogue.live_count",
+                        )
+                stop.wait(0.0005)
+
+        t = threading.Thread(target=rogue, name="rogue", daemon=True)
+        t.start()
+        try:
+            sim.run(join_timeout=60.0)
+        finally:
+            stop.set()
+            t.join()
+        rules = {f.rule for f in monitor.report().findings}
+        assert rules == {"R201"}
+
+    def test_monitor_off_by_default(self):
+        from repro.api import RunOptions
+
+        assert RunOptions().race_monitor is None

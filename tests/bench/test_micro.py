@@ -134,12 +134,13 @@ class TestReportShape:
     def test_quick_report_carries_baselines(self):
         payload = run_micro(quick=True)
         assert payload["quick"] is True
-        assert len(payload["results"]) == 4
+        assert len(payload["results"]) == 5
         assert [r["name"] for r in payload["results"]] == [
             "des_dispatch",
             "redistribution",
             "control_plane_messages",
             "obs_noop_overhead",
+            "verify_states_per_sec",
         ]
         for r in payload["results"]:
             assert r["baseline"] > 0
