@@ -21,6 +21,7 @@ returns a :class:`RunResult` handle over the finished simulation.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -171,6 +172,36 @@ def _counters(sim: CoupledSimulation | LiveCoupledSimulation) -> dict[str, int]:
     return {n: int(getattr(sim, n)) for n in names if hasattr(sim, n)}
 
 
+def _close_sinks(sinks: tuple[Any, ...]) -> None:
+    """Close every telemetry sink, best effort."""
+    for sink in sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            with contextlib.suppress(Exception):
+                close()
+
+
+def _abort_telemetry(sim: Any, sinks: tuple[Any, ...], exc: BaseException) -> None:
+    """Error-path teardown: emit one aborted final snapshot, close sinks.
+
+    The periodic telemetry emitters only write their ``final`` record
+    on a clean finish; when a run raises, this flushes a last snapshot
+    with ``final: true`` and ``aborted: true`` (plus the error) so the
+    ``repro.telemetry/v1`` stream still terminates properly.
+    """
+    if sinks:
+        with contextlib.suppress(Exception):
+            from repro.obs.stream import build_snapshot
+
+            record = build_snapshot(sim, final=True)
+            record["aborted"] = True
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            for sink in sinks:
+                with contextlib.suppress(Exception):
+                    sink.emit(record)
+    _close_sinks(sinks)
+
+
 def build(
     config: CouplingConfig | str | Path,
     programs: list[Program] | tuple[Program, ...],
@@ -224,14 +255,24 @@ def run(
     """
     opts = options if options is not None else RunOptions()
     sim = build(config, programs, opts)
-    if isinstance(sim, LiveCoupledSimulation):
-        if until is not None:
-            raise ValueError("until= applies to the DES runtime only")
-        sim.run()
-        sim_time = 0.0
-    else:
-        sim.run(until=until)
-        sim_time = sim.sim.now
+    sinks = tuple(opts.telemetry_sinks)
+    try:
+        if isinstance(sim, LiveCoupledSimulation):
+            if until is not None:
+                raise ValueError("until= applies to the DES runtime only")
+            sim.run()
+            sim_time = 0.0
+        else:
+            sim.run(until=until)
+            sim_time = sim.sim.now
+    except BaseException as exc:
+        # A crashing run must still leave its sinks well-formed: one
+        # last ``final`` snapshot marked ``aborted`` (so a follower
+        # sees the stream end rather than hang on a truncated file),
+        # then every sink flushed and closed.
+        _abort_telemetry(sim, sinks, exc)
+        raise
+    _close_sinks(sinks)
     return RunResult(
         simulation=sim,
         options=opts,

@@ -26,8 +26,14 @@ same workload, so every report carries its own baseline:
   partial-order reduction on (shipped) vs off (baseline).  POR visits
   the identical state set with fewer redundant transitions, so the
   rate ratio is the measured value of the reduction.
+* **Serve session throughput** — sessions/sec pushing a batch of
+  identical coupled sessions through the coupling service's worker
+  pool (:mod:`repro.serve`) vs running them sequentially in-process.
+  On multi-core machines the pool wins; on single-core CI runners it
+  cannot, so the CI gate on this metric is a throughput sanity floor,
+  not a speedup bar.
 
-``python -m repro bench`` runs all five and writes ``BENCH_6.json``;
+``python -m repro bench`` runs all six and writes ``BENCH_7.json``;
 ``repro bench --history`` compares every ``BENCH_*.json`` in a
 directory (see :func:`compare_history`) and flags regressions against
 the best recorded speedup.  The numbers are wall-clock measurements
@@ -517,11 +523,93 @@ def run_verify_micro(repeats: int = 2) -> MicroComparison:
     )
 
 
+# -- serve session throughput ---------------------------------------------
+
+
+def run_serve_micro(
+    sessions: int = 12,
+    workers: int = 4,
+    exports: int = 8,
+    repeats: int = 2,
+) -> MicroComparison:
+    """Session throughput of the coupling service's worker pool.
+
+    Pushes *sessions* identical small demo sessions through
+    :func:`repro.serve.worker.run_session` — sequentially in one
+    process (baseline) vs fanned out across a
+    ``ProcessPoolExecutor`` with *workers* processes (optimized), both
+    telemetry-less, so the comparison isolates pool scheduling and
+    spec pickling against parallel speedup.  The pool is warmed before
+    timing (every worker runs one session) so process spawn cost is
+    not part of the measured rate.
+
+    The speedup is machine-dependent by design: >1 on multi-core
+    hosts, below 1 on a single core where the pool only adds IPC
+    overhead.  The CI gate therefore floors the *throughput*, not the
+    ratio.
+    """
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.serve.spec import SessionSpec
+    from repro.serve.worker import init_worker, run_session
+
+    spec_dict = SessionSpec(
+        scenario="demo",
+        params={"exports": exports, "imports": [4.0, 7.0], "seed": 11},
+        telemetry_interval=1e9,  # no periodic snapshots; queue-less anyway
+    ).to_dict()
+    init_worker(None)
+
+    def sequential() -> float:
+        t0 = time.perf_counter()
+        for i in range(sessions):
+            require(
+                bool(run_session(f"seq-{i}", spec_dict)["ok"]),
+                "sequential bench session failed",
+            )
+        return sessions / (time.perf_counter() - t0)
+
+    def pooled() -> float:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=init_worker, initargs=(None,)
+        ) as pool:
+            warm = [
+                pool.submit(run_session, f"warm-{i}", spec_dict)
+                for i in range(workers)
+            ]
+            for f in warm:
+                require(bool(f.result()["ok"]), "warm-up bench session failed")
+            t0 = time.perf_counter()
+            futures = [
+                pool.submit(run_session, f"pool-{i}", spec_dict)
+                for i in range(sessions)
+            ]
+            for f in futures:
+                require(bool(f.result()["ok"]), "pooled bench session failed")
+            return sessions / (time.perf_counter() - t0)
+
+    baseline = max(sequential() for _ in range(repeats))
+    optimized = max(pooled() for _ in range(repeats))
+    return MicroComparison(
+        name="serve_sessions_per_sec",
+        unit="sessions/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail={
+            "sessions": sessions,
+            "workers": workers,
+            "exports": exports,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+
 # -- report ---------------------------------------------------------------
 
 
 def run_micro(quick: bool = False) -> dict[str, Any]:
-    """Run every micro-benchmark; return the ``BENCH_6.json`` payload."""
+    """Run every micro-benchmark; return the ``BENCH_7.json`` payload."""
     if quick:
         des = run_des_micro(pending=20_000, burst=2_000, rounds=5, repeats=2)
         redist = run_redistribution_micro(shape=(128, 128), calls=8, repeats=2)
@@ -531,12 +619,14 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         # few seconds the full sizes take.
         obs = run_obs_overhead_micro()
         verify = run_verify_micro(repeats=1)
+        serve = run_serve_micro(sessions=8, workers=2, repeats=1)
     else:
         des = run_des_micro()
         redist = run_redistribution_micro()
         ctl = run_control_plane_micro()
         obs = run_obs_overhead_micro()
         verify = run_verify_micro()
+        serve = run_serve_micro()
     return {
         "bench": "repro micro hot paths",
         "quick": quick,
@@ -548,6 +638,7 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
             ctl.as_dict(),
             obs.as_dict(),
             verify.as_dict(),
+            serve.as_dict(),
         ],
     }
 

@@ -20,10 +20,18 @@ Commands
 ``monitor``
     Render streaming telemetry (``repro.telemetry/v1`` JSONL written
     by a :class:`repro.obs.JsonlSink`); ``--follow`` tails the file
-    until the run's final snapshot.
+    until the run's final snapshot; ``--attach URL`` streams the same
+    records live from a ``repro serve`` session over the wire.
+``serve``
+    Coupling as a service: a long-running asyncio session server
+    multiplexing many concurrent coupled runs over a worker pool (see
+    ``docs/serving.md``); drains gracefully on SIGINT/SIGTERM.
+``sessions``
+    Client for a running server: ``submit``, ``list``, ``cancel``,
+    ``report`` and ``wait`` against ``--url``.
 ``bench``
     Hot-path micro benchmarks vs embedded seed baselines; writes
-    ``BENCH_6.json``.  ``--history`` compares every ``BENCH_*.json``
+    ``BENCH_7.json``.  ``--history`` compares every ``BENCH_*.json``
     and exits 1 when the newest report regresses vs. the best.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
@@ -621,9 +629,81 @@ def _render_snapshot(rec: dict[str, Any]) -> str:
     return "\n".join(parts)
 
 
+def _monitor_show(args: argparse.Namespace, rec: dict[str, Any]) -> None:
+    if args.json:
+        print(json.dumps(rec, sort_keys=True))
+    else:
+        print(_render_snapshot(rec))
+
+
+def _monitor_attach(args: argparse.Namespace) -> int:
+    """Stream a served session's telemetry over the wire.
+
+    Exit contract: :data:`EXIT_OK` when the stream ends on a ``final``
+    snapshot, :data:`EXIT_FINDINGS` when it ends without one (the
+    session failed or was cancelled), :data:`EXIT_USAGE` on connection
+    errors and timeouts.
+    """
+    from repro.serve.client import ServeClient, ServeError, split_attach_url
+
+    base, session_id = split_attach_url(args.attach)
+    if args.session:
+        session_id = args.session
+    client = ServeClient(base, timeout=args.timeout)
+    if session_id is None:
+        # No session in the URL: attach to the most recent one.
+        try:
+            sessions = client.sessions()
+        except (ServeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if not sessions:
+            print(f"no sessions on {base}", file=sys.stderr)
+            return EXIT_USAGE
+        session_id = str(sessions[-1]["id"])
+    saw_final = False
+    try:
+        for rec in client.telemetry(session_id, timeout=args.timeout):
+            _monitor_show(args, rec)
+            if rec.get("final"):
+                saw_final = True
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (TimeoutError, OSError) as exc:
+        print(
+            f"timeout/connection error streaming {session_id} from {base}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if saw_final:
+        return EXIT_OK
+    print(
+        f"stream of {session_id} ended without a final snapshot "
+        "(session failed or was cancelled)",
+        file=sys.stderr,
+    )
+    return EXIT_FINDINGS
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
+    try:
+        return _monitor_run(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _monitor_run(args: argparse.Namespace) -> int:
     import time as _time
     from pathlib import Path
+
+    if args.attach:
+        return _monitor_attach(args)
+    if not args.path:
+        print("error: monitor needs a PATH or --attach URL", file=sys.stderr)
+        return EXIT_USAGE
 
     path = Path(args.path)
 
@@ -643,28 +723,22 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 records.append(rec)
         return records
 
-    def show(rec: dict[str, Any]) -> None:
-        if args.json:
-            print(json.dumps(rec, sort_keys=True))
-        else:
-            print(_render_snapshot(rec))
-
     if not args.follow:
         records = load_records()
         if not records:
             print(f"no telemetry records in {args.path}", file=sys.stderr)
-            return 1
-        show(records[-1])
-        return 0
+            return EXIT_USAGE
+        _monitor_show(args, records[-1])
+        return EXIT_OK
 
     deadline = _time.monotonic() + args.timeout
     shown = 0
     while True:
         records = load_records()
         for rec in records[shown:]:
-            show(rec)
+            _monitor_show(args, rec)
             if rec.get("final"):
-                return 0
+                return EXIT_OK
         shown = len(records)
         if _time.monotonic() >= deadline:
             print(
@@ -672,8 +746,147 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 f"after {args.timeout:g}s",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_USAGE
         _time.sleep(args.interval)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the coupling service until a drain is requested."""
+    import asyncio
+    import signal
+
+    from repro.serve import ServeConfig, SessionServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _serve() -> dict[str, Any]:
+        server = SessionServer(config)
+        await server.start()
+        announce = {
+            "schema": "repro.serve/v1",
+            "listening": f"http://{config.host}:{server.port}",
+            "host": config.host,
+            "port": server.port,
+            "workers": config.workers,
+            "max_sessions": config.max_sessions,
+        }
+        if getattr(args, "json", False):
+            print(json.dumps(announce), flush=True)
+        else:
+            print(
+                f"repro serve: listening on {announce['listening']} "
+                f"({config.workers} workers, max {config.max_sessions} "
+                "sessions); Ctrl-C drains gracefully",
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.shutdown_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without loop signal handlers
+        return await server.serve_until()
+
+    try:
+        summary = asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        print("interrupted", file=sys.stderr)
+        return EXIT_OK
+    if not _emit(args, summary):
+        print(
+            f"drained: {summary['drained']} session(s) finished, "
+            f"{len(summary['cancelled'])} cancelled"
+        )
+    return EXIT_OK
+
+
+def _parse_session_params(pairs: Sequence[str]) -> dict[str, Any]:
+    """``KEY=VALUE`` pairs → scenario params (values parsed as JSON)."""
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw  # bare strings stay strings
+    return params
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        if args.action == "submit":
+            try:
+                params = _parse_session_params(args.param or [])
+                fault_plan = json.loads(args.fault) if args.fault else None
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+            spec: dict[str, Any] = {"scenario": args.scenario, "params": params}
+            if fault_plan is not None:
+                spec["fault_plan"] = fault_plan
+            if args.interval is not None:
+                spec["telemetry_interval"] = args.interval
+            if args.label:
+                spec["label"] = args.label
+            info = client.submit(spec)
+            if args.wait is not None:
+                info = client.wait(info["id"], timeout=args.wait)
+            if not _emit(args, info):
+                print(f"{info['id']}  {info['state']}")
+            if args.wait is not None and info.get("state") != "done":
+                return EXIT_FINDINGS
+            return EXIT_OK
+        if args.action == "list":
+            sessions = client.sessions()
+            if _emit(args, {"sessions": sessions}):
+                return EXIT_OK
+            if not sessions:
+                print("no sessions")
+                return EXIT_OK
+            for s in sessions:
+                label = f"  [{s['label']}]" if s.get("label") else ""
+                error = f"  error: {s['error']}" if s.get("error") else ""
+                print(
+                    f"{s['id']}  {s['state']:<9}  {s['scenario']}"
+                    f"{label}{error}"
+                )
+            return EXIT_OK
+        if args.action == "cancel":
+            info = client.cancel(args.id, reason=args.reason)
+            if not _emit(args, info):
+                print(f"{info['id']}  {info['state']}")
+            return EXIT_OK
+        if args.action == "report":
+            report = client.report(args.id)
+            print(json.dumps(report, indent=None if args.json else 2))
+            return EXIT_OK
+        if args.action == "wait":
+            info = client.wait(args.id, timeout=args.timeout)
+            if not _emit(args, info):
+                print(f"{info['id']}  {info['state']}")
+            return EXIT_OK if info.get("state") == "done" else EXIT_FINDINGS
+        raise AssertionError(args.action)  # pragma: no cover
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        # A missing report on a failed session is a finding, not misuse.
+        return EXIT_FINDINGS if exc.status == 409 else EXIT_USAGE
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FINDINGS
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 def _cmd_validate_config(args: argparse.Namespace) -> int:
@@ -958,8 +1171,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_6.json",
-        help="report file (default BENCH_6.json)",
+        "--out", metavar="PATH", default="BENCH_7.json",
+        help="report file (default BENCH_7.json)",
     )
     pb.add_argument(
         "--history", action="store_true",
@@ -978,14 +1191,26 @@ def build_parser() -> argparse.ArgumentParser:
     pb.set_defaults(fn=_cmd_bench)
 
     pm = sub.add_parser(
-        "monitor", help="render streaming telemetry from a JSONL sink file"
+        "monitor",
+        help="render streaming telemetry (JSONL sink file or served session)",
     )
     pm.add_argument(
-        "path", help="JsonlSink output file (repro.telemetry/v1 lines)"
+        "path", nargs="?", default=None,
+        help="JsonlSink output file (repro.telemetry/v1 lines)",
     )
     pm.add_argument(
         "--follow", action="store_true",
         help="poll for new snapshots until the final one arrives",
+    )
+    pm.add_argument(
+        "--attach", metavar="URL",
+        help="stream live from a repro serve session instead of a file "
+        "(server URL or .../sessions/ID URL)",
+    )
+    pm.add_argument(
+        "--session", metavar="ID",
+        help="session id for --attach (overrides one embedded in the URL; "
+        "defaults to the server's most recent session)",
     )
     pm.add_argument(
         "--interval", type=float, default=0.2, metavar="S",
@@ -997,6 +1222,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(pm)
     pm.set_defaults(fn=_cmd_monitor)
+
+    psv = sub.add_parser(
+        "serve",
+        help="coupling as a service: host many concurrent coupled sessions",
+    )
+    psv.add_argument("--host", default="127.0.0.1", help="bind address")
+    psv.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 picks an ephemeral one; default 8642)",
+    )
+    psv.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes executing sessions (default 4)",
+    )
+    psv.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="active-session cap; more submissions get HTTP 429 "
+        "(default 256)",
+    )
+    psv.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds in-flight sessions get to finish on shutdown "
+        "(default 30)",
+    )
+    _add_json_flag(psv)
+    psv.set_defaults(fn=_cmd_serve)
+
+    pss = sub.add_parser(
+        "sessions", help="client for a running repro serve process"
+    )
+    pss_sub = pss.add_subparsers(dest="action", required=True)
+
+    def _sessions_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8642",
+            help="server URL (default http://127.0.0.1:8642)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=60.0, metavar="S",
+            help="request/wait timeout (default 60s)",
+        )
+        _add_json_flag(p)
+        p.set_defaults(fn=_cmd_sessions)
+
+    pss_submit = pss_sub.add_parser("submit", help="submit a new session")
+    pss_submit.add_argument(
+        "--scenario", default="demo",
+        help="registered scenario name (default demo)",
+    )
+    pss_submit.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="scenario parameter (JSON value; repeatable)",
+    )
+    pss_submit.add_argument(
+        "--fault", metavar="JSON",
+        help='fault plan for the session, e.g. \'{"drop": 0.2, "seed": 7}\'',
+    )
+    pss_submit.add_argument(
+        "--interval", type=float, metavar="S",
+        help="telemetry snapshot interval (sim seconds)",
+    )
+    pss_submit.add_argument("--label", help="human-readable session label")
+    pss_submit.add_argument(
+        "--wait", type=float, nargs="?", const=60.0, metavar="S",
+        help="block until the session finishes (exit 1 unless it is done)",
+    )
+    _sessions_common(pss_submit)
+
+    pss_list = pss_sub.add_parser("list", help="list the server's sessions")
+    _sessions_common(pss_list)
+
+    pss_cancel = pss_sub.add_parser("cancel", help="cancel a session")
+    pss_cancel.add_argument("id", help="session id")
+    pss_cancel.add_argument("--reason", help="recorded cancellation reason")
+    _sessions_common(pss_cancel)
+
+    pss_report = pss_sub.add_parser(
+        "report", help="fetch a finished session's repro.report/v1 payload"
+    )
+    pss_report.add_argument("id", help="session id")
+    _sessions_common(pss_report)
+
+    pss_wait = pss_sub.add_parser(
+        "wait", help="block until a session reaches a terminal state"
+    )
+    pss_wait.add_argument("id", help="session id")
+    _sessions_common(pss_wait)
 
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")

@@ -134,13 +134,14 @@ class TestReportShape:
     def test_quick_report_carries_baselines(self):
         payload = run_micro(quick=True)
         assert payload["quick"] is True
-        assert len(payload["results"]) == 5
+        assert len(payload["results"]) == 6
         assert [r["name"] for r in payload["results"]] == [
             "des_dispatch",
             "redistribution",
             "control_plane_messages",
             "obs_noop_overhead",
             "verify_states_per_sec",
+            "serve_sessions_per_sec",
         ]
         for r in payload["results"]:
             assert r["baseline"] > 0

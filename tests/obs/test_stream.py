@@ -111,6 +111,73 @@ class TestDesStreaming:
         assert demo_result.simulation.telemetry_sinks == ()
 
 
+class TestTeardownOnCrash:
+    """Sinks are flushed and closed even when the run itself raises."""
+
+    def _crashing_run(self, sinks: tuple) -> None:
+        def f_main(ctx):
+            for k in range(46):
+                yield from ctx.export("d", 1.6 + k)
+                if k == 10:
+                    raise RuntimeError("mid-run crash")
+                yield from ctx.compute(0.001)
+
+        def u_main(ctx):
+            for want in (20.0, 40.0):
+                yield from ctx.import_("d", want)
+
+        run(
+            "F c0 /bin/F 2\nU c1 /bin/U 2\n#\nF.d U.d REGL 2.5\n",
+            [
+                Program(
+                    "F",
+                    main=f_main,
+                    regions={"d": RegionDef(BlockDecomposition((16, 16), (2, 1)))},
+                ),
+                Program(
+                    "U",
+                    main=u_main,
+                    regions={"d": RegionDef(BlockDecomposition((16, 16), (1, 2)))},
+                ),
+            ],
+            RunOptions(
+                seed=2,
+                telemetry_sinks=sinks,
+                telemetry_interval=0.05,
+            ),
+        )
+
+    def test_jsonl_sink_flushed_and_closed_when_run_raises(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            self._crashing_run((sink,))
+        assert sink._fh.closed  # teardown really closed the handle
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert lines, "nothing was flushed before the crash"
+        last = lines[-1]
+        assert last["final"] is True and last["aborted"] is True
+        assert "RuntimeError: mid-run crash" in last["error"]
+        # Exactly one final record, and only the aborted one carries it.
+        assert [rec.get("aborted", False) for rec in lines].count(True) == 1
+
+    def test_recording_sink_sees_abort_and_close(self):
+        sink = RecordingSink()
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            self._crashing_run((sink,))
+        assert sink.closed
+        assert sink.records[-1]["aborted"] is True
+
+    def test_successful_run_closes_sinks_without_abort(self, demo_runner):
+        sink = RecordingSink()
+        demo_runner(with_tracer=False, telemetry_sinks=(sink,))
+        assert sink.closed
+        assert "aborted" not in sink.records[-1]
+        assert sink.records[-1]["final"] is True
+
+
 class TestLiveStreaming:
     def test_live_run_streams_and_traces(self, tmp_path):
         config = "E c0 /bin/E 2\nI c1 /bin/I 2\n#\nE.d I.d REGL 2.5\n"

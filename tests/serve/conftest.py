@@ -1,0 +1,115 @@
+"""Fixtures for the coupling-service tests.
+
+The ``server`` fixture runs a real :class:`repro.serve.SessionServer`
+— event loop, worker pool, HTTP listener — on a background thread and
+hands the test a synchronous :class:`repro.serve.ServeClient` bound to
+its ephemeral port.  Tests drive the server purely over the wire, the
+same way the CLI does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, SessionServer
+
+#: A session small enough to finish in tens of milliseconds.
+SMALL_PARAMS: dict[str, Any] = {
+    "exports": 12,
+    "imports": [4.0, 8.0],
+    "seed": 3,
+}
+
+
+def small_spec(**overrides: Any) -> dict[str, Any]:
+    """A wire-ready spec dict for a quick demo session."""
+    spec: dict[str, Any] = {"scenario": "demo", "params": dict(SMALL_PARAMS)}
+    params = overrides.pop("params", None)
+    if params:
+        spec["params"].update(params)
+    spec.update(overrides)
+    return spec
+
+
+@dataclass
+class ServerHandle:
+    """A running server plus the client bound to it."""
+
+    server: SessionServer
+    client: ServeClient
+    url: str
+    loop: asyncio.AbstractEventLoop
+
+    def call(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        """Run *fn* on the server's event loop thread and return its result."""
+        def _invoke() -> Any:
+            return fn(*args, **kwargs)
+
+        future: Any = asyncio.run_coroutine_threadsafe(
+            _wrap(_invoke), self.loop
+        )
+        return future.result(timeout=30)
+
+
+async def _wrap(fn: Any) -> Any:
+    return fn()
+
+
+def start_server(config: ServeConfig) -> tuple[ServerHandle, Any]:
+    """Start a server on a daemon thread; returns (handle, stop)."""
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    async def _main() -> None:
+        server = SessionServer(config)
+        await server.start()
+        box["server"] = server
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.serve_until()
+
+    def _run() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # pragma: no cover - surfaced by tests
+            box["crash"] = exc
+            started.set()
+
+    thread = threading.Thread(target=_run, name="serve-test", daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "server did not start"
+    if "crash" in box:
+        raise box["crash"]
+    server: SessionServer = box["server"]
+    url = f"http://127.0.0.1:{server.port}"
+    handle = ServerHandle(
+        server=server,
+        client=ServeClient(url, timeout=30.0),
+        url=url,
+        loop=box["loop"],
+    )
+
+    def stop() -> None:
+        if thread.is_alive():
+            box["loop"].call_soon_threadsafe(server.shutdown_requested.set)
+            thread.join(timeout=60)
+        assert not thread.is_alive(), "server thread failed to drain"
+
+    return handle, stop
+
+
+@pytest.fixture
+def server() -> Iterator[ServerHandle]:
+    """A running session server (2 workers, small caps) plus client."""
+    handle, stop = start_server(
+        ServeConfig(workers=2, max_sessions=8, drain_timeout=20.0)
+    )
+    try:
+        yield handle
+    finally:
+        stop()

@@ -1,0 +1,125 @@
+"""CLI surface of the coupling service: sessions subcommands and
+``repro monitor --attach`` exit-code contract, against a live server."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+import pytest
+
+from repro.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+from repro.serve import ServeConfig
+
+from tests.serve.conftest import ServerHandle, start_server
+
+
+@pytest.fixture(scope="module")
+def cli_server() -> Iterator[ServerHandle]:
+    handle, stop = start_server(
+        ServeConfig(workers=2, max_sessions=32, drain_timeout=20.0)
+    )
+    try:
+        yield handle
+    finally:
+        stop()
+
+
+def submit(cli_server: ServerHandle, capsys, *extra: str) -> str:
+    rc = main(
+        ["sessions", "submit", "--url", cli_server.url, "--json",
+         "--param", "exports=12", "--param", "imports=[4.0, 8.0]",
+         "--param", "seed=3", *extra]
+    )
+    assert rc == EXIT_OK
+    return json.loads(capsys.readouterr().out)["id"]
+
+
+class TestSessionsCli:
+    def test_submit_wait_report_roundtrip(self, cli_server, capsys):
+        sid = submit(cli_server, capsys, "--label", "cli-roundtrip")
+        assert main(["sessions", "wait", sid, "--url", cli_server.url]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["sessions", "report", sid, "--url", cli_server.url]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.report/v1"
+        assert report["runs"][0]["name"] == "cli-roundtrip"
+
+    def test_submit_wait_flag_blocks_until_done(self, cli_server, capsys):
+        rc = main(
+            ["sessions", "submit", "--url", cli_server.url, "--wait",
+             "--param", "exports=12", "--param", "imports=[4.0, 8.0]"]
+        )
+        assert rc == EXIT_OK
+        assert "done" in capsys.readouterr().out
+
+    def test_list_shows_sessions(self, cli_server, capsys):
+        sid = submit(cli_server, capsys, "--label", "cli-list")
+        main(["sessions", "wait", sid, "--url", cli_server.url])
+        capsys.readouterr()
+        assert main(["sessions", "list", "--url", cli_server.url]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert sid in out and "cli-list" in out
+
+    def test_report_of_unfinished_session_is_findings(self, cli_server, capsys):
+        sid = submit(cli_server, capsys)
+        # 409 (no report yet) must map to EXIT_FINDINGS, not a usage error —
+        # unless the tiny session already finished, in which case OK.
+        rc = main(["sessions", "report", sid, "--url", cli_server.url])
+        assert rc in (EXIT_OK, EXIT_FINDINGS)
+        main(["sessions", "wait", sid, "--url", cli_server.url])
+        capsys.readouterr()
+
+    def test_unreachable_server_is_usage_error(self, capsys):
+        rc = main(["sessions", "list", "--url", "http://127.0.0.1:1"])
+        assert rc == EXIT_USAGE
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestMonitorAttachCli:
+    def test_attach_streams_to_final_and_exits_ok(self, cli_server, capsys):
+        sid = submit(cli_server, capsys, "--interval", "0.01")
+        rc = main(["monitor", "--attach", f"{cli_server.url}/sessions/{sid}"])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "FINAL" in out
+
+    def test_attach_without_session_picks_latest(self, cli_server, capsys):
+        submit(cli_server, capsys)
+        rc = main(["monitor", "--attach", cli_server.url])
+        assert rc == EXIT_OK
+        capsys.readouterr()
+
+    def test_attach_unknown_session_is_usage_error(self, cli_server, capsys):
+        rc = main(
+            ["monitor", "--attach", f"{cli_server.url}/sessions/s-0-nope"]
+        )
+        assert rc == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_attach_unreachable_is_usage_error(self, capsys):
+        # Bare base URL: fails while listing sessions.
+        rc = main(["monitor", "--attach", "http://127.0.0.1:1"])
+        assert rc == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+        # Session URL: fails inside the stream, with the timeout wording.
+        rc = main(["monitor", "--attach", "http://127.0.0.1:1/sessions/s-1-x"])
+        assert rc == EXIT_USAGE
+        assert "timeout/connection error" in capsys.readouterr().err
+
+    def test_attach_crashed_session_still_ends_ok_on_final(self, cli_server, capsys):
+        # The aborted final snapshot is still a final snapshot: the
+        # stream completed, so monitor exits 0; `sessions wait` is the
+        # command that reports the failure.
+        rc = main(
+            ["sessions", "submit", "--url", cli_server.url, "--json",
+             "--scenario", "crash", "--param", "exports=12",
+             "--param", "imports=[4.0, 8.0]", "--param", "crash_after=5"]
+        )
+        assert rc == EXIT_OK
+        sid = json.loads(capsys.readouterr().out)["id"]
+        rc = main(["monitor", "--attach", f"{cli_server.url}/sessions/{sid}"])
+        assert rc == EXIT_OK
+        capsys.readouterr()
+        assert main(["sessions", "wait", sid, "--url", cli_server.url]) == EXIT_FINDINGS
+        capsys.readouterr()

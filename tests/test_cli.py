@@ -224,6 +224,7 @@ class TestBench:
             "control_plane_messages",
             "obs_noop_overhead",
             "verify_states_per_sec",
+            "serve_sessions_per_sec",
         ]
         for r in payload["results"]:
             if r["name"] == "obs_noop_overhead":
@@ -236,6 +237,11 @@ class TestBench:
                 # the full search is modest, so no >1.0 requirement
                 # here (CI gates it at its own floor).
                 assert r["speedup"] >= 0.9
+            elif r["name"] == "serve_sessions_per_sec":
+                # Pool-vs-sequential is machine-dependent (a 1-core
+                # runner legitimately measures < 1x); CI gates it on a
+                # sanity floor plus absolute pooled throughput.
+                assert r["speedup"] > 0 and r["optimized"] > 0
             else:
                 assert r["speedup"] > 1.0
 
@@ -354,11 +360,11 @@ class TestBenchHistory:
         }
         (directory / f"BENCH_{n}.json").write_text(json.dumps(payload))
 
-    def test_default_out_is_bench_6(self):
+    def test_default_out_is_bench_7(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_6.json"
+        assert args.out == "BENCH_7.json"
 
     def test_improving_history_passes(self, tmp_path, capsys):
         self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
@@ -457,12 +463,16 @@ class TestMonitor:
             ["monitor", str(log), "--follow",
              "--timeout", "0.3", "--interval", "0.05"]
         )
-        assert rc == 1
+        assert rc == 2  # EXIT_USAGE: gave up waiting, not a finding
         assert "timeout" in capsys.readouterr().err
 
     def test_missing_file_fails(self, tmp_path, capsys):
-        assert main(["monitor", str(tmp_path / "none.jsonl")]) == 1
+        assert main(["monitor", str(tmp_path / "none.jsonl")]) == 2
         assert "no telemetry records" in capsys.readouterr().err
+
+    def test_no_path_and_no_attach_is_usage_error(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "PATH or --attach" in capsys.readouterr().err
 
     def test_partial_tail_line_is_skipped(self, tmp_path, capsys):
         log = tmp_path / "tele.jsonl"
