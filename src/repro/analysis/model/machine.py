@@ -73,6 +73,7 @@ from repro.core.rep import (
     _ImpRequestState,
 )
 from repro.match.aggregate import CollectiveViolationError
+from repro.match.backend import MATCH_BACKENDS
 from repro.match.policies import parse_policy
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.faults.plan import FRAMEWORK_PLANES
@@ -174,10 +175,20 @@ class ModelConfig:
     fault_planes: tuple[str, ...] = ("ctl", "cpl", "rep")
     mutate: str | None = None
     region: str = "d"
+    #: Which match engine the wrapped exporter processes run; the model
+    #: checker thereby explores every interleaving under either backend
+    #: (their decisions are bit-identical, so the reachable state space
+    #: must be too).
+    match_backend: str = "legacy"
 
     def __post_init__(self) -> None:
         require(self.nimp >= 1 and self.nexp >= 1, "need at least one rank per side")
         require(self.mode in ("strict", "resilient"), f"unknown mode {self.mode!r}")
+        require(
+            self.match_backend in MATCH_BACKENDS,
+            f"unknown match backend {self.match_backend!r}; "
+            f"expected one of {MATCH_BACKENDS}",
+        )
         for plane in self.fault_planes:
             require(
                 plane in FRAMEWORK_PLANES,
@@ -239,6 +250,7 @@ class ModelConfig:
             "retransmit_budget": self.retransmit_budget,
             "fault_planes": list(self.fault_planes),
             "mutate": self.mutate,
+            "match_backend": self.match_backend,
         }
 
 
@@ -407,7 +419,7 @@ def _clone_conn(conn: Any, hist: Any) -> Any:
 def _clone_region(region: RegionExportState) -> RegionExportState:
     new = _clone_dictobj(region)
     hist = _clone_dictobj(region.history)
-    hist._ts = list(region.history._ts)
+    hist._buf = region.history._buf.copy()
     new.history = hist
     buf = _clone_dictobj(region.buffer)
     buf._entries = {
@@ -503,6 +515,7 @@ class ModelMachine:
             self.config.region,
             [self.spec],
             strict_order=self.config.strict_order,
+            match_backend=self.config.match_backend,
         )
 
     def initial(self) -> tuple[Any, ...]:
@@ -689,8 +702,7 @@ class ModelMachine:
 
             region = self._new_region()
             hist = [self.config.exports[i] for i in range(pos)]
-            region.history._ts = hist
-            region.history._closed = closed
+            region.history.replace(hist, closed=closed)
             for (
                 cid, last_req, open_reqs, answers, skip, local_skip,
                 must_send, window_count, buddy_raises,

@@ -16,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.core.exceptions import ConfigError
 from repro.costs import FAST_TEST, ClusterPreset
 from repro.faults import FaultPlan
+from repro.match.backend import MATCH_BACKENDS
 from repro.util.tracing import Tracer
 from repro.util.validation import require
 
@@ -99,6 +101,14 @@ class RunOptions:
         (lock acquire/release, message send/receive) from every
         thread of the run, for happens-before race detection.
         ``None`` (default) disables instrumentation entirely.
+    match_backend:
+        Which match engine the exporter processes use: ``"legacy"``
+        (per-request scan, the reference) or ``"sorted"`` (batched
+        sort/sweep resolution, see
+        :class:`repro.match.SortedMatchEngine`).  Decisions are
+        bit-identical between backends; only throughput differs.
+        Unknown names raise :class:`~repro.core.exceptions.ConfigError`
+        at construction time.
     """
 
     runtime: str = "des"
@@ -121,12 +131,18 @@ class RunOptions:
     telemetry_sinks: tuple[Any, ...] = ()
     telemetry_interval: float = 0.25
     race_monitor: Any | None = None
+    match_backend: str = "legacy"
 
     def __post_init__(self) -> None:
         require(
             self.runtime in RUNTIMES,
             f"runtime must be one of {RUNTIMES}, got {self.runtime!r}",
         )
+        if self.match_backend not in MATCH_BACKENDS:
+            raise ConfigError(
+                f"match_backend must be one of {MATCH_BACKENDS}, "
+                f"got {self.match_backend!r}"
+            )
         require(
             self.buffer_policy in ("error", "block"),
             "buffer_policy: 'error' or 'block'",

@@ -83,6 +83,9 @@ class Figure4Spec:
     time_per_element: float = 2.0e-8
     memcpy_bandwidth: float = 1.5e9
     contention_per_peer: float = 0.013
+    #: Match engine for the F processes (decisions are identical either
+    #: way — the seed-replay goldens run this spec under both).
+    match_backend: str = "legacy"
 
     @property
     def n_requests(self) -> int:
@@ -223,6 +226,7 @@ def build_figure4_simulation(
             buddy_help=spec.buddy_help,
             seed=spec.seed if seed is None else seed,
             tracer=tracer,
+            match_backend=spec.match_backend,
         ),
     )
     profile = one_slow_profile(spec.f_procs, factor=spec.slow_factor)

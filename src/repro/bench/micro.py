@@ -32,8 +32,15 @@ same workload, so every report carries its own baseline:
   On multi-core machines the pool wins; on single-core CI runners it
   cannot, so the CI gate on this metric is a throughput sanity floor,
   not a speedup bar.
+* **Match throughput** — outstanding import requests resolved per
+  second against a large scripted export history: the legacy
+  per-request engine vs the sorted batched-sweep backend
+  (:class:`repro.match.SortedMatchEngine`) on identical workloads,
+  with an untimed cross-check that both produced bit-identical
+  response sequences.  Full (non-quick) runs add a 10^6-request
+  point and the raw sweep-kernel rate.
 
-``python -m repro bench`` runs all six and writes ``BENCH_7.json``;
+``python -m repro bench`` runs all seven and writes ``BENCH_8.json``;
 ``repro bench --history`` compares every ``BENCH_*.json`` in a
 directory (see :func:`compare_history`) and flags regressions against
 the best recorded speedup.  The numbers are wall-clock measurements
@@ -59,6 +66,9 @@ from repro.data.redistribute import extract_block, insert_block, redistribute_pu
 from repro.data.region import RectRegion
 from repro.data.schedule import CommSchedule
 from repro.des.core import Event, PriorityLevel, Simulator
+from repro.match.engine import ExportHistory, MatchEngine
+from repro.match.policies import MatchPolicy, PolicyKind
+from repro.match.sorted_engine import SortedMatchEngine
 from repro.util.validation import require, require_non_negative
 
 
@@ -605,11 +615,134 @@ def run_serve_micro(
     )
 
 
+# -- match throughput ------------------------------------------------------
+
+
+def _match_workload(
+    n_requests: int, n_exports: int
+) -> tuple[list[float], list[float]]:
+    """A scripted export history plus a sorted outstanding-request set.
+
+    Exports sit on an integer grid; requests land between them with
+    cycling fractional offsets so a tight tolerance yields a stable
+    MATCH / NO_MATCH mix, and ~7% of the requests lie beyond the
+    newest export so the PENDING watermark path is exercised too.
+    """
+    exports = [1.0 + float(k) for k in range(n_exports)]
+    span = exports[-1] * 1.08
+    step = span / n_requests
+    require(step > 1.0, "request step must exceed the offset jitter")
+    requests = [j * step + ((j * 31) % 100) / 100.0 for j in range(n_requests)]
+    return exports, requests
+
+
+def run_match_micro(
+    n_requests: int = 100_000,
+    n_exports: int = 200_000,
+    repeats: int = 3,
+    full_point: int | None = None,
+) -> MicroComparison:
+    """Resolve *n_requests* outstanding requests, legacy vs sorted sweep.
+
+    Both engines evaluate the identical sorted batch against the
+    identical shared-style history (``evaluate_batch(record=False)``
+    — the exporter's slow-process resolution path).  An untimed pass
+    then *requires* the two response sequences and outcome counters to
+    be equal, so the reported speedup can never come from divergent
+    decisions.  *full_point* (full mode) adds a second, larger
+    measurement — including the raw sweep-kernel rate with response
+    construction excluded — to the detail block.
+    """
+    policy = MatchPolicy(PolicyKind.REGL, 0.25)
+    exports, requests = _match_workload(n_requests, n_exports)
+
+    def build(cls: type[MatchEngine]) -> MatchEngine:
+        hist = ExportHistory()
+        hist.replace(exports)
+        return cls(policy, history=hist, strict_order=False)
+
+    def rate(cls: type[MatchEngine], reqs: list[float], reps: int) -> float:
+        best = 0.0
+        for _ in range(reps):
+            eng = build(cls)
+            t0 = time.perf_counter()
+            eng.evaluate_batch(reqs)
+            elapsed = time.perf_counter() - t0
+            best = max(best, len(reqs) / elapsed)
+        return best
+
+    baseline = rate(MatchEngine, requests, repeats)
+    optimized = rate(SortedMatchEngine, requests, repeats)
+
+    # Untimed bit-identity cross-check: the speedup is only meaningful
+    # if the decisions are the same decisions.
+    legacy_eng = build(MatchEngine)
+    sorted_eng = build(SortedMatchEngine)
+    legacy_resp = legacy_eng.evaluate_batch(requests)
+    sorted_resp = sorted_eng.evaluate_batch(requests)
+    require(
+        legacy_resp == sorted_resp,
+        "sorted backend diverged from legacy decisions",
+    )
+    counters = (
+        legacy_eng.match_count,
+        legacy_eng.no_match_count,
+        legacy_eng.pending_count,
+    )
+    require(
+        counters
+        == (
+            sorted_eng.match_count,
+            sorted_eng.no_match_count,
+            sorted_eng.pending_count,
+        ),
+        "sorted backend counters diverged from legacy",
+    )
+    detail: dict[str, Any] = {
+        "requests": n_requests,
+        "exports": n_exports,
+        "policy": str(policy),
+        "match": counters[0],
+        "no_match": counters[1],
+        "pending": counters[2],
+        "identical": True,
+    }
+    if full_point is not None and full_point > n_requests:
+        big_exports, big_requests = _match_workload(full_point, 2 * full_point)
+        big_hist = ExportHistory()
+        big_hist.replace(big_exports)
+        big_legacy = MatchEngine(policy, history=big_hist, strict_order=False)
+        t0 = time.perf_counter()
+        big_legacy.evaluate_batch(big_requests)
+        legacy_big_rate = full_point / (time.perf_counter() - t0)
+        big_sorted = SortedMatchEngine(policy, history=big_hist, strict_order=False)
+        t0 = time.perf_counter()
+        big_sorted.evaluate_batch(big_requests)
+        sorted_big_rate = full_point / (time.perf_counter() - t0)
+        arr = np.asarray(big_requests, dtype=np.float64)
+        t0 = time.perf_counter()
+        big_sorted.sweep(arr)
+        kernel_big_rate = full_point / (time.perf_counter() - t0)
+        detail["full_point"] = {
+            "requests": full_point,
+            "legacy_rate": round(legacy_big_rate, 1),
+            "sorted_rate": round(sorted_big_rate, 1),
+            "sweep_kernel_rate": round(kernel_big_rate, 1),
+        }
+    return MicroComparison(
+        name="match_throughput",
+        unit="requests/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail=detail,
+    )
+
+
 # -- report ---------------------------------------------------------------
 
 
 def run_micro(quick: bool = False) -> dict[str, Any]:
-    """Run every micro-benchmark; return the ``BENCH_7.json`` payload."""
+    """Run every micro-benchmark; return the ``BENCH_8.json`` payload."""
     if quick:
         des = run_des_micro(pending=20_000, burst=2_000, rounds=5, repeats=2)
         redist = run_redistribution_micro(shape=(128, 128), calls=8, repeats=2)
@@ -620,6 +753,9 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         obs = run_obs_overhead_micro()
         verify = run_verify_micro(repeats=1)
         serve = run_serve_micro(sessions=8, workers=2, repeats=1)
+        # The 10^5 point stays full-size even in quick mode: the CI
+        # sanity floor (sorted >= 3x legacy) is defined at it.
+        match = run_match_micro(repeats=2)
     else:
         des = run_des_micro()
         redist = run_redistribution_micro()
@@ -627,6 +763,7 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         obs = run_obs_overhead_micro()
         verify = run_verify_micro()
         serve = run_serve_micro()
+        match = run_match_micro(full_point=1_000_000)
     return {
         "bench": "repro micro hot paths",
         "quick": quick,
@@ -639,6 +776,7 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
             obs.as_dict(),
             verify.as_dict(),
             serve.as_dict(),
+            match.as_dict(),
         ],
     }
 

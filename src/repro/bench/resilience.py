@@ -91,6 +91,7 @@ def run_once(
     requests: int = 15,
     request_period: float = 2.0,
     batch_control: bool = False,
+    match_backend: str = "legacy",
 ) -> ResilienceRunResult:
     """One E(2) → I(2) run under *plan* (``None`` = fault-free)."""
     shape = (64, 64)
@@ -126,6 +127,7 @@ def run_once(
             seed=0,
             fault_plan=plan,
             batch_control=batch_control,
+            match_backend=match_backend,
         ),
     )
     cs.add_program(

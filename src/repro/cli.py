@@ -31,7 +31,7 @@ Commands
     ``report`` and ``wait`` against ``--url``.
 ``bench``
     Hot-path micro benchmarks vs embedded seed baselines; writes
-    ``BENCH_7.json``.  ``--history`` compares every ``BENCH_*.json``
+    ``BENCH_8.json``.  ``--history`` compares every ``BENCH_*.json``
     and exits 1 when the newest report regresses vs. the best.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
@@ -165,6 +165,7 @@ def _demo_run(
     causal: bool = False,
     sinks: Sequence[Any] = (),
     interval: float = 0.25,
+    match_backend: str = "legacy",
 ) -> Any:
     """The report/trace demo: the Figure-4 shape on two tiny programs.
 
@@ -208,6 +209,7 @@ def _demo_run(
             causal_trace=causal,
             telemetry_sinks=tuple(sinks),
             telemetry_interval=interval,
+            match_backend=match_backend,
         ),
     )
 
@@ -257,8 +259,9 @@ def _diff_comparison(
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.export import REPORT_SCHEMA
 
-    with_help = _demo_run(buddy_help=True)
-    without_help = _demo_run(buddy_help=False)
+    backend = getattr(args, "match_backend", "legacy")
+    with_help = _demo_run(buddy_help=True, match_backend=backend)
+    without_help = _demo_run(buddy_help=False, match_backend=backend)
     runs = [("buddy_on", with_help), ("buddy_off", without_help)]
     paper_on = with_help.paper_metrics
     paper_off = without_help.paper_metrics
@@ -270,6 +273,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     }
     payload: dict[str, Any] = {
         "schema": REPORT_SCHEMA,
+        "match_backend": backend,
         "runs": [
             {
                 "name": name,
@@ -590,6 +594,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     payload = run_micro(quick=args.quick)
+    # Recorded for payload provenance: the match_throughput micro
+    # always measures both backends; this is the default engine the
+    # rest of the benches (and any accompanying runs) were using.
+    payload["match_backend"] = getattr(args, "match_backend", "legacy")
     write_report(payload, args.out)
     if _emit(args, payload):
         return 0
@@ -1045,12 +1053,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return _verify_races(args)
 
     base = mutation_config(args.mutate) if args.mutate else None
+    backend = getattr(args, "match_backend", "legacy")
+    if backend != "legacy":
+        from dataclasses import replace as _replace
+
+        from repro.analysis.model import ModelConfig
+
+        base = _replace(
+            base if base is not None else ModelConfig(), match_backend=backend
+        )
     suite = check_suite(base, max_states=args.max_states, por=not args.no_por)
     if args.cex:
         Path(args.cex).write_text(
             json.dumps(suite.counterexamples, indent=2), encoding="utf-8"
         )
-    if not _emit(args, suite.to_payload()):
+    payload = suite.to_payload()
+    payload["match_backend"] = backend
+    if not _emit(args, payload):
         for name, result in suite.worlds:
             s = result.stats
             flag = "complete" if s["complete"] else "TRUNCATED"
@@ -1078,6 +1097,18 @@ def _cmd_version(args: argparse.Namespace) -> int:
 def _add_json_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--json", action="store_true", help="machine-readable JSON on stdout"
+    )
+
+
+def _add_match_backend_flag(p: argparse.ArgumentParser) -> None:
+    from repro.match.backend import MATCH_BACKENDS
+
+    p.add_argument(
+        "--match-backend",
+        choices=MATCH_BACKENDS,
+        default="legacy",
+        help="match engine for the runs (recorded in the JSON payload; "
+        "decisions are bit-identical between backends)",
     )
 
 
@@ -1138,6 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.10, metavar="FRAC",
         help="relative regression allowance for --baseline (default 0.10)",
     )
+    _add_match_backend_flag(pr)
     _add_json_flag(pr)
     pr.set_defaults(fn=_cmd_report)
 
@@ -1171,8 +1203,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_7.json",
-        help="report file (default BENCH_7.json)",
+        "--out", metavar="PATH", default="BENCH_8.json",
+        help="report file (default BENCH_8.json)",
     )
     pb.add_argument(
         "--history", action="store_true",
@@ -1187,6 +1219,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--allowance", type=float, default=0.10, metavar="FRAC",
         help="relative speedup drop tolerated by --history (default 0.10)",
     )
+    _add_match_backend_flag(pb)
     _add_json_flag(pb)
     pb.set_defaults(fn=_cmd_bench)
 
@@ -1367,6 +1400,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the live runtime under the vector-clock race detector",
     )
+    _add_match_backend_flag(pvf)
     _add_json_flag(pvf)
     pvf.set_defaults(fn=_cmd_verify)
 

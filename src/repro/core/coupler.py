@@ -272,6 +272,7 @@ class ProcessContext:
                     exp_conns,
                     capacity_bytes=coupler.buffer_capacity_bytes,
                     strict_order=coupler.strict_order,
+                    match_backend=coupler.match_backend,
                 )
             imp_conns = coupler.config.connections_importing(self.program, rname)
             if imp_conns:
@@ -916,6 +917,9 @@ class CoupledSimulation:
         #: timeout applies) importer-side retransmission.
         self.resilient = fault_plan is not None or retransmit_timeout is not None
         self.strict_order = not self.resilient
+        #: Which match engine every exporter process uses (validated by
+        #: ``RunOptions.__post_init__``; decisions are backend-independent).
+        self.match_backend = options.match_backend
         require_positive(max_retransmits, "max_retransmits")
         self.max_retransmits = max_retransmits
         if retransmit_timeout is not None:

@@ -39,7 +39,8 @@ from dataclasses import dataclass
 from repro.core.buffers import BufferEntry, BufferManager
 from repro.core.config import ConnectionSpec
 from repro.core.exceptions import PropertyViolationError
-from repro.match.engine import ExportHistory, MatchEngine
+from repro.match.backend import make_backend
+from repro.match.engine import ExportHistory
 from repro.match.result import FinalAnswer, MatchKind, MatchResponse
 from repro.util.validation import require
 
@@ -131,6 +132,7 @@ class ConnectionExportState:
         conn: ConnectionSpec,
         history: ExportHistory,
         strict_order: bool = True,
+        match_backend: str = "legacy",
     ) -> None:
         self.conn = conn
         self.policy = conn.policy
@@ -138,7 +140,9 @@ class ConnectionExportState:
         #: Relaxed under resilient runtimes: a retransmitted request may
         #: arrive after a later request already advanced the mark.
         self.strict_order = strict_order
-        self.engine = MatchEngine(conn.policy, history=history, strict_order=strict_order)
+        self.engine = make_backend(
+            conn.policy, match_backend, history=history, strict_order=strict_order
+        )
         self.open_requests: dict[float, OpenRequest] = {}
         #: request ts -> resolved answer (local decision or buddy-help).
         self.answers: dict[float, FinalAnswer] = {}
@@ -314,8 +318,12 @@ class ConnectionExportState:
         forwards the definitive responses to the rep.
         """
         out: list[tuple[MatchResponse, ApplyOutcome]] = []
-        for ts in sorted(self.open_requests):
-            response = self.engine.evaluate(ts, record=False)
+        pending = sorted(self.open_requests)
+        # One batched sweep over the sorted open set; answers are then
+        # applied in ascending request order, exactly as the former
+        # per-request loop did (evaluation depends only on the history
+        # and policy, so evaluate-all-then-apply is decision-identical).
+        for response in self.engine.evaluate_batch(pending, record=False):
             if response.is_definitive:
                 applied = self.apply_answer(_answer_from(response), source="local")
                 out.append((response, applied))
@@ -415,12 +423,17 @@ class RegionExportState:
         connections: list[ConnectionSpec],
         capacity_bytes: int | None = None,
         strict_order: bool = True,
+        match_backend: str = "legacy",
     ) -> None:
         self.region_name = region_name
         self.history = ExportHistory()
+        self.match_backend = match_backend
         self.connections = {
             c.connection_id: ConnectionExportState(
-                c, self.history, strict_order=strict_order
+                c,
+                self.history,
+                strict_order=strict_order,
+                match_backend=match_backend,
             )
             for c in connections
         }

@@ -141,7 +141,10 @@ class LiveProcessContext:
             exp = config.connections_exporting(self.program, rname)
             if exp:
                 self.export_states[rname] = RegionExportState(
-                    rname, exp, strict_order=runtime.strict_order
+                    rname,
+                    exp,
+                    strict_order=runtime.strict_order,
+                    match_backend=runtime.match_backend,
                 )
             imp = config.connections_importing(self.program, rname)
             if imp:
@@ -552,6 +555,9 @@ class LiveCoupledSimulation:
         self.world.fault_hook = fault_injector
         self.resilient = fault_injector is not None or retransmit_timeout is not None
         self.strict_order = not self.resilient
+        #: Which match engine every exporter process uses (validated by
+        #: ``RunOptions.__post_init__``; decisions are backend-independent).
+        self.match_backend = options.match_backend
         if retransmit_timeout is not None:
             require_positive(retransmit_timeout, "retransmit_timeout")
             self._rto: float | None = retransmit_timeout

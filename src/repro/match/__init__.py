@@ -24,6 +24,8 @@ would break Property 1.
 from repro.match.result import MatchKind, MatchResponse, FinalAnswer
 from repro.match.policies import MatchPolicy, PolicyKind, parse_policy
 from repro.match.engine import ExportHistory, MatchEngine
+from repro.match.sorted_engine import SortedMatchEngine
+from repro.match.backend import MATCH_BACKENDS, MatchBackend, make_backend
 from repro.match.aggregate import CollectiveViolationError, aggregate_responses
 
 __all__ = [
@@ -35,6 +37,10 @@ __all__ = [
     "parse_policy",
     "ExportHistory",
     "MatchEngine",
+    "SortedMatchEngine",
+    "MatchBackend",
+    "MATCH_BACKENDS",
+    "make_backend",
     "CollectiveViolationError",
     "aggregate_responses",
 ]

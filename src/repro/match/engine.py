@@ -10,12 +10,20 @@ semantics of Section 3.1:
 * ``PENDING`` while the stream has not yet reached the request
   timestamp (a better candidate might still be exported);
 * definitive once it has (or once the stream is closed).
+
+The history is stored in one sorted (because append-only increasing)
+NumPy ``float64`` buffer so both match backends share storage: this
+legacy engine bisects it per request, while
+:class:`repro.match.sorted_engine.SortedMatchEngine` sweeps whole
+request batches over the same array with vectorized ``searchsorted``.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
+from typing import Sequence
+
+import numpy as np
 
 from repro.match.policies import MatchPolicy
 from repro.match.result import MatchKind, MatchResponse
@@ -23,22 +31,35 @@ from repro.util.validation import require
 
 
 class ExportHistory:
-    """Strictly increasing record of one process's export timestamps."""
+    """Strictly increasing record of one process's export timestamps.
+
+    Backed by a capacity-doubling NumPy buffer; one history may be
+    shared by several per-connection engines (a region exported over
+    several connections has one history and one engine per connection).
+    """
+
+    _INITIAL_CAPACITY = 16
 
     def __init__(self) -> None:
-        self._ts: list[float] = []
+        self._buf = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
         self._closed = False
 
     # -- recording -----------------------------------------------------
     def add(self, ts: float) -> None:
         """Record a new export timestamp (must exceed all previous)."""
         require(not self._closed, "cannot export after the stream is closed")
-        if self._ts:
+        value = float(ts)
+        if self._n:
+            last = self._buf[self._n - 1]
             require(
-                ts > self._ts[-1],
-                f"export timestamps must increase: {ts} after {self._ts[-1]}",
+                value > last,
+                f"export timestamps must increase: {value} after {last}",
             )
-        self._ts.append(float(ts))
+        if self._n == len(self._buf):
+            self._buf = np.concatenate([self._buf, np.empty_like(self._buf)])
+        self._buf[self._n] = value
+        self._n += 1
 
     def close(self) -> None:
         """Mark the stream finished (end of program run).
@@ -47,6 +68,28 @@ class ExportHistory:
         export can appear, so the best candidate is final.
         """
         self._closed = True
+
+    def replace(self, timestamps: Sequence[float], *, closed: bool = False) -> None:
+        """Bulk-load the history (model-checker state materialization).
+
+        *timestamps* must already be strictly increasing; the whole
+        buffer is replaced in one shot instead of repeated :meth:`add`
+        calls.
+        """
+        arr = np.asarray(list(timestamps), dtype=np.float64)
+        if arr.size > 1:
+            require(
+                bool(np.all(arr[1:] > arr[:-1])),
+                "export timestamps must increase",
+            )
+        self._buf = (
+            arr if arr.size >= self._INITIAL_CAPACITY
+            else np.concatenate(
+                [arr, np.empty(self._INITIAL_CAPACITY - arr.size, dtype=np.float64)]
+            )
+        )
+        self._n = int(arr.size)
+        self._closed = closed
 
     # -- queries ---------------------------------------------------------
     @property
@@ -57,28 +100,50 @@ class ExportHistory:
     @property
     def latest(self) -> float:
         """Newest export timestamp (``-inf`` when nothing exported)."""
-        return self._ts[-1] if self._ts else -math.inf
+        return float(self._buf[self._n - 1]) if self._n else -math.inf
 
     def __len__(self) -> int:
-        return len(self._ts)
+        return self._n
+
+    def view(self) -> np.ndarray:
+        """Read-only sorted ``float64`` view of the full history.
+
+        The batched sweep backend runs ``searchsorted`` directly on
+        this view; it aliases the internal buffer, so callers must not
+        hold it across :meth:`add` calls (growth may reallocate).
+        """
+        v = self._buf[: self._n]
+        v.flags.writeable = False
+        return v
 
     def in_interval(self, low: float, high: float) -> list[float]:
         """Timestamps within the closed interval ``[low, high]``."""
-        i = bisect.bisect_left(self._ts, low)
-        j = bisect.bisect_right(self._ts, high)
-        return self._ts[i:j]
+        i = int(np.searchsorted(self._buf[: self._n], low, side="left"))
+        j = int(np.searchsorted(self._buf[: self._n], high, side="right"))
+        return self._buf[i:j].tolist()
 
     def all_timestamps(self) -> list[float]:
         """Copy of the full history."""
-        return list(self._ts)
+        return self._buf[: self._n].tolist()
 
 
 class MatchEngine:
     """Evaluates import requests against one process's export history.
 
+    This is the ``legacy`` :class:`~repro.match.backend.MatchBackend`:
+    per-request bisection with a linear best-candidate scan, the
+    reference semantics every other backend must reproduce bit for
+    bit.  Runtimes obtain engines through
+    :func:`repro.match.make_backend`; direct construction keeps
+    working for existing callers and tests.
+
     Also enforces the model's requirement that *request* timestamps
     form a strictly increasing sequence per connection.
     """
+
+    #: Factory name under which :func:`repro.match.make_backend`
+    #: serves this engine.
+    backend_name = "legacy"
 
     def __init__(
         self,
@@ -173,3 +238,16 @@ class MatchEngine:
             matched_ts=best,
             latest_export_ts=self.history.latest,
         )
+
+    def evaluate_batch(
+        self, request_ts: Sequence[float], *, record: bool = False
+    ) -> list[MatchResponse]:
+        """Evaluate a batch of requests in order; one response each.
+
+        Reference implementation: a plain loop over :meth:`evaluate`,
+        defining the response sequence (and counter increments) every
+        backend's batched path must reproduce exactly.  The default
+        ``record=False`` is the sweep-resolution use: re-evaluating a
+        sorted set of outstanding requests after the stream advanced.
+        """
+        return [self.evaluate(ts, record=record) for ts in request_ts]

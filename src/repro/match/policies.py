@@ -95,7 +95,39 @@ class MatchPolicy:
                 best = ts
         return best
 
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The acceptable region as offsets ``(dlow, dhigh)`` from ``t``.
+
+        ``region(t) == (t + dlow, t + dhigh)`` for every request
+        timestamp, bit-for-bit (IEEE-754 ``t + (-d)`` equals ``t - d``
+        exactly).  Batched backends use these constants to vectorize
+        region computation over whole request arrays without calling
+        :meth:`region` per element.
+        """
+        d = self.tolerance
+        if self.kind is PolicyKind.REGL:
+            return (-d, 0.0)
+        if self.kind is PolicyKind.REGU:
+            return (0.0, d)
+        if self.kind is PolicyKind.REG:
+            return (-d, d)
+        return (0.0, 0.0)
+
     # -- stream reasoning -----------------------------------------------------
+    def decision_bound(self, request_ts: float) -> float:
+        """Smallest ``latest`` export making *request_ts* decidable.
+
+        ``decidable(latest, t)`` holds exactly when
+        ``latest >= decision_bound(t)``; for all four policy families
+        that bound is ``t`` itself (see :meth:`decidable`).  Batched
+        backends maintain the PENDING frontier as a watermark against
+        this bound: in a sorted pending array, one bisection of the
+        newest export timestamp splits the decidable prefix from the
+        still-pending suffix.
+        """
+        return request_ts
+
     def decidable(self, latest_export_ts: float, request_ts: float) -> bool:
         """Can a process with newest export *latest_export_ts* answer finally?
 
@@ -112,7 +144,7 @@ class MatchPolicy:
           candidate is the smallest one, known once ``latest >= t``.
         * EXACT: final iff ``latest >= t``.
         """
-        return latest_export_ts >= request_ts
+        return latest_export_ts >= self.decision_bound(request_ts)
 
     def future_low(self, request_ts: float) -> float:
         """Infimum of region lows over all future requests ``> request_ts``.

@@ -211,6 +211,12 @@ def collect_metrics(sim: Any, registry: MetricsRegistry | None = None) -> Metric
     _collect_kernel(sim, reg)
     _collect_net(sim, reg)
     _collect_faults(sim, reg)
+    backend = getattr(sim, "match_backend", None)
+    if backend is not None:
+        # Which engine produced the match.evaluations counters; the
+        # value is 1 and the information lives in the label, so reports
+        # from different backends stay diffable.
+        reg.gauge("match.backend", backend=str(backend)).set(1.0)
     for prog in getattr(sim, "_programs", {}).values():
         _collect_vmpi(prog, reg)
         _collect_rep(prog, reg)

@@ -280,6 +280,11 @@ def validate_report_payload(obj: Any) -> list[str]:
         return [f"top level must be an object, got {type(obj).__name__}"]
     if obj.get("schema") != REPORT_SCHEMA:
         problems.append(f"schema must be {REPORT_SCHEMA!r}, got {obj.get('schema')!r}")
+    # Optional (added with the pluggable match backends): which engine
+    # produced the runs.  Tolerant — absent in older payloads.
+    backend = obj.get("match_backend")
+    if backend is not None and not isinstance(backend, str):
+        problems.append("match_backend must be a string when present")
     runs = obj.get("runs")
     if not isinstance(runs, list) or not runs:
         return problems + ["runs must be a non-empty list"]

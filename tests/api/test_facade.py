@@ -322,3 +322,67 @@ class TestRunOptionsValidation:
         assert opts.telemetry_sinks == (sink,)
         assert RunOptions().telemetry_sinks == ()
         assert RunOptions().causal_trace is False
+
+    def test_match_backend_default_and_valid_values(self):
+        assert RunOptions().match_backend == "legacy"
+        assert RunOptions(match_backend="sorted").match_backend == "sorted"
+
+    def test_unknown_match_backend_rejected_eagerly(self):
+        from repro.core.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="match_backend"):
+            RunOptions(match_backend="quantum")
+
+
+class TestMatchBackendThreading:
+    """``RunOptions.match_backend`` must reach the runtimes' engines."""
+
+    @pytest.mark.parametrize("backend", ["legacy", "sorted"])
+    def test_des_runtime_uses_selected_backend(self, backend):
+        answers: dict[int, list[tuple[float, float | None]]] = {}
+        cs = CoupledSimulation(
+            CONFIG, options=RunOptions(seed=3, match_backend=backend)
+        )
+        cs.add_program("E", main=_e_main, regions=_regions((2, 1)))
+        cs.add_program("I", main=_i_main(answers), regions=_regions((1, 2)))
+        cs.run()
+        assert cs.match_backend == backend
+        for rank in range(2):
+            ctx = cs.context("E", rank)
+            conns = ctx.export_states["d"].connections
+            assert conns, "exporter should have at least one connection"
+            for conn in conns.values():
+                assert conn.engine.backend_name == backend
+
+    def test_backends_produce_identical_des_runs(self):
+        # The real acceptance test is the seed-replay goldens; this is
+        # the fast in-tree version of the same claim.
+        def run_with(backend: str) -> tuple[dict, float, list]:
+            answers: dict[int, list[tuple[float, float | None]]] = {}
+            tracer = Tracer()
+            cs = CoupledSimulation(
+                CONFIG,
+                options=RunOptions(
+                    seed=11, match_backend=backend, tracer=tracer
+                ),
+            )
+            cs.add_program("E", main=_e_main, regions=_regions((2, 1)))
+            cs.add_program("I", main=_i_main(answers), regions=_regions((1, 2)))
+            cs.run()
+            return answers, cs.sim.now, _trace_key(tracer)
+
+        a_answers, a_time, a_trace = run_with("legacy")
+        b_answers, b_time, b_trace = run_with("sorted")
+        assert a_answers == b_answers
+        assert a_time == b_time
+        assert a_trace == b_trace
+
+    @pytest.mark.parametrize("backend", ["legacy", "sorted"])
+    def test_live_runtime_uses_selected_backend(self, backend):
+        sim = LiveCoupledSimulation(
+            CONFIG,
+            options=RunOptions(
+                runtime="live", time_scale=0.01, match_backend=backend
+            ),
+        )
+        assert sim.match_backend == backend

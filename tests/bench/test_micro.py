@@ -17,6 +17,7 @@ from repro.bench.micro import (
     _PreObsSimulator,
     legacy_redistribute,
     run_control_plane_micro,
+    run_match_micro,
     run_micro,
     run_obs_overhead_micro,
 )
@@ -130,11 +131,37 @@ class TestObsOverheadMicro:
             )
 
 
+class TestMatchThroughputMicro:
+    def test_small_run_is_identical_and_shaped(self):
+        # Speed is CI-gated by the bench-smoke floor; here we assert
+        # the cross-check (identical decisions) and the detail shape at
+        # a unit-test-friendly size.
+        cmp = run_match_micro(n_requests=2_000, n_exports=4_000, repeats=1)
+        assert cmp.name == "match_throughput"
+        assert cmp.unit == "requests/sec"
+        assert cmp.baseline > 0 and cmp.optimized > 0
+        d = cmp.detail
+        assert d["identical"] is True
+        assert d["requests"] == 2_000
+        assert d["match"] + d["no_match"] + d["pending"] == 2_000
+        assert d["match"] > 0 and d["pending"] > 0
+
+    def test_full_point_block(self):
+        cmp = run_match_micro(
+            n_requests=2_000, n_exports=4_000, repeats=1, full_point=3_000
+        )
+        fp = cmp.detail["full_point"]
+        assert fp["requests"] == 3_000
+        assert fp["legacy_rate"] > 0
+        assert fp["sorted_rate"] > 0
+        assert fp["sweep_kernel_rate"] > 0
+
+
 class TestReportShape:
     def test_quick_report_carries_baselines(self):
         payload = run_micro(quick=True)
         assert payload["quick"] is True
-        assert len(payload["results"]) == 6
+        assert len(payload["results"]) == 7
         assert [r["name"] for r in payload["results"]] == [
             "des_dispatch",
             "redistribution",
@@ -142,6 +169,7 @@ class TestReportShape:
             "obs_noop_overhead",
             "verify_states_per_sec",
             "serve_sessions_per_sec",
+            "match_throughput",
         ]
         for r in payload["results"]:
             assert r["baseline"] > 0

@@ -1,0 +1,272 @@
+"""Differential tests: the sorted sweep backend vs the legacy engine.
+
+The sorted backend's contract is *bit-identical decisions* — every
+`MatchResponse` (kind, matched_ts, latest_export_ts) and every outcome
+counter must equal the legacy engine's on any request/export stream.
+The property tests generate seeded-random streams over all four policy
+kinds and assert exactly that, for the scalar path, the batched path
+(sorted and shuffled input), interleaved export/request traffic, and
+re-asked requests under ``strict_order=False``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.match.engine import ExportHistory, MatchEngine
+from repro.match.policies import MatchPolicy, PolicyKind
+from repro.match.result import MatchKind
+from repro.match.sorted_engine import SortedMatchEngine
+
+ALL_POLICIES = [
+    MatchPolicy(PolicyKind.REGL, 2.5),
+    MatchPolicy(PolicyKind.REGL, 0.0),
+    MatchPolicy(PolicyKind.REGU, 1.25),
+    MatchPolicy(PolicyKind.REG, 0.75),
+    MatchPolicy(PolicyKind.EXACT),
+]
+
+
+def _pair(policy, strict_order=True):
+    return (
+        MatchEngine(policy, strict_order=strict_order),
+        SortedMatchEngine(policy, strict_order=strict_order),
+    )
+
+
+def _random_exports(rng, n, lo=0.0, hi=50.0):
+    """A strictly increasing export stream with clustered spacings."""
+    out, ts = [], lo
+    for _ in range(n):
+        ts += rng.choice([0.01, 0.1, 0.5, 1.0, 3.0]) * (0.5 + rng.random())
+        if ts > hi:
+            break
+        out.append(round(ts, 6))
+    return out
+
+
+def _counters(engine):
+    return (engine.match_count, engine.no_match_count, engine.pending_count)
+
+
+class TestScalarDifferential:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=str)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_identical_responses_on_random_streams(self, policy, seed):
+        rng = random.Random(seed)
+        legacy, sorted_eng = _pair(policy)
+        for e in _random_exports(rng, 120):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        if rng.random() < 0.5:
+            legacy.close_stream()
+            sorted_eng.close_stream()
+        for _ in range(400):
+            t = round(rng.uniform(-2.0, 55.0), 6)
+            assert legacy.evaluate(t, record=False) == sorted_eng.evaluate(
+                t, record=False
+            )
+        assert _counters(legacy) == _counters(sorted_eng)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=str)
+    def test_interleaved_exports_and_requests(self, policy):
+        rng = random.Random(99)
+        legacy, sorted_eng = _pair(policy, strict_order=False)
+        export_ts, request_ts = 0.0, 0.0
+        for _ in range(300):
+            if rng.random() < 0.5:
+                export_ts += rng.choice([0.05, 0.4, 1.1])
+                legacy.record_export(export_ts)
+                sorted_eng.record_export(export_ts)
+            else:
+                request_ts += rng.choice([0.0, 0.3, 0.9])
+                a = legacy.evaluate(request_ts, record=True)
+                b = sorted_eng.evaluate(request_ts, record=True)
+                assert a == b
+        legacy.close_stream()
+        sorted_eng.close_stream()
+        t = request_ts + 1.0
+        assert legacy.evaluate(t) == sorted_eng.evaluate(t)
+        assert _counters(legacy) == _counters(sorted_eng)
+        assert legacy.last_request_ts == sorted_eng.last_request_ts
+
+
+class TestBatchDifferential:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=str)
+    @pytest.mark.parametrize("seed", [3, 4])
+    @pytest.mark.parametrize("shuffled", [False, True])
+    def test_batch_matches_legacy_loop(self, policy, seed, shuffled):
+        rng = random.Random(seed)
+        legacy, sorted_eng = _pair(policy, strict_order=False)
+        for e in _random_exports(rng, 150):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        batch = [round(rng.uniform(-1.0, 60.0), 6) for _ in range(500)]
+        if not shuffled:
+            batch.sort()
+        assert legacy.evaluate_batch(batch) == sorted_eng.evaluate_batch(batch)
+        assert _counters(legacy) == _counters(sorted_eng)
+
+    def test_batch_against_scalar_reference(self):
+        # The sorted batch path must agree with its own scalar path too.
+        policy = MatchPolicy(PolicyKind.REG, 0.6)
+        rng = random.Random(7)
+        eng = SortedMatchEngine(policy, strict_order=False)
+        ref = SortedMatchEngine(policy, history=eng.history, strict_order=False)
+        for e in _random_exports(rng, 80):
+            eng.record_export(e)
+        batch = sorted(round(rng.uniform(0.0, 55.0), 6) for _ in range(200))
+        assert eng.evaluate_batch(batch) == [
+            ref.evaluate(t, record=False) for t in batch
+        ]
+
+    def test_empty_batch(self):
+        legacy, sorted_eng = _pair(MatchPolicy(PolicyKind.REGL, 1.0))
+        assert sorted_eng.evaluate_batch([]) == legacy.evaluate_batch([]) == []
+
+    def test_batch_with_empty_history_open_and_closed(self):
+        for closed in (False, True):
+            legacy, sorted_eng = _pair(MatchPolicy(PolicyKind.REGL, 1.0))
+            if closed:
+                legacy.close_stream()
+                sorted_eng.close_stream()
+            batch = [1.0, 2.0, 3.0]
+            got = sorted_eng.evaluate_batch(batch)
+            assert got == legacy.evaluate_batch(batch)
+            want = MatchKind.NO_MATCH if closed else MatchKind.PENDING
+            assert all(r.kind is want for r in got)
+
+    def test_batch_record_true_checks_order(self):
+        eng = SortedMatchEngine(MatchPolicy(PolicyKind.REGL, 1.0))
+        eng.record_export(10.0)
+        eng.evaluate_batch([1.0, 2.0, 3.0], record=True)
+        assert eng.last_request_ts == 3.0
+        with pytest.raises(ValueError, match="must increase"):
+            eng.evaluate_batch([2.5], record=True)
+
+
+class TestTieBreaking:
+    def test_reg_tie_resolves_to_lower_timestamp(self):
+        policy = MatchPolicy(PolicyKind.REG, 2.0)
+        legacy, sorted_eng = _pair(policy)
+        for e in (9.0, 11.0):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        a = legacy.evaluate(10.0)
+        b = sorted_eng.evaluate(10.0)
+        assert a == b
+        assert b.matched_ts == 9.0  # equidistant: lower wins
+
+    def test_exact_hit_and_miss(self):
+        legacy, sorted_eng = _pair(MatchPolicy(PolicyKind.EXACT))
+        for e in (1.5, 2.5):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        assert sorted_eng.evaluate(2.0) == legacy.evaluate(2.0)  # miss
+        assert sorted_eng.evaluate(2.5) == legacy.evaluate(2.5)  # hit
+        assert sorted_eng.match_count == 1 and sorted_eng.no_match_count == 1
+
+    def test_float_boundaries_bit_identical(self):
+        # t + (-d) must equal t - d exactly for region edges to agree.
+        policy = MatchPolicy(PolicyKind.REGL, 0.1)
+        legacy, sorted_eng = _pair(policy, strict_order=False)
+        t = 0.30000000000000004  # 0.1 + 0.2: a classic non-representable edge
+        for e in (t - 0.1, t):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        assert sorted_eng.evaluate(t, record=False) == legacy.evaluate(
+            t, record=False
+        )
+
+
+class TestReaskRelaxedOrder:
+    """Regression: retransmits re-ask at/below the high-water mark."""
+
+    def test_reask_below_mark_is_idempotent(self):
+        policy = MatchPolicy(PolicyKind.REGL, 2.5)
+        legacy, sorted_eng = _pair(policy, strict_order=False)
+        for e in (1.6, 2.6, 3.6, 20.1):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        for t in (4.0, 20.0, 4.0, 20.0, 2.0):  # re-asks at/below the mark
+            a = legacy.evaluate(t, record=True)
+            b = sorted_eng.evaluate(t, record=True)
+            assert a == b
+        assert legacy.last_request_ts == sorted_eng.last_request_ts == 20.0
+
+    def test_strict_mode_rejects_reask_in_both(self):
+        for eng in _pair(MatchPolicy(PolicyKind.REGL, 1.0), strict_order=True):
+            eng.evaluate(5.0)
+            with pytest.raises(ValueError, match="must increase"):
+                eng.evaluate(5.0)
+
+    def test_pending_then_resolution_after_stream_advances(self):
+        policy = MatchPolicy(PolicyKind.REGL, 1.0)
+        legacy, sorted_eng = _pair(policy, strict_order=False)
+        for e in (1.0, 2.0):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        a = legacy.evaluate(5.0)
+        b = sorted_eng.evaluate(5.0)
+        assert a == b and a.kind is MatchKind.PENDING
+        for e in (4.5, 6.0):
+            legacy.record_export(e)
+            sorted_eng.record_export(e)
+        a = legacy.evaluate(5.0, record=False)
+        b = sorted_eng.evaluate(5.0, record=False)
+        assert a == b and a.kind is MatchKind.MATCH and a.matched_ts == 4.5
+
+
+class TestEngineSurface:
+    def test_shared_history_between_backends(self):
+        # A region shares one history across connections; a sorted and
+        # a legacy engine on the same history must agree.
+        hist = ExportHistory()
+        legacy = MatchEngine(MatchPolicy(PolicyKind.REGL, 1.0), history=hist)
+        sorted_eng = SortedMatchEngine(
+            MatchPolicy(PolicyKind.REGU, 1.0), history=hist
+        )
+        hist.add(1.0)
+        hist.add(2.5)
+        assert legacy.history is sorted_eng.history
+        assert sorted_eng.evaluate(2.0).matched_ts == 2.5  # REGU looks up
+        assert legacy.evaluate(2.0).matched_ts == 1.0  # REGL looks down
+
+    def test_backend_names(self):
+        legacy, sorted_eng = _pair(MatchPolicy(PolicyKind.EXACT))
+        assert legacy.backend_name == "legacy"
+        assert sorted_eng.backend_name == "sorted"
+
+    def test_responses_carry_python_floats(self):
+        # np.float64 leaking out would break JSON serialization of
+        # goldens and reports.
+        _, sorted_eng = _pair(MatchPolicy(PolicyKind.REGL, 1.0))
+        sorted_eng.record_export(1.5)
+        r = sorted_eng.evaluate(1.5)
+        assert r.kind is MatchKind.MATCH
+        assert type(r.matched_ts) is float
+        assert type(r.latest_export_ts) is float
+        sorted_eng.record_export(3.0)
+        (batch_r,) = sorted_eng.evaluate_batch([2.1], record=True)
+        assert batch_r.kind is MatchKind.MATCH
+        assert type(batch_r.matched_ts) is float
+        assert type(batch_r.request_ts) is float
+
+    def test_history_replace_and_view(self):
+        h = ExportHistory()
+        h.replace([1.0, 2.0, 3.0], closed=True)
+        assert h.all_timestamps() == [1.0, 2.0, 3.0]
+        assert h.closed and h.latest == 3.0 and len(h) == 3
+        v = h.view()
+        assert not v.flags.writeable
+        with pytest.raises(ValueError, match="must increase"):
+            h.replace([1.0, 1.0])
+
+    def test_history_replace_empty(self):
+        h = ExportHistory()
+        h.add(5.0)
+        h.replace([])
+        assert len(h) == 0 and h.latest == -math.inf and not h.closed
+        h.add(1.0)  # still usable after a bulk load
+        assert h.latest == 1.0

@@ -225,6 +225,7 @@ class TestBench:
             "obs_noop_overhead",
             "verify_states_per_sec",
             "serve_sessions_per_sec",
+            "match_throughput",
         ]
         for r in payload["results"]:
             if r["name"] == "obs_noop_overhead":
@@ -360,11 +361,11 @@ class TestBenchHistory:
         }
         (directory / f"BENCH_{n}.json").write_text(json.dumps(payload))
 
-    def test_default_out_is_bench_7(self):
+    def test_default_out_is_bench_8(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_7.json"
+        assert args.out == "BENCH_8.json"
 
     def test_improving_history_passes(self, tmp_path, capsys):
         self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
