@@ -256,6 +256,7 @@ def run(
     opts = options if options is not None else RunOptions()
     sim = build(config, programs, opts)
     sinks = tuple(opts.telemetry_sinks)
+    prov = getattr(sim, "_prov", None)
     try:
         if isinstance(sim, LiveCoupledSimulation):
             if until is not None:
@@ -269,13 +270,24 @@ def run(
         # A crashing run must still leave its sinks well-formed: one
         # last ``final`` snapshot marked ``aborted`` (so a follower
         # sees the stream end rather than hang on a truncated file),
-        # then every sink flushed and closed.
+        # then every sink flushed and closed.  The provenance log gets
+        # the same guarantee: whatever was captured is written out with
+        # an end record naming the error, so a crash is still auditable
+        # (though only clean logs replay).
         _abort_telemetry(sim, sinks, exc)
+        if prov is not None:
+            with contextlib.suppress(Exception):
+                prov.abort(exc)
+                prov.close()
         raise
     _close_sinks(sinks)
-    return RunResult(
+    result = RunResult(
         simulation=sim,
         options=opts,
         sim_time=sim_time,
         counters=_counters(sim),
     )
+    if prov is not None:
+        prov.finalize(result)
+        prov.close()
+    return result

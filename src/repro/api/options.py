@@ -109,6 +109,14 @@ class RunOptions:
         bit-identical between backends; only throughput differs.
         Unknown names raise :class:`~repro.core.exceptions.ConfigError`
         at construction time.
+    provenance:
+        Path of a ``repro.prov/v1`` provenance log to record the run
+        into (``.gz`` suffix gzips it).  Recording captures every wire
+        message, DES scheduling decision, match resolution, RNG draw,
+        and process operation, making the run bit-exactly replayable
+        from the log alone via :func:`repro.obs.replay.replay`.
+        Implies :attr:`causal_trace`.  ``None`` (default) disables
+        recording entirely.
     """
 
     runtime: str = "des"
@@ -132,6 +140,7 @@ class RunOptions:
     telemetry_interval: float = 0.25
     race_monitor: Any | None = None
     match_backend: str = "legacy"
+    provenance: str | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -148,6 +157,11 @@ class RunOptions:
             "buffer_policy: 'error' or 'block'",
         )
         require(self.telemetry_interval > 0, "telemetry_interval must be > 0")
+        if self.provenance is not None:
+            require(
+                isinstance(self.provenance, str) and bool(self.provenance),
+                "provenance must be None or a non-empty path string",
+            )
         # Tuple-ify eagerly so a list literal works at the call site but
         # the frozen value stays hashable-by-parts and safely shareable.
         if not isinstance(self.telemetry_sinks, tuple):

@@ -31,8 +31,19 @@ Commands
     ``report`` and ``wait`` against ``--url``.
 ``bench``
     Hot-path micro benchmarks vs embedded seed baselines; writes
-    ``BENCH_8.json``.  ``--history`` compares every ``BENCH_*.json``
+    ``BENCH_9.json``.  ``--history`` compares every ``BENCH_*.json``
+    (unreadable or schema-invalid files are skipped with a warning)
     and exits 1 when the newest report regresses vs. the best.
+``record``
+    Record the coupled demo (or a chaos variant) into an append-only
+    ``repro.prov/v1`` provenance log capturing every wire message,
+    scheduling decision, match resolution, and RNG draw.
+``replay``
+    Reconstruct a recorded run from its provenance log alone and
+    verify bit-exactness against the log's digests; ``--at T --query
+    ledger|pending|matches`` time-travels to any virtual instant, and
+    ``--edit PLAN.json`` / ``--edit-tolerance`` re-runs with an edited
+    fault plan or match tolerance and diffs the two causal DAGs.
 ``scenarios``
     Run the Figure-3 buffering scenarios.
 ``chaos``
@@ -166,6 +177,9 @@ def _demo_run(
     sinks: Sequence[Any] = (),
     interval: float = 0.25,
     match_backend: str = "legacy",
+    seed: int = 2,
+    provenance: str | None = None,
+    fault_plan: Any = None,
 ) -> Any:
     """The report/trace demo: the Figure-4 shape on two tiny programs.
 
@@ -205,11 +219,13 @@ def _demo_run(
         repro.RunOptions(
             buddy_help=buddy_help,
             tracer=tracer,
-            seed=2,
+            seed=seed,
             causal_trace=causal,
             telemetry_sinks=tuple(sinks),
             telemetry_interval=interval,
             match_backend=match_backend,
+            provenance=provenance,
+            fault_plan=fault_plan,
         ),
     )
 
@@ -564,6 +580,133 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Record the coupled demo into a ``repro.prov/v1`` provenance log."""
+    from repro.obs.prov import PROV_SCHEMA
+
+    chaos = args.scenario == "chaos"
+    drop = args.drop if args.drop is not None else (0.1 if chaos else 0.0)
+    dup = args.dup if args.dup is not None else (0.05 if chaos else 0.0)
+    jitter = args.jitter if args.jitter is not None else (2e-4 if chaos else 0.0)
+    fault_plan = None
+    if drop or dup or jitter:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan(seed=args.seed, drop=drop, dup=dup, delay_jitter=jitter)
+    result = _demo_run(
+        True,
+        seed=args.seed,
+        match_backend=args.match_backend,
+        provenance=args.out,
+        fault_plan=fault_plan,
+    )
+    plan_desc = None
+    if fault_plan is not None:
+        plan_desc = {
+            k: v for k, v in fault_plan.describe().items() if v != float("inf")
+        }
+    payload = {
+        "schema": PROV_SCHEMA,
+        "log": args.out,
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "match_backend": args.match_backend,
+        "fault_plan": plan_desc,
+        "sim_time": result.sim_time,
+        "counters": result.counters,
+    }
+    if _emit(args, payload):
+        return EXIT_OK
+    print(
+        f"recorded {args.scenario} run (seed {args.seed}, "
+        f"backend {args.match_backend}) -> {args.out}"
+    )
+    print(
+        f"  sim_time {result.sim_time:.6g}  "
+        f"ctl {result.counters.get('ctl_messages', 0)} msgs  "
+        f"retransmissions {result.counters.get('retransmissions', 0)}"
+    )
+    return EXIT_OK
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Verify, time-travel, or differentially replay a provenance log."""
+    from repro.obs.prov import ProvenanceError, read_log, validate_provenance_log
+    from repro.obs.replay import differential_replay, materialize, verify_replay
+
+    try:
+        log = read_log(args.log)
+    except (ProvenanceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    problems = validate_provenance_log(log)
+    if problems:
+        for problem in problems:
+            print(f"error: {args.log}: {problem}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        if args.at is not None:
+            payload = materialize(
+                log, args.at, args.query, match_backend=args.match_backend
+            )
+            if _emit(args, payload):
+                return EXIT_OK
+            print(f"{args.query} @ t={args.at:g}: {len(payload['rows'])} rows")
+            for row in payload["rows"]:
+                print("  " + json.dumps(row, sort_keys=True))
+            return EXIT_OK
+        if args.edit is not None or args.edit_tolerance is not None:
+            payload = differential_replay(
+                log,
+                fault_plan_path=args.edit,
+                tolerance=args.edit_tolerance,
+                match_backend=args.match_backend,
+            )
+            if _emit(args, payload):
+                return EXIT_OK
+            diff = payload["diff"]
+            res, skips = diff["resolutions"], diff["buddy_skips"]
+            print(
+                f"differential replay of {args.log} "
+                f"(edits: {', '.join(sorted(payload['edits'])) or 'none'})"
+            )
+            print(
+                f"  resolutions: {len(res['changed'])} changed, "
+                f"{len(res['added'])} added, {len(res['removed'])} removed"
+            )
+            print(
+                f"  buddy_skips: {len(skips['added'])} added, "
+                f"{len(skips['removed'])} removed"
+            )
+            for c in res["changed"]:
+                fields = ", ".join(
+                    f"{k}: {v['before']!r} -> {v['after']!r}"
+                    for k, v in sorted(c["changed"].items())
+                )
+                print(f"    {c['connection']} @{c['request']:g} {c['who']}: {fields}")
+            print("  diff: " + ("empty" if diff["empty"] else "NON-EMPTY"))
+            return EXIT_OK
+        payload = verify_replay(log, match_backend=args.match_backend)
+    except ProvenanceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    code = EXIT_OK if payload["ok"] else EXIT_FINDINGS
+    if _emit(args, payload):
+        return code
+    mode = "cross-backend" if payload["cross_backend"] else "bit-exact"
+    print(
+        f"replay of {args.log} ({payload['recorded_backend']} -> "
+        f"{payload['replayed_backend']}, {mode})"
+    )
+    if payload["cross_backend"]:
+        print(f"  decisions_match: {payload['decisions_match']}")
+    else:
+        print(f"  report identical: {payload['report_identical']}")
+        print(f"  causal identical: {payload['causal_identical']}")
+    print("  OK" if payload["ok"] else "  MISMATCH")
+    return code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.micro import compare_history, run_micro, write_report
 
@@ -572,8 +715,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         regressions = payload["regressions"]
         if _emit(args, payload):
             return 1 if regressions else 0
+        for skip in payload.get("skipped", ()):
+            print(
+                f"warning: skipped {skip['report']}: {skip['reason']}",
+                file=sys.stderr,
+            )
         if not payload["reports"]:
-            print(f"no BENCH_*.json reports in {args.dir}", file=sys.stderr)
+            print(f"no usable BENCH_*.json reports in {args.dir}", file=sys.stderr)
             return 1
         print(
             f"bench history: {len(payload['reports'])} reports, "
@@ -847,6 +995,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
                 spec["telemetry_interval"] = args.interval
             if args.label:
                 spec["label"] = args.label
+            if args.provenance:
+                spec["provenance"] = True
             info = client.submit(spec)
             if args.wait is not None:
                 info = client.wait(info["id"], timeout=args.wait)
@@ -878,6 +1028,15 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         if args.action == "report":
             report = client.report(args.id)
             print(json.dumps(report, indent=None if args.json else 2))
+            return EXIT_OK
+        if args.action == "provenance":
+            text = client.provenance(args.id)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                print(f"wrote {args.out} ({len(text)} bytes)")
+            else:
+                sys.stdout.write(text)
             return EXIT_OK
         if args.action == "wait":
             info = client.wait(args.id, timeout=args.timeout)
@@ -1203,8 +1362,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_8.json",
-        help="report file (default BENCH_8.json)",
+        "--out", metavar="PATH", default="BENCH_9.json",
+        help="report file (default BENCH_9.json)",
     )
     pb.add_argument(
         "--history", action="store_true",
@@ -1222,6 +1381,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_match_backend_flag(pb)
     _add_json_flag(pb)
     pb.set_defaults(fn=_cmd_bench)
+
+    prec = sub.add_parser(
+        "record",
+        help="record the coupled demo into a repro.prov/v1 provenance log",
+    )
+    prec.add_argument("out", help="provenance log path (.gz compresses)")
+    prec.add_argument(
+        "--scenario", choices=["demo", "chaos"], default="demo",
+        help="demo (fault-free) or chaos (FaultPlan drops/dups/jitter)",
+    )
+    prec.add_argument("--seed", type=int, default=2, help="run seed (default 2)")
+    prec.add_argument(
+        "--drop", type=float, default=None, metavar="P",
+        help="control-plane drop probability (chaos default 0.1)",
+    )
+    prec.add_argument(
+        "--dup", type=float, default=None, metavar="P",
+        help="duplication probability (chaos default 0.05)",
+    )
+    prec.add_argument(
+        "--jitter", type=float, default=None, metavar="S",
+        help="max extra delivery delay (chaos default 2e-4)",
+    )
+    _add_match_backend_flag(prec)
+    _add_json_flag(prec)
+    prec.set_defaults(fn=_cmd_record)
+
+    prep = sub.add_parser(
+        "replay",
+        help="bit-exact replay of a provenance log: verify, time-travel, diff",
+    )
+    prep.add_argument("log", help="repro.prov/v1 log file (.gz supported)")
+    prep.add_argument(
+        "--at", type=float, default=None, metavar="T",
+        help="time-travel: materialize run state at virtual time T",
+    )
+    prep.add_argument(
+        "--query", choices=["ledger", "pending", "matches"], default="ledger",
+        help="what --at materializes: buffer ledgers, the PENDING "
+        "frontier, or recorded match resolutions (default ledger)",
+    )
+    prep.add_argument(
+        "--edit", metavar="PLAN.json", default=None,
+        help="differential replay: re-run under this edited fault plan "
+        "and diff the two causal DAGs",
+    )
+    prep.add_argument(
+        "--edit-tolerance", type=float, default=None, metavar="TOL",
+        help="differential replay: re-run with every non-EXACT match "
+        "policy's tolerance replaced by TOL",
+    )
+    prep.add_argument(
+        "--match-backend", choices=["legacy", "sorted"], default=None,
+        help="replay under this match engine instead of the recorded one "
+        "(cross-backend verification compares decisions, not digests)",
+    )
+    _add_json_flag(prep)
+    prep.set_defaults(fn=_cmd_replay)
 
     pm = sub.add_parser(
         "monitor",
@@ -1318,6 +1535,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pss_submit.add_argument("--label", help="human-readable session label")
     pss_submit.add_argument(
+        "--provenance", action="store_true",
+        help="record the session into a repro.prov/v1 provenance log, "
+        "retrievable at /sessions/ID/provenance",
+    )
+    pss_submit.add_argument(
         "--wait", type=float, nargs="?", const=60.0, metavar="S",
         help="block until the session finishes (exit 1 unless it is done)",
     )
@@ -1336,6 +1558,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pss_report.add_argument("id", help="session id")
     _sessions_common(pss_report)
+
+    pss_prov = pss_sub.add_parser(
+        "provenance",
+        help="fetch a finished session's repro.prov/v1 log "
+        "(submit with --provenance first)",
+    )
+    pss_prov.add_argument("id", help="session id")
+    pss_prov.add_argument(
+        "--out", metavar="PATH",
+        help="write the log to PATH (replayable with repro replay) "
+        "instead of stdout",
+    )
+    _sessions_common(pss_prov)
 
     pss_wait = pss_sub.add_parser(
         "wait", help="block until a session reaches a terminal state"

@@ -314,6 +314,10 @@ class ProcessContext:
         require(seconds >= 0, "compute time must be >= 0")
         yield self.sim.timeout(seconds)
         self.stats.compute_time += seconds
+        if self._coupler._prov is not None:
+            self._coupler._prov.on_op(
+                self.program, self.rank, {"op": "compute", "seconds": seconds}
+            )
         return seconds
 
     def compute_elements(
@@ -329,6 +333,19 @@ class ProcessContext:
         )
         yield self.sim.timeout(t)
         self.stats.compute_time += t
+        if self._coupler._prov is not None:
+            # Recorded as (elements, scale), not the drawn time: replay
+            # re-issues the same draw from the same named stream, which
+            # keeps the shared per-rank RNG in lock-step with exports.
+            self._coupler._prov.on_op(
+                self.program,
+                self.rank,
+                {
+                    "op": "compute_elements",
+                    "elements": int(elements),
+                    "scale": float(scale),
+                },
+            )
         return t
 
     # -- export -----------------------------------------------------------------
@@ -445,6 +462,17 @@ class ProcessContext:
         )
         if coupler.operation_log is not None:
             coupler.operation_log.log(self.program, self.rank, "export", region, ts)
+        if coupler._prov is not None:
+            coupler._prov.on_op(
+                self.program,
+                self.rank,
+                {
+                    "op": "export",
+                    "region": region,
+                    "ts": ts,
+                    "dtype": None if data is None else np.dtype(data.dtype).name,
+                },
+            )
         return outcome.decision
 
     def _note_buddy_skip(self, ts: float, outcome: Any, now: float) -> None:
@@ -524,6 +552,12 @@ class ProcessContext:
         )
         if coupler.operation_log is not None:
             coupler.operation_log.log(self.program, self.rank, "import", region, ts)
+        if coupler._prov is not None:
+            coupler._prov.on_op(
+                self.program,
+                self.rank,
+                {"op": "import_begin", "region": region, "ts": ts},
+            )
         return ImportHandle(region=region, connection_id=cid, ts=ts, record=record)
 
     def import_wait(
@@ -540,6 +574,12 @@ class ProcessContext:
         coupler = self._coupler
         cid = handle.connection_id
         ts = handle.ts
+        if coupler._prov is not None:
+            coupler._prov.on_op(
+                self.program,
+                self.rank,
+                {"op": "import_wait", "region": handle.region, "ts": ts},
+            )
         conn_rt = coupler._connections[cid]
         box = coupler._cpl_mailbox(self.program, self.rank)
         answer_ev = box.get_matching(
@@ -862,7 +902,9 @@ class CoupledSimulation:
             12 if options.max_retransmits is None else options.max_retransmits
         )
         batch_control = options.batch_control
-        causal_trace = options.causal_trace
+        # Provenance needs the causal DAG to certify replays, so
+        # recording implies causal tracing (reflected in the log header).
+        causal_trace = options.causal_trace or options.provenance is not None
         telemetry_sinks = options.telemetry_sinks
         telemetry_interval = options.telemetry_interval
         require(buffer_policy in ("error", "block"), "buffer_policy: 'error' or 'block'")
@@ -871,6 +913,18 @@ class CoupledSimulation:
         self.preset = preset
         self.buddy_help = buddy_help
         self.rng = RngRegistry(seed=seed)
+        #: Provenance recorder (opt-in).  ``None`` keeps every hot-path
+        #: hook to one attribute check per event.
+        self._prov = None
+        if options.provenance is not None:
+            # Imported lazily: the core stays importable without the
+            # obs package and pays nothing when recording is off.
+            from repro.obs.prov import ProvenanceRecorder
+
+            self._prov = ProvenanceRecorder(options.provenance)
+            # Installed before any subsystem opens a stream, so every
+            # draw of the run lands in the log.
+            self.rng.set_recorder(self._prov.on_rng)
         self.tracer = tracer if tracer is not None else NullTracer()
         if sanitize is None:
             env = os.environ.get("REPRO_SANITIZE", "")
@@ -909,6 +963,11 @@ class CoupledSimulation:
             fault_plan=fault_plan,
         )
         self.fault_plan = fault_plan
+        if self._prov is not None:
+            self.world.rng.set_recorder(self._prov.on_rng)
+            fault_rngs = getattr(self.world.network, "_rngs", None)
+            if fault_rngs is not None:
+                fault_rngs.set_recorder(self._prov.on_rng)
         if fault_plan is not None:
             # The faulty network narrates drops/dups/delays into the
             # same (possibly sanitizer-wrapped) tracer as the protocol.
@@ -969,6 +1028,10 @@ class CoupledSimulation:
         require_positive(telemetry_interval, "telemetry_interval")
         self.telemetry_interval = telemetry_interval
         self.sim: Simulator = self.world.sim
+        if self._prov is not None:
+            # The hook is the recorder's list append — no indirection on
+            # the kernel's heap branch beyond one attribute check.
+            self.sim._sched_hook = self._prov.sched.append
         self._programs: dict[str, _ProgramRuntime] = {}
         self._connections: dict[str, _ConnRuntime] = {
             c.connection_id: _ConnRuntime(c) for c in self.config.connections
@@ -1147,6 +1210,10 @@ class CoupledSimulation:
                     )
         if self.telemetry_sinks:
             self.sim.process(self._telemetry_proc(), name="telemetry")
+        if self._prov is not None:
+            from repro.obs.prov import build_header
+
+            self._prov.set_header(build_header(self, "des"))
 
     # -- network helpers ------------------------------------------------------
     def _stamp(self, payload: Any) -> Any:
@@ -1161,9 +1228,22 @@ class CoupledSimulation:
         if isinstance(payload, _DataPiece):
             self.data_messages += 1
             self.data_bytes += nbytes
+            plane = "data"
         else:
             self.ctl_messages += 1
             self.ctl_bytes += nbytes
+            plane = "ctl"
+        if self._prov is not None:
+            self._prov.on_wire(
+                self.sim.now,
+                getattr(payload, "seq", -1),
+                src,
+                dst,
+                type(payload).__name__,
+                plane,
+                nbytes,
+                getattr(payload, "trace", None),
+            )
         self.world.network.send(src, dst, payload, nbytes=nbytes)
 
     def _flush_frames(
@@ -1300,6 +1380,16 @@ class CoupledSimulation:
                 response.request_ts,
                 kind=str(response.kind),
                 rank=ctx.rank,
+            )
+        if self._prov is not None:
+            self._prov.on_match(
+                self.sim.now,
+                cid,
+                ctx.rank,
+                response.request_ts,
+                str(response.kind),
+                response.latest_export_ts,
+                self.match_backend,
             )
         payload = _ProcResponse(
             connection_id=cid, rank=ctx.rank, response=response, trace=tr

@@ -176,6 +176,10 @@ class LiveProcessContext:
         """Really sleep for ``seconds * time_scale``."""
         require(seconds >= 0, "compute time must be >= 0")
         time.sleep(seconds * self._rt.time_scale)
+        if self._rt._prov is not None:
+            self._rt._prov.on_op(
+                self.program, self.rank, {"op": "compute", "seconds": seconds}
+            )
 
     # -- export ------------------------------------------------------------------
     def export(self, region: str, ts: float, data: np.ndarray | None = None) -> ExportDecision:
@@ -233,6 +237,17 @@ class LiveProcessContext:
                 else tracing.EXPORT_MEMCPY
             )
             self._rt.tracer.record(kind, self.who, time.perf_counter(), timestamp=ts)
+        if self._rt._prov is not None:
+            self._rt._prov.on_op(
+                self.program,
+                self.rank,
+                {
+                    "op": "export",
+                    "region": region,
+                    "ts": ts,
+                    "dtype": None if data is None else np.dtype(data.dtype).name,
+                },
+            )
         return outcome.decision
 
     def _note_buddy_skip(self, ts: float, outcome: Any) -> None:
@@ -279,6 +294,13 @@ class LiveProcessContext:
         assert ist is not None
         rt = self._rt
         cid = ist.connection_id
+        if rt._prov is not None:
+            # One combined row: the live API has no begin/wait split.
+            rt._prov.on_op(
+                self.program,
+                self.rank,
+                {"op": "import_begin", "region": region, "ts": ts},
+            )
         tr: TraceContext | None = None
         if rt.causal is not None:
             tid = rt.causal.trace_for(cid, ts)
@@ -571,11 +593,25 @@ class LiveCoupledSimulation:
         self.framed_messages = 0
         self._count_lock = threading.Lock()
         self._wire_seq = 0
+        #: Provenance recorder (opt-in).  Live logs are audit-only —
+        #: wall-clock scheduling is not replayable — but they capture
+        #: the same wire/match/operation record as the DES runtime.
+        #: Recorder appends are single ``list.append``/dict-op calls,
+        #: atomic under the GIL, so no extra lock is needed.
+        self._prov = None
+        if options.provenance is not None:
+            # Imported lazily: the core stays importable without the
+            # obs package and pays nothing when recording is off.
+            from repro.obs.prov import ProvenanceRecorder
+
+            self._prov = ProvenanceRecorder(options.provenance)
         #: Causal tracing (opt-in, same span vocabulary as the DES
         #: runtime).  The aux dicts are written by at most one thread
         #: per key (CPython dict ops are atomic under the GIL).
         self.causal: CausalLog | None = (
-            CausalLog() if options.causal_trace else None
+            CausalLog()
+            if options.causal_trace or self._prov is not None
+            else None
         )
         #: Happens-before race detection (opt-in, duck-typed so the
         #: core layer does not import :mod:`repro.analysis.races`).
@@ -801,6 +837,10 @@ class LiveCoupledSimulation:
             prog.contexts = [
                 LiveProcessContext(self, prog, r) for r in range(prog.nprocs)
             ]
+        if self._prov is not None:
+            from repro.obs.prov import build_header
+
+            self._prov.set_header(build_header(self, "live"))
 
     def _mailbox(self, *address: Any) -> ThreadMailbox:
         return self.world.mailbox(tuple(address))
@@ -870,7 +910,19 @@ class LiveCoupledSimulation:
 
     def _post(self, address: tuple[Any, ...], msg: Any) -> None:
         """Stamp a fresh sequence number and deliver via the fault hook."""
-        self.world.post(address, self._stamp(msg))
+        msg = self._stamp(msg)
+        if self._prov is not None:
+            self._prov.on_wire(
+                self.elapsed(),
+                getattr(msg, "seq", -1),
+                None,
+                address,
+                type(msg).__name__,
+                "data" if isinstance(msg, wire.DataPiece) else "ctl",
+                int(getattr(msg, "nbytes", wire.CTL_NBYTES)),
+                getattr(msg, "trace", None),
+            )
+        self.world.post(address, msg)
 
     def _flush_frames(self, out: list[tuple[Any, Any]]) -> None:
         """Post collected ``(address, msg)`` control sends as frames.
@@ -915,6 +967,16 @@ class LiveCoupledSimulation:
                 response.request_ts,
                 kind=str(response.kind),
                 rank=ctx.rank,
+            )
+        if self._prov is not None:
+            self._prov.on_match(
+                self.elapsed(),
+                cid,
+                ctx.rank,
+                response.request_ts,
+                str(response.kind),
+                response.latest_export_ts,
+                self.match_backend,
             )
         payload = wire.ProcResponse(
             connection_id=cid, rank=ctx.rank, response=response, trace=tr

@@ -378,6 +378,12 @@ class Simulator:
         self._heap_scheduled = 0
         self._cancel_count = 0
         self._active_process: Optional[Process] = None
+        #: Optional provenance hook called with ``(time, prio, seq)``
+        #: for every heap scheduling decision.  The same-instant lane
+        #: fast path is deliberately left unhooked — lane order is
+        #: fully determined by ``seq``, so heap placements alone pin
+        #: down the schedule, and ``des_dispatch`` stays uninstrumented.
+        self._sched_hook: Optional[Callable[[tuple[float, int, int]], None]] = None
 
     @property
     def now(self) -> float:
@@ -420,9 +426,12 @@ class Simulator:
             self._lanes[priority].append((self._seq, event))
         else:
             self._heap_scheduled += 1
-            heapq.heappush(
-                self._heap, (self._now + delay, int(priority), self._seq, event)
-            )
+            entry = (self._now + delay, int(priority), self._seq, event)
+            if self._sched_hook is not None:
+                # Slice off the event: the provenance log records the
+                # placement, never pins the event object in memory.
+                self._sched_hook(entry[:3])
+            heapq.heappush(self._heap, entry)
 
     def _step(self) -> None:
         """Fire the next event in (time, prio, seq) order.

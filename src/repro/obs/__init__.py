@@ -16,6 +16,11 @@ Three pillars (see ``docs/observability.md``):
   (happens-before) tracing of every control-plane message with
   critical-path stage attribution per import, and opt-in streaming
   telemetry sinks (JSONL, OpenMetrics) for live monitoring.
+* :mod:`repro.obs.prov` + :mod:`repro.obs.replay` — provenance-grade
+  run recording (``repro.prov/v1`` append-only logs, opt-in via
+  ``RunOptions.provenance``), bit-exact replay from the log alone,
+  time-travel queries over buffer ledgers and PENDING frontiers, and
+  differential replay diffing two causal DAGs.
 
 The usual entry point is the facade: ``result.metrics`` /
 ``result.timeline`` / ``result.causal`` on
@@ -56,9 +61,25 @@ from repro.obs.metrics import (
     Timer,
 )
 from repro.obs.paper import PaperMetrics, compute_paper_metrics
+from repro.obs.prov import (
+    PROV_SCHEMA,
+    ProvenanceError,
+    ProvenanceLog,
+    ProvenanceRecorder,
+    read_log,
+    validate_provenance_log,
+)
+from repro.obs.replay import (
+    diff_causal,
+    differential_replay,
+    materialize,
+    replay,
+    verify_replay,
+)
 from repro.obs.spans import Span, SpanRecorder, Timeline, TimelineSet, build_timelines
 
 __all__ = [
+    "PROV_SCHEMA",
     "REPORT_SCHEMA",
     "CausalLog",
     "CausalReport",
@@ -73,6 +94,9 @@ __all__ = [
     "NullMetrics",
     "OpenMetricsSink",
     "PaperMetrics",
+    "ProvenanceError",
+    "ProvenanceLog",
+    "ProvenanceRecorder",
     "Span",
     "SpanRecorder",
     "TelemetrySink",
@@ -86,9 +110,16 @@ __all__ = [
     "chrome_trace",
     "collect_metrics",
     "compute_paper_metrics",
+    "diff_causal",
+    "differential_replay",
+    "materialize",
+    "read_log",
     "render_openmetrics",
+    "replay",
     "validate_chrome_trace",
     "validate_openmetrics",
+    "validate_provenance_log",
     "validate_report_payload",
+    "verify_replay",
     "write_chrome_trace",
 ]

@@ -152,12 +152,18 @@ class JsonlSink:
     """Append one JSON line per snapshot to *path*.
 
     Lines are flushed immediately so ``repro monitor --follow`` can
-    tail the file while the run is still going.
+    tail the file while the run is still going.  A ``.gz`` suffix
+    gzip-compresses the stream (append mode concatenates gzip members,
+    which every conforming reader — including :mod:`gzip` — decodes as
+    one stream).
     """
 
     def __init__(self, path: str) -> None:
+        # Shared with the provenance writer so both honor ``.gz``.
+        from repro.obs.prov import open_text
+
         self.path = path
-        self._fh = open(path, "a", encoding="utf-8")
+        self._fh = open_text(path, "a")
         self.records = 0
 
     def emit(self, record: dict[str, Any]) -> None:

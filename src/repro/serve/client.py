@@ -128,6 +128,16 @@ class ServeClient:
         """The ``repro.report/v1`` payload of a finished session."""
         return self._request("GET", f"/sessions/{session_id}/report")
 
+    def provenance(self, session_id: str) -> str:
+        """The ``repro.prov/v1`` log text of a finished session.
+
+        Only available when the session was submitted with
+        ``provenance=true``; the text is a complete provenance log,
+        writable to disk and replayable with ``repro replay``.
+        """
+        payload = self._request("GET", f"/sessions/{session_id}/provenance")
+        return str(payload.get("provenance", ""))
+
     def cancel(self, session_id: str, reason: str | None = None) -> dict[str, Any]:
         """Cancel a session (optionally recording *reason*)."""
         body = {"reason": reason} if reason else None

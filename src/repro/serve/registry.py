@@ -61,6 +61,8 @@ class SessionRecord:
     future: Future[dict[str, Any]] | None = None
     #: The ``repro.report/v1`` payload once the session is done.
     report: dict[str, Any] | None = None
+    #: The ``repro.prov/v1`` log text, when the spec asked for one.
+    provenance: str | None = None
     sim_time: float | None = None
     counters: dict[str, int] | None = None
     #: Telemetry bookkeeping.
@@ -95,6 +97,7 @@ class SessionRecord:
             "sim_time": self.sim_time,
             "counters": self.counters,
             "report_ready": self.report is not None,
+            "provenance_ready": self.provenance is not None,
             "telemetry": {
                 "records": self.records,
                 "buffered": len(self.buffer),
@@ -260,6 +263,7 @@ class SessionRegistry:
             session.cancel_reason = cancel_reason
         if outcome is not None:
             session.report = outcome.get("report")
+            session.provenance = outcome.get("provenance")
             session.sim_time = outcome.get("sim_time")
             session.counters = outcome.get("counters")
         for queue in session.subscribers:

@@ -16,6 +16,7 @@ Wire surface (one request per connection, ``Connection: close``)::
     GET    /sessions                list sessions + server stats
     GET    /sessions/{id}           one session's info
     GET    /sessions/{id}/report    the repro.report/v1 payload
+    GET    /sessions/{id}/provenance the repro.prov/v1 log text
     GET    /sessions/{id}/telemetry stream repro.telemetry/v1 JSONL
     DELETE /sessions/{id}           cancel (optional {"reason": ...})
     GET    /stats                   server-wide counters
@@ -439,6 +440,23 @@ class SessionServer:
                     f"session {session.id} has no report (state {session.state!r})",
                 )
             await self._respond(writer, 200, session.report)
+            return
+        if segments[2:] == ["provenance"] and method == "GET":
+            if session.provenance is None:
+                raise _HttpError(
+                    409,
+                    f"session {session.id} has no provenance log "
+                    f"(state {session.state!r}; submit with provenance=true)",
+                )
+            await self._respond(
+                writer,
+                200,
+                {
+                    "schema": SERVE_SCHEMA,
+                    "id": session.id,
+                    "provenance": session.provenance,
+                },
+            )
             return
         if segments[2:] == ["telemetry"] and method == "GET":
             replay = query.get("replay", ["1"])[-1] not in ("0", "false", "no")

@@ -97,6 +97,11 @@ class SessionSpec:
         session (virtual seconds on the DES runtime).
     label:
         Optional human-readable name echoed in listings and reports.
+    provenance:
+        Record the session into a ``repro.prov/v1`` provenance log; the
+        log text is retrievable at ``GET /sessions/{id}/provenance``
+        once the session is done, turning any served run into a
+        bit-exactly replayable artifact.
     """
 
     scenario: str = "demo"
@@ -104,6 +109,7 @@ class SessionSpec:
     fault_plan: Mapping[str, Any] | None = None
     telemetry_interval: float = 0.05
     label: str | None = None
+    provenance: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.scenario, str) or not self.scenario:
@@ -124,6 +130,8 @@ class SessionSpec:
             raise ValueError("telemetry_interval must be a positive number")
         if self.label is not None and not isinstance(self.label, str):
             raise ValueError("label must be a string or null")
+        if not isinstance(self.provenance, bool):
+            raise ValueError("provenance must be a boolean")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON body of ``POST /sessions``)."""
@@ -133,6 +141,7 @@ class SessionSpec:
             "fault_plan": None if self.fault_plan is None else dict(self.fault_plan),
             "telemetry_interval": self.telemetry_interval,
             "label": self.label,
+            "provenance": self.provenance,
         }
 
     @classmethod

@@ -101,6 +101,7 @@ def run_session(session_id: str, spec_dict: dict[str, Any]) -> dict[str, Any]:
     if queue is not None:
         queue.put((session_id, {CONTROL_KEY: "started", "pid": os.getpid()}))
     outcome: dict[str, Any]
+    prov_path: str | None = None
     try:
         spec = SessionSpec.from_dict(spec_dict)
         build = build_scenario(spec)
@@ -111,6 +112,17 @@ def run_session(session_id: str, spec_dict: dict[str, Any]) -> dict[str, Any]:
                 telemetry_sinks=options.telemetry_sinks
                 + (QueueSink(session_id, queue),),
             )
+        if spec.provenance:
+            # Captured to a worker-local temp file, shipped back as
+            # text in the outcome (wire-safe), then unlinked — the
+            # server keeps sessions stateless on the worker side.
+            import tempfile
+
+            fd, prov_path = tempfile.mkstemp(
+                prefix=f"repro-{session_id}-", suffix=".prov"
+            )
+            os.close(fd)
+            options = replace(options, provenance=prov_path)
         result = run(build.config, list(build.programs), options)
     except Exception as exc:  # noqa: BLE001 - reported to the server
         outcome = {
@@ -126,6 +138,17 @@ def run_session(session_id: str, spec_dict: dict[str, Any]) -> dict[str, Any]:
             "counters": dict(result.counters),
             "report": report_payload(spec.label or session_id, spec, result),
         }
+    if prov_path is not None:
+        try:
+            with open(prov_path, encoding="utf-8") as fh:
+                outcome["provenance"] = fh.read()
+        except OSError:
+            outcome["provenance"] = None
+        finally:
+            try:
+                os.unlink(prov_path)
+            except OSError:
+                pass
     # The outcome rides the same FIFO queue as the telemetry, so the
     # server never finishes a session before its last snapshot landed
     # (an attached stream always sees the final line).  The future's

@@ -11,6 +11,7 @@ order, determines the substream.
 from __future__ import annotations
 
 import hashlib
+from typing import Any, Callable
 
 import numpy as np
 
@@ -46,12 +47,25 @@ class RngRegistry:
     def __init__(self, seed: int = 0) -> None:
         require_type(seed, int, "seed")
         self._seed = seed
-        self._streams: dict[str, np.random.Generator] = {}
+        self._streams: dict[str, Any] = {}
+        self._recorder: Callable[[str, str, Any], None] | None = None
 
     @property
     def seed(self) -> int:
         """The root seed this registry was created with."""
         return self._seed
+
+    def set_recorder(
+        self, recorder: Callable[[str, str, Any], None] | None
+    ) -> None:
+        """Observe every draw from streams opened *after* this call.
+
+        *recorder* receives ``(stream_name, method_name, value)`` once
+        per completed draw.  Streams handed out earlier keep their bare
+        generators; provenance recording therefore installs the
+        recorder before any subsystem opens a stream.
+        """
+        self._recorder = recorder
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for *name*, creating it on first use.
@@ -64,8 +78,10 @@ class RngRegistry:
         gen = self._streams.get(name)
         if gen is None:
             gen = np.random.default_rng(_substream_seed(self._seed, name))
+            if self._recorder is not None:
+                gen = _RecordingStream(gen, name, self._recorder)
             self._streams[name] = gen
-        return gen
+        return gen  # type: ignore[no-any-return]
 
     def fork(self, name: str) -> "RngRegistry":
         """Return a new registry whose root seed derives from *name*.
@@ -78,3 +94,38 @@ class RngRegistry:
     def names(self) -> list[str]:
         """Names of all streams opened so far (sorted)."""
         return sorted(self._streams)
+
+
+class _RecordingStream:
+    """Transparent draw-recording wrapper around one named stream.
+
+    Draw *values* (not just counts) go to the recorder so a provenance
+    log can audit every stochastic decision of a run; the underlying
+    generator state advances exactly as it would bare, keeping recorded
+    and unrecorded runs bit-identical.
+    """
+
+    __slots__ = ("_gen", "_name", "_record")
+
+    def __init__(
+        self,
+        gen: np.random.Generator,
+        name: str,
+        record: Callable[[str, str, Any], None],
+    ) -> None:
+        self._gen = gen
+        self._name = name
+        self._record = record
+
+    def __getattr__(self, attr: str) -> Any:
+        target = getattr(self._gen, attr)
+        if not callable(target):
+            return target
+        name, record = self._name, self._record
+
+        def drawn(*args: Any, **kwargs: Any) -> Any:
+            out = target(*args, **kwargs)
+            record(name, attr, out)
+            return out
+
+        return drawn

@@ -8,6 +8,8 @@ speedups — those are CI-gated by the bench-smoke job instead.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -15,11 +17,13 @@ from repro.bench.micro import (
     MicroComparison,
     _LegacySimulator,
     _PreObsSimulator,
+    compare_history,
     legacy_redistribute,
     run_control_plane_micro,
     run_match_micro,
     run_micro,
     run_obs_overhead_micro,
+    run_prov_record_overhead_micro,
 )
 from repro.data.darray import DistributedArray
 from repro.data.decomposition import BlockDecomposition
@@ -161,12 +165,13 @@ class TestReportShape:
     def test_quick_report_carries_baselines(self):
         payload = run_micro(quick=True)
         assert payload["quick"] is True
-        assert len(payload["results"]) == 7
+        assert len(payload["results"]) == 8
         assert [r["name"] for r in payload["results"]] == [
             "des_dispatch",
             "redistribution",
             "control_plane_messages",
             "obs_noop_overhead",
+            "prov_record_overhead",
             "verify_states_per_sec",
             "serve_sessions_per_sec",
             "match_throughput",
@@ -183,3 +188,85 @@ class TestReportShape:
         )
         assert up.speedup == 3.0
         assert down.speedup == 3.0
+
+
+class TestProvOverheadMicro:
+    def test_guard_passes_at_quick_size(self):
+        # Same deal as the obs guard: a relaxed floor at unit-test
+        # sizes; the real 0.90 floor is CI's bench-smoke job.
+        cmp = run_prov_record_overhead_micro(
+            pending=5_000, burst=1_000, rounds=3, repeats=2, floor=0.4
+        )
+        assert cmp.name == "prov_record_overhead"
+        assert cmp.unit == "events/sec"
+        assert cmp.detail["floor"] == 0.4
+        assert cmp.baseline > 0 and cmp.optimized > 0
+        # The record side really recorded: one hook call per burst
+        # event per round, so overhead is measured, not hypothetical.
+        assert cmp.detail["recorded_events"] > 0
+
+    def test_guard_fails_below_floor(self):
+        with pytest.raises(ValueError, match="provenance record mode costs"):
+            run_prov_record_overhead_micro(
+                pending=2_000, burst=500, rounds=2, repeats=1, floor=1e9
+            )
+
+
+def _bench_payload(name: str, speedup: float) -> dict:
+    return {
+        "bench": "repro micro hot paths",
+        "results": [
+            {"name": name, "speedup": speedup, "baseline": 1.0, "optimized": speedup}
+        ],
+    }
+
+
+class TestCompareHistory:
+    def test_unreadable_report_is_skipped_with_reason(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps(_bench_payload("des_dispatch", 3.0))
+        )
+        (tmp_path / "BENCH_2.json").write_text("{truncated")
+        (tmp_path / "BENCH_3.json").write_text(
+            json.dumps(_bench_payload("des_dispatch", 3.1))
+        )
+        payload = compare_history(str(tmp_path))
+        assert payload["reports"] == ["BENCH_1.json", "BENCH_3.json"]
+        assert [s["report"] for s in payload["skipped"]] == ["BENCH_2.json"]
+        assert payload["regressions"] == []
+
+    def test_wrong_shape_report_is_skipped(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text('{"results": "nope"}')
+        (tmp_path / "BENCH_2.json").write_text(
+            json.dumps(_bench_payload("des_dispatch", 2.0))
+        )
+        payload = compare_history(str(tmp_path))
+        assert payload["reports"] == ["BENCH_2.json"]
+        assert payload["skipped"][0]["reason"] == "not a bench report (no results list)"
+
+    def test_all_reports_unusable_yields_empty_history(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("not json")
+        payload = compare_history(str(tmp_path))
+        assert payload["reports"] == []
+        assert payload["metrics"] == {}
+        assert len(payload["skipped"]) == 1
+
+    def test_malformed_row_dropped_but_report_kept(self, tmp_path):
+        good = _bench_payload("des_dispatch", 4.0)
+        good["results"].append({"name": "broken", "speedup": "fast"})
+        (tmp_path / "BENCH_1.json").write_text(json.dumps(good))
+        payload = compare_history(str(tmp_path))
+        assert payload["reports"] == ["BENCH_1.json"]
+        assert set(payload["metrics"]) == {"des_dispatch"}
+
+    def test_regression_still_detected_around_skips(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps(_bench_payload("des_dispatch", 5.0))
+        )
+        (tmp_path / "BENCH_2.json").write_text("garbage")
+        (tmp_path / "BENCH_3.json").write_text(
+            json.dumps(_bench_payload("des_dispatch", 3.0))
+        )
+        payload = compare_history(str(tmp_path), allowance=0.10)
+        assert payload["regressions"] == ["des_dispatch"]
+        assert payload["metrics"]["des_dispatch"]["best"] == 5.0

@@ -77,6 +77,34 @@ class TestSessions:
         assert done["counters"]["retransmissions"] > 0
 
 
+class TestProvenance:
+    def test_provenance_session_yields_replayable_log(self, server, tmp_path):
+        info = server.client.submit(small_spec(provenance=True, label="prov"))
+        done = server.client.wait(info["id"], timeout=30)
+        assert done["state"] == "done"
+        assert done["provenance_ready"] is True
+        text = server.client.provenance(info["id"])
+        path = tmp_path / "served.prov"
+        path.write_text(text)
+        from repro.obs.prov import read_log, validate_provenance_log
+        from repro.obs.replay import verify_replay
+
+        log = read_log(path)
+        assert validate_provenance_log(log) == []
+        # The served log is a portable artifact: bit-exact replay
+        # works anywhere, not just inside the worker that recorded it.
+        v = verify_replay(log)
+        assert v["ok"] and v["report_identical"] and v["causal_identical"]
+
+    def test_provenance_absent_is_409(self, server):
+        info = server.client.submit(small_spec(label="noprov"))
+        server.client.wait(info["id"], timeout=30)
+        with pytest.raises(ServeError) as exc:
+            server.client.provenance(info["id"])
+        assert exc.value.status == 409
+        assert server.client.session(info["id"])["provenance_ready"] is False
+
+
 class TestCancel:
     def test_cancel_unknown_is_404(self, server):
         with pytest.raises(ServeError) as err:

@@ -32,6 +32,16 @@ class TestSessionSpec:
         assert spec.params == {}
         assert spec.fault_plan is None
         assert spec.label is None
+        assert spec.provenance is False
+
+    def test_provenance_round_trip(self):
+        spec = SessionSpec.from_dict({"scenario": "demo", "provenance": True})
+        assert spec.provenance is True
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_non_bool_provenance_rejected(self):
+        with pytest.raises(ValueError, match="provenance must be a boolean"):
+            SessionSpec(scenario="demo", provenance="yes")
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(ValueError, match="unknown"):

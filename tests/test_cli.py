@@ -223,12 +223,13 @@ class TestBench:
             "redistribution",
             "control_plane_messages",
             "obs_noop_overhead",
+            "prov_record_overhead",
             "verify_states_per_sec",
             "serve_sessions_per_sec",
             "match_throughput",
         ]
         for r in payload["results"]:
-            if r["name"] == "obs_noop_overhead":
+            if r["name"] in ("obs_noop_overhead", "prov_record_overhead"):
                 # A parity check, not an optimization: the no-op
                 # instrumentation should cost ~nothing, so the ratio
                 # hovers around 1.0 and is gated by its own floor.
@@ -361,11 +362,11 @@ class TestBenchHistory:
         }
         (directory / f"BENCH_{n}.json").write_text(json.dumps(payload))
 
-    def test_default_out_is_bench_8(self):
+    def test_default_out_is_bench_9(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_8.json"
+        assert args.out == "BENCH_9.json"
 
     def test_improving_history_passes(self, tmp_path, capsys):
         self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
@@ -405,7 +406,24 @@ class TestBenchHistory:
 
     def test_empty_history_fails(self, tmp_path, capsys):
         assert main(["bench", "--history", "--dir", str(tmp_path)]) == 1
-        assert "no BENCH_" in capsys.readouterr().err
+        assert "no usable BENCH_" in capsys.readouterr().err
+
+    def test_unreadable_report_warns_but_passes(self, tmp_path, capsys):
+        self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
+        (tmp_path / "BENCH_2.json").write_text("{truncated")
+        self.write_report(tmp_path, 3, {"des_dispatch": 3.1})
+        rc = main(["bench", "--history", "--dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "warning: skipped BENCH_2.json" in captured.err
+        assert "REGRESSED" not in captured.out
+
+    def test_only_corrupt_reports_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "BENCH_1.json").write_text("not json at all")
+        assert main(["bench", "--history", "--dir", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "warning: skipped BENCH_1.json" in captured.err
+        assert "no usable BENCH_" in captured.err
 
 
 class TestMonitor:
@@ -482,6 +500,62 @@ class TestMonitor:
         )
         assert main(["monitor", str(log)]) == 0
         assert "FINAL" in capsys.readouterr().out
+
+
+class TestRecordReplay:
+    def test_record_then_verify_round_trip(self, tmp_path, capsys):
+        log = tmp_path / "run.prov"
+        rc = main(["record", str(log), "--scenario", "chaos", "--seed", "5"])
+        assert rc == 0
+        assert "recorded chaos run" in capsys.readouterr().out
+        rc = main(["replay", str(log), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["report_identical"] and payload["causal_identical"]
+
+    def test_cross_backend_replay(self, tmp_path, capsys):
+        log = tmp_path / "run.prov"
+        assert main(["record", str(log), "--json"]) == 0
+        capsys.readouterr()
+        rc = main(["replay", str(log), "--match-backend", "sorted", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cross_backend"] and payload["decisions_match"]
+
+    def test_time_travel_query(self, tmp_path, capsys):
+        log = tmp_path / "run.prov"
+        assert main(["record", str(log), "--json"]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["replay", str(log), "--at", "0.02", "--query", "ledger", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == "ledger"
+        assert payload["rows"]
+
+    def test_edit_tolerance_diff(self, tmp_path, capsys):
+        log = tmp_path / "run.prov"
+        assert main(["record", str(log), "--json"]) == 0
+        capsys.readouterr()
+        rc = main(["replay", str(log), "--edit-tolerance", "0.5", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edits"] == {"tolerance": 0.5}
+        assert payload["diff"]["empty"] is False
+
+    def test_missing_log_is_usage_error(self, tmp_path, capsys):
+        rc = main(["replay", str(tmp_path / "nope.prov")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_garbage_log_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prov"
+        bad.write_text("this is not a provenance log\n")
+        rc = main(["replay", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestParser:
