@@ -117,6 +117,14 @@ class RunOptions:
         from the log alone via :func:`repro.obs.replay.replay`.
         Implies :attr:`causal_trace`.  ``None`` (default) disables
         recording entirely.
+    profile:
+        Attach a :class:`repro.obs.profile.SamplingProfiler` to the
+        run: a background thread samples the driving thread's stack
+        (no ``sys.setprofile`` hook — the run itself pays nothing per
+        call) and attributes samples to the framework's phases.  The
+        result is available as :attr:`repro.api.RunResult.profile`.
+        ``True`` uses the default ~200 Hz cadence; a positive float
+        sets the sampling period in seconds.
     """
 
     runtime: str = "des"
@@ -141,6 +149,7 @@ class RunOptions:
     race_monitor: Any | None = None
     match_backend: str = "legacy"
     provenance: str | None = None
+    profile: bool | float = False
 
     def __post_init__(self) -> None:
         require(
@@ -157,6 +166,8 @@ class RunOptions:
             "buffer_policy: 'error' or 'block'",
         )
         require(self.telemetry_interval > 0, "telemetry_interval must be > 0")
+        if not isinstance(self.profile, bool):
+            require(self.profile > 0, "profile interval must be > 0 seconds")
         if self.provenance is not None:
             require(
                 isinstance(self.provenance, str) and bool(self.provenance),

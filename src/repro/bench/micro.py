@@ -43,8 +43,19 @@ same workload, so every report carries its own baseline:
   with an untimed cross-check that both produced bit-identical
   response sequences.  Full (non-quick) runs add a 10^6-request
   point and the raw sweep-kernel rate.
+* **Profiler overhead** — the DES-dispatch workload with a
+  :class:`repro.obs.profile.SamplingProfiler` attached to the driving
+  thread vs plain; the sampler lives on its own thread (no
+  ``sys.setprofile`` hook), so the run *fails* if profiling costs the
+  workload more than the configured margin.
+* **Fleet rollup throughput** — sessions/sec folding finished
+  sessions into scrape-ready per-scenario aggregates: the incremental
+  :class:`repro.obs.fleet.FleetRollup` (bounded quantile reservoirs)
+  vs recomputing the aggregates from the full session history after
+  every observation, which is what a rollup-less server would pay per
+  ``GET /metrics``-fresh fold.
 
-``python -m repro bench`` runs all eight and writes ``BENCH_9.json``;
+``python -m repro bench`` runs all ten and writes ``BENCH_10.json``;
 ``repro bench --history`` compares every ``BENCH_*.json`` in a
 directory (see :func:`compare_history`) and flags regressions against
 the best recorded speedup.  The numbers are wall-clock measurements
@@ -711,6 +722,192 @@ def run_serve_micro(
     )
 
 
+# -- profiler overhead -----------------------------------------------------
+
+
+def _profiler_round_time(burst: int, rounds: int) -> float:
+    """Best (minimum) per-round drain time of the shipped kernel."""
+    sim = Simulator()
+    best = float("inf")
+    for _ in range(rounds):
+        for i in range(burst):
+            Event(sim).succeed(i)
+        t0 = time.perf_counter()
+        sim.run(until=sim.now)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_profiler_overhead_micro(
+    burst: int = 10_000,
+    rounds: int = 25,
+    repeats: int = 3,
+    floor: float = 0.95,
+) -> MicroComparison:
+    """Guard the cost of the sampling profiler on a busy run.
+
+    The profiler is deliberately hook-free: a daemon thread wakes every
+    ``interval`` seconds and snapshots the target thread's stack via
+    ``sys._current_frames``, so the profiled code pays only the GIL
+    time those wake-ups steal.  This micro runs the ``des_dispatch``
+    drain workload plain and then again with a profiler attached to
+    the driving thread, min-filters per-round times on both sides, and
+    **fails** when the profiled kernel keeps less than ``floor`` of
+    the unprofiled rate — i.e. when profiling costs more than 5% by
+    default.  The guard takes the best ratio over *repeats* trials,
+    the same noise protocol as :func:`run_obs_overhead_micro`.
+    """
+    from repro.obs.profile import DEFAULT_INTERVAL, SamplingProfiler
+
+    best_ratio = 0.0
+    baseline = optimized = 0.0
+    samples = 0
+    for _ in range(repeats):
+        t_plain = _profiler_round_time(burst, rounds)
+        profiler = SamplingProfiler(interval=DEFAULT_INTERVAL)
+        profiler.start()
+        try:
+            t_prof = _profiler_round_time(burst, rounds)
+        finally:
+            profile = profiler.stop()
+        samples += profile.samples
+        ratio = t_plain / t_prof
+        if ratio > best_ratio:
+            best_ratio = ratio
+            baseline = burst / t_plain
+            optimized = burst / t_prof
+    cmp = MicroComparison(
+        name="profiler_overhead",
+        unit="events/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail={
+            "burst": burst,
+            "rounds": rounds,
+            "interval": DEFAULT_INTERVAL,
+            "samples": samples,
+            "floor": floor,
+        },
+    )
+    require(
+        cmp.speedup >= floor,
+        f"sampling profiler costs {(1 - cmp.speedup) * 100:.1f}% "
+        f"of des_dispatch throughput (allowed {(1 - floor) * 100:.0f}%)",
+    )
+    return cmp
+
+
+# -- fleet rollup throughput -----------------------------------------------
+
+
+def _naive_quantile(xs: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sequence."""
+    if not xs:
+        return 0.0
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def run_rollup_micro(
+    sessions: int = 4_000,
+    error_every: int = 9,
+    repeats: int = 2,
+) -> MicroComparison:
+    """Fleet-rollup fold rate, incremental store vs recompute-on-fold.
+
+    The scrape surface's contract is that every finished session
+    leaves the per-scenario aggregates (state counts, error rate,
+    ``T_ub`` p95) immediately current.  The baseline meets it the
+    naive way — append to the full session history, then re-sort and
+    re-aggregate everything — which is O(n log n) *per session*.  The
+    shipped :class:`repro.obs.fleet.FleetRollup` folds each session
+    into Welford aggregates plus a bounded quantile reservoir, so the
+    per-session cost stays flat no matter how long the server runs.
+    An untimed cross-check requires both sides to agree exactly on
+    state counts and sample counts, and on p95 within the reservoir's
+    approximation error.
+    """
+    from repro.obs.fleet import FleetRollup
+
+    records: list[tuple[str, dict[str, Any] | None]] = []
+    for k in range(sessions):
+        if error_every and k % error_every == 0:
+            records.append(("failed", None))
+        else:
+            # Knuth-hash scatter: arrival order carries no sorted runs,
+            # so the naive re-sort pays full O(n log n) per fold the
+            # way it would on real, unordered session finishes.
+            t_ub = 1.0 + (k * 2654435761 % 4096) / 1024.0
+            records.append((
+                "done",
+                {
+                    "t_ub_total": t_ub,
+                    "buddy_saved_total": 0.5,
+                    "buddy_skips": 3,
+                    "pending_resolution": {"count": 2, "mean": 0.1},
+                },
+            ))
+
+    def naive() -> tuple[float, dict[str, int], int, float]:
+        states: dict[str, int] = {}
+        t_ubs: list[float] = []
+        p95 = 0.0
+        t0 = time.perf_counter()
+        for state, paper in records:
+            states[state] = states.get(state, 0) + 1
+            if state == "done" and paper is not None:
+                t_ubs.append(float(paper["t_ub_total"]))
+            p95 = _naive_quantile(sorted(t_ubs), 0.95)
+        elapsed = time.perf_counter() - t0
+        return sessions / elapsed, states, len(t_ubs), p95
+
+    def incremental() -> tuple[float, dict[str, int], int, float]:
+        rollup = FleetRollup()
+        p95 = 0.0
+        t0 = time.perf_counter()
+        for state, paper in records:
+            report = (
+                {"runs": [{"metrics": {"paper": paper}}]}
+                if paper is not None
+                else None
+            )
+            rollup.observe_session(
+                scenario="demo", state=state, report=report, duration=0.01
+            )
+            p95 = rollup.scenario("demo").t_ub.quantile(0.95)
+        elapsed = time.perf_counter() - t0
+        scen = rollup.scenario("demo")
+        return sessions / elapsed, dict(scen.sessions), scen.t_ub.count, p95
+
+    baseline = optimized = exact_p95 = reservoir_p95 = 0.0
+    for _ in range(repeats):
+        n_rate, n_states, n_count, exact_p95 = naive()
+        i_rate, i_states, i_count, reservoir_p95 = incremental()
+        baseline = max(baseline, n_rate)
+        optimized = max(optimized, i_rate)
+        require(n_states == i_states, "rollup state counts diverged from naive")
+        require(n_count == i_count, "rollup sample count diverged from naive")
+        require(
+            abs(reservoir_p95 - exact_p95) <= 0.15 * max(exact_p95, 1e-9),
+            f"reservoir p95 {reservoir_p95:g} strayed from exact {exact_p95:g}",
+        )
+    return MicroComparison(
+        name="rollup_sessions_per_sec",
+        unit="sessions/sec",
+        baseline=baseline,
+        optimized=optimized,
+        detail={
+            "sessions": sessions,
+            "error_every": error_every,
+            "p95_exact": round(exact_p95, 6),
+            "p95_reservoir": round(reservoir_p95, 6),
+        },
+    )
+
+
 # -- match throughput ------------------------------------------------------
 
 
@@ -838,7 +1035,7 @@ def run_match_micro(
 
 
 def run_micro(quick: bool = False) -> dict[str, Any]:
-    """Run every micro-benchmark; return the ``BENCH_9.json`` payload."""
+    """Run every micro-benchmark; return the ``BENCH_10.json`` payload."""
     if quick:
         des = run_des_micro(pending=20_000, burst=2_000, rounds=5, repeats=2)
         redist = run_redistribution_micro(shape=(128, 128), calls=8, repeats=2)
@@ -858,6 +1055,10 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         # The 10^5 point stays full-size even in quick mode: the CI
         # sanity floor (sorted >= 3x legacy) is defined at it.
         match = run_match_micro(repeats=2)
+        # Same split as the prov guard: relaxed in-run bar for loaded
+        # tier-1 runners, the 0.95 floor enforced by CI's bench gate.
+        prof = run_profiler_overhead_micro(floor=0.85)
+        rollup = run_rollup_micro(sessions=2_500, repeats=2)
     else:
         des = run_des_micro()
         redist = run_redistribution_micro()
@@ -867,6 +1068,8 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
         verify = run_verify_micro()
         serve = run_serve_micro()
         match = run_match_micro(full_point=1_000_000)
+        prof = run_profiler_overhead_micro()
+        rollup = run_rollup_micro()
     return {
         "bench": "repro micro hot paths",
         "quick": quick,
@@ -881,6 +1084,8 @@ def run_micro(quick: bool = False) -> dict[str, Any]:
             verify.as_dict(),
             serve.as_dict(),
             match.as_dict(),
+            prof.as_dict(),
+            rollup.as_dict(),
         ],
     }
 

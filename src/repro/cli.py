@@ -29,9 +29,14 @@ Commands
 ``sessions``
     Client for a running server: ``submit``, ``list``, ``cancel``,
     ``report`` and ``wait`` against ``--url``.
+``watch``
+    SLO watchdog over a server's ``repro.fleet/v1`` rollup: evaluate
+    declarative rules (``error_rate < 0.01``, ``t_ub_p95 < 1.2 *
+    baseline``) and exit 1 when any trips — the same contract as
+    ``report --baseline`` (see ``docs/observability.md``).
 ``bench``
     Hot-path micro benchmarks vs embedded seed baselines; writes
-    ``BENCH_9.json``.  ``--history`` compares every ``BENCH_*.json``
+    ``BENCH_10.json``.  ``--history`` compares every ``BENCH_*.json``
     (unreadable or schema-invalid files are skipped with a warning)
     and exits 1 when the newest report regresses vs. the best.
 ``record``
@@ -792,6 +797,12 @@ def _monitor_show(args: argparse.Namespace, rec: dict[str, Any]) -> None:
         print(_render_snapshot(rec))
 
 
+#: First reconnect delay for ``monitor --attach`` (doubles per retry).
+_ATTACH_BACKOFF = 0.25
+#: Reconnect delay ceiling.
+_ATTACH_BACKOFF_CAP = 2.0
+
+
 def _monitor_attach(args: argparse.Namespace) -> int:
     """Stream a served session's telemetry over the wire.
 
@@ -799,7 +810,15 @@ def _monitor_attach(args: argparse.Namespace) -> int:
     snapshot, :data:`EXIT_FINDINGS` when it ends without one (the
     session failed or was cancelled), :data:`EXIT_USAGE` on connection
     errors and timeouts.
+
+    Transient connection loss mid-stream is not terminal: the stream
+    reconnects with bounded exponential backoff (``--retries``
+    attempts, delays doubling from 0.25s up to 2s), deduplicating the
+    server's replayed records by snapshot time.  A silent-session
+    timeout and exhausted retries still exit :data:`EXIT_USAGE`.
     """
+    import time as _time
+
     from repro.serve.client import ServeClient, ServeError, split_attach_url
 
     base, session_id = split_attach_url(args.attach)
@@ -818,21 +837,57 @@ def _monitor_attach(args: argparse.Namespace) -> int:
             return EXIT_USAGE
         session_id = str(sessions[-1]["id"])
     saw_final = False
-    try:
-        for rec in client.telemetry(session_id, timeout=args.timeout):
-            _monitor_show(args, rec)
-            if rec.get("final"):
-                saw_final = True
-    except ServeError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
-    except (TimeoutError, OSError) as exc:
-        print(
-            f"timeout/connection error streaming {session_id} from {base}: "
-            f"{exc}",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE
+    last_time: float | None = None
+    attempts = 0
+    delay = _ATTACH_BACKOFF
+    while True:
+        try:
+            for rec in client.telemetry(session_id, timeout=args.timeout):
+                t = rec.get("time")
+                if rec.get("final"):
+                    if saw_final:
+                        continue  # replayed final after a reconnect
+                elif (
+                    last_time is not None
+                    and isinstance(t, (int, float))
+                    and float(t) <= last_time
+                ):
+                    continue  # replayed on reconnect; already shown
+                if isinstance(t, (int, float)):
+                    last_time = float(t)
+                attempts = 0  # a live record proves the link is healthy
+                delay = _ATTACH_BACKOFF
+                _monitor_show(args, rec)
+                if rec.get("final"):
+                    saw_final = True
+            break  # server closed the stream cleanly
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except TimeoutError as exc:
+            # Silence past --timeout is the session stalling, not the
+            # link dropping: give up immediately, as before.
+            print(
+                f"timeout streaming {session_id} from {base}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        except OSError as exc:
+            attempts += 1
+            if attempts > args.retries:
+                print(
+                    f"connection error streaming {session_id} from {base} "
+                    f"after {args.retries} reconnect attempt(s): {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            print(
+                f"connection lost streaming {session_id} from {base} "
+                f"(reconnect {attempts}/{args.retries} in {delay:g}s): {exc}",
+                file=sys.stderr,
+            )
+            _time.sleep(delay)
+            delay = min(delay * 2.0, _ATTACH_BACKOFF_CAP)
     if saw_final:
         return EXIT_OK
     print(
@@ -919,6 +974,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_sessions=args.max_sessions,
         drain_timeout=args.drain_timeout,
+        profile=args.profile,
     )
 
     async def _serve() -> dict[str, Any]:
@@ -931,6 +987,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "port": server.port,
             "workers": config.workers,
             "max_sessions": config.max_sessions,
+            "profile": config.profile,
         }
         if getattr(args, "json", False):
             print(json.dumps(announce), flush=True)
@@ -1054,6 +1111,85 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Evaluate SLO rules against a server's fleet rollup.
+
+    Exit contract mirrors ``report --baseline``: :data:`EXIT_FINDINGS`
+    when any rule trips, :data:`EXIT_OK` on a clean fleet,
+    :data:`EXIT_USAGE` on malformed rules or connection errors.
+    """
+    from pathlib import Path
+
+    from repro.obs.stream import JsonlSink
+    from repro.obs.watch import ALERTS_SCHEMA, Watchdog, parse_rules
+    from repro.serve.client import ServeClient, ServeError
+
+    texts: list[str] = list(args.rule or [])
+    if args.rules_file:
+        try:
+            texts.extend(
+                Path(args.rules_file).read_text(encoding="utf-8").splitlines()
+            )
+        except OSError as exc:
+            print(f"error: cannot read {args.rules_file}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        rules = parse_rules(texts)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if not rules:
+        print("error: watch needs at least one --rule or --rules-file",
+              file=sys.stderr)
+        return EXIT_USAGE
+    baseline: dict[str, Any] | None = None
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    client = ServeClient(args.url, timeout=args.timeout)
+    sinks = [JsonlSink(args.alerts)] if args.alerts else []
+    watchdog = Watchdog(client.fleet, rules, baseline=baseline, sinks=sinks)
+    try:
+        alerts = watchdog.run(args.iterations, args.interval)
+    except ValueError as exc:  # baseline-relative rule without --baseline
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    finally:
+        for sink in sinks:
+            sink.close()
+    payload = {
+        "schema": ALERTS_SCHEMA,
+        "url": args.url,
+        "rules": [r.text for r in rules],
+        "evaluations": watchdog.evaluations,
+        "alerts": alerts,
+    }
+    if _emit(args, payload):
+        return EXIT_FINDINGS if alerts else EXIT_OK
+    print(
+        f"watch: {len(rules)} rule(s), {watchdog.evaluations} evaluation(s), "
+        f"{len(alerts)} alert(s)"
+    )
+    for alert in alerts:
+        scen = alert.get("scenario") or "*"
+        print(f"  ALERT [{scen}] {alert['rule']}: {alert['message']}")
+    if alerts:
+        print("FAIL: SLO rule(s) violated", file=sys.stderr)
+        return EXIT_FINDINGS
+    print("  fleet healthy")
+    return EXIT_OK
 
 
 def _cmd_validate_config(args: argparse.Namespace) -> int:
@@ -1362,8 +1498,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes for CI smoke runs"
     )
     pb.add_argument(
-        "--out", metavar="PATH", default="BENCH_9.json",
-        help="report file (default BENCH_9.json)",
+        "--out", metavar="PATH", default="BENCH_10.json",
+        help="report file (default BENCH_10.json)",
     )
     pb.add_argument(
         "--history", action="store_true",
@@ -1470,6 +1606,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0, metavar="S",
         help="give up on --follow after this long (default 30s)",
     )
+    pm.add_argument(
+        "--retries", type=int, default=5, metavar="N",
+        help="--attach reconnect attempts after transient connection "
+        "loss, with exponential backoff (default 5; 0 disables)",
+    )
     _add_json_flag(pm)
     pm.set_defaults(fn=_cmd_monitor)
 
@@ -1495,6 +1636,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="S",
         help="seconds in-flight sessions get to finish on shutdown "
         "(default 30)",
+    )
+    psv.add_argument(
+        "--profile", action="store_true",
+        help="sample-profile every session; phase counters appear on "
+        "GET /metrics and per-session profiles in the session info",
     )
     _add_json_flag(psv)
     psv.set_defaults(fn=_cmd_serve)
@@ -1577,6 +1723,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pss_wait.add_argument("id", help="session id")
     _sessions_common(pss_wait)
+
+    pw = sub.add_parser(
+        "watch",
+        help="SLO watchdog: evaluate rules against a server's fleet rollup",
+    )
+    pw.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8642",
+        help="server URL (default http://127.0.0.1:8642)",
+    )
+    pw.add_argument(
+        "--rule", action="append", metavar="RULE",
+        help="SLO rule, e.g. 'error_rate < 0.01' or "
+        "'demo:t_ub_p95 < 1.2 * baseline' (repeatable)",
+    )
+    pw.add_argument(
+        "--rules-file", metavar="PATH",
+        help="file of rules, one per line (# comments and blanks skipped)",
+    )
+    pw.add_argument(
+        "--baseline", metavar="PATH",
+        help="saved repro.fleet/v1 payload baseline-relative rules "
+        "compare against (see sessions/GET /fleet)",
+    )
+    pw.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="evaluation passes (default 1)",
+    )
+    pw.add_argument(
+        "--interval", type=float, default=5.0, metavar="S",
+        help="seconds between passes (default 5)",
+    )
+    pw.add_argument(
+        "--alerts", metavar="PATH",
+        help="append repro.alerts/v1 records to this JSONL file "
+        "(.gz compresses)",
+    )
+    pw.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="request timeout (default 30s)",
+    )
+    _add_json_flag(pw)
+    pw.set_defaults(fn=_cmd_watch)
 
     pv = sub.add_parser("validate-config", help="check a coupling config file")
     pv.add_argument("path")

@@ -21,6 +21,12 @@ Three pillars (see ``docs/observability.md``):
   ``RunOptions.provenance``), bit-exact replay from the log alone,
   time-travel queries over buffer ledgers and PENDING frontiers, and
   differential replay diffing two causal DAGs.
+* :mod:`repro.obs.fleet` + :mod:`repro.obs.profile` +
+  :mod:`repro.obs.watch` — fleet observability: cross-session rollups
+  with p50/p95/p99 quantiles (``repro.fleet/v1``, served on ``GET
+  /metrics``), a thread-based sampling profiler with phase
+  attribution (``repro.profile/v1``), and a declarative SLO watchdog
+  emitting ``repro.alerts/v1`` records (``repro watch``).
 
 The usual entry point is the facade: ``result.metrics`` /
 ``result.timeline`` / ``result.causal`` on
@@ -35,13 +41,25 @@ from repro.obs.export import (
     validate_report_payload,
     write_chrome_trace,
 )
+from repro.obs.fleet import FLEET_SCHEMA, FleetRollup, ScenarioRollup
+from repro.obs.profile import PROFILE_SCHEMA, Profile, SamplingProfiler
 from repro.obs.stream import (
+    ExpositionBuilder,
     JsonlSink,
     OpenMetricsSink,
     TelemetrySink,
     build_snapshot,
+    escape_label_value,
     render_openmetrics,
     validate_openmetrics,
+)
+from repro.obs.watch import (
+    ALERTS_SCHEMA,
+    Rule,
+    Watchdog,
+    evaluate_rules,
+    parse_rule,
+    parse_rules,
 )
 from repro.obs.trace import (
     CausalLog,
@@ -79,12 +97,17 @@ from repro.obs.replay import (
 from repro.obs.spans import Span, SpanRecorder, Timeline, TimelineSet, build_timelines
 
 __all__ = [
+    "ALERTS_SCHEMA",
+    "FLEET_SCHEMA",
+    "PROFILE_SCHEMA",
     "PROV_SCHEMA",
     "REPORT_SCHEMA",
     "CausalLog",
     "CausalReport",
     "CausalSpan",
     "Counter",
+    "ExpositionBuilder",
+    "FleetRollup",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -94,9 +117,13 @@ __all__ = [
     "NullMetrics",
     "OpenMetricsSink",
     "PaperMetrics",
+    "Profile",
     "ProvenanceError",
     "ProvenanceLog",
     "ProvenanceRecorder",
+    "Rule",
+    "SamplingProfiler",
+    "ScenarioRollup",
     "Span",
     "SpanRecorder",
     "TelemetrySink",
@@ -104,6 +131,7 @@ __all__ = [
     "TimelineSet",
     "Timer",
     "TraceContext",
+    "Watchdog",
     "build_causal_report",
     "build_snapshot",
     "build_timelines",
@@ -112,7 +140,11 @@ __all__ = [
     "compute_paper_metrics",
     "diff_causal",
     "differential_replay",
+    "escape_label_value",
+    "evaluate_rules",
     "materialize",
+    "parse_rule",
+    "parse_rules",
     "read_log",
     "render_openmetrics",
     "replay",

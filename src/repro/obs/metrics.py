@@ -6,8 +6,9 @@ A :class:`MetricsRegistry` holds labeled instruments:
 * :class:`Counter` — monotonically increasing event count,
 * :class:`Gauge` — last-written value with a high-water mark,
 * :class:`Histogram` — streaming distribution summary backed by
-  :class:`repro.util.stats.OnlineStats` (count/mean/stddev/min/max
-  without keeping samples alive),
+  :class:`repro.util.stats.OnlineStats` (count/mean/stddev/min/max)
+  plus a fixed-size deterministic reservoir for p50/p95/p99 quantile
+  estimates — memory stays bounded no matter how many samples arrive,
 * :class:`Timer` — a histogram over durations, with a wall-clock
   context manager for live code.
 
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -81,42 +83,133 @@ class Gauge:
         self.set(self.value + delta)
 
 
+#: Reservoir size for quantile estimation.  512 floats bound the memory
+#: of every histogram while keeping p99 usable (±~1% rank error at the
+#: tail for arbitrarily long streams).
+RESERVOIR_CAPACITY = 512
+
+#: Fixed seed so two runs observing identical sample streams export
+#: identical quantiles (replay and golden tests depend on this).
+_RESERVOIR_SEED = 0x5EED
+
+
 class Histogram:
-    """A streaming distribution summary (no samples retained).
+    """A streaming distribution summary with bounded memory.
 
     Unlike :class:`repro.util.stats.Histogram` (fixed bins over a known
     range), this instrument works for unknown ranges: it keeps Welford
-    aggregates only.  NaN samples are rejected, matching the stats
-    helper's contract.
+    aggregates plus a fixed-size uniform reservoir (Vitter's Algorithm
+    R, deterministic seed) from which :meth:`quantile` interpolates
+    p50/p95/p99.  NaN samples are rejected, matching the stats helper's
+    contract.
     """
 
-    __slots__ = ("stats",)
+    __slots__ = ("stats", "_reservoir", "_rng")
 
     def __init__(self) -> None:
         self.stats = OnlineStats()
+        self._reservoir: list[float] = []
+        self._rng = random.Random(_RESERVOIR_SEED)
 
     def observe(self, x: float) -> None:
         """Fold one sample into the distribution."""
         if math.isnan(x):
             raise ValueError("histogram samples must not be NaN")
-        self.stats.add(float(x))
+        v = float(x)
+        self.stats.add(v)
+        if len(self._reservoir) < RESERVOIR_CAPACITY:
+            self._reservoir.append(v)
+        else:
+            j = self._rng.randrange(self.stats.count)
+            if j < RESERVOIR_CAPACITY:
+                self._reservoir[j] = v
 
     @property
     def count(self) -> int:
         """Number of samples observed."""
         return self.stats.count
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (linear interpolation over the reservoir).
+
+        Exact while the stream fits in the reservoir; a uniform-sample
+        estimate beyond that.  Empty distributions report 0.0.
+        """
+        require(0.0 <= q <= 1.0, "quantile must be within [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        xs = sorted(self._reservoir)
+        pos = q * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        frac = pos - lo
+        return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+    def merge(self, other: Histogram) -> Histogram:
+        """A new histogram combining both distributions.
+
+        Welford aggregates merge exactly (parallel Welford); the
+        reservoirs concatenate and, past capacity, downsample with a
+        seed derived from the combined size — deterministic for a given
+        pair of inputs, so rollup merges are reproducible.
+        """
+        out = Histogram()
+        out.stats = self.stats.merge(other.stats)
+        combined = self._reservoir + other._reservoir
+        if len(combined) > RESERVOIR_CAPACITY:
+            rng = random.Random(_RESERVOIR_SEED ^ len(combined))
+            combined = rng.sample(combined, RESERVOIR_CAPACITY)
+        out._reservoir = combined
+        return out
+
+    def as_state(self) -> dict[str, Any]:
+        """Serializable full state (aggregates + reservoir).
+
+        :meth:`from_state` restores it bit-exactly, which is what makes
+        fleet rollup snapshots restart-safe.
+        """
+        s = self.stats
+        return {
+            "count": s.count,
+            "mean": s.mean,
+            "m2": s._m2,
+            "min": s.minimum if s.count else 0.0,
+            "max": s.maximum if s.count else 0.0,
+            "reservoir": list(self._reservoir),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> Histogram:
+        """Rebuild a histogram from :meth:`as_state` output."""
+        out = cls()
+        n = int(state.get("count", 0))
+        if n:
+            s = out.stats
+            s._n = n
+            s._mean = float(state["mean"])
+            s._m2 = float(state.get("m2", 0.0))
+            s._min = float(state["min"])
+            s._max = float(state["max"])
+        out._reservoir = [float(x) for x in state.get("reservoir", [])]
+        return out
+
     def summary(self) -> dict[str, float]:
         """Plain-dict aggregate view (empty distributions are all-zero)."""
         s = self.stats
         if s.count == 0:
-            return {"count": 0, "mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0}
+            return {
+                "count": 0, "mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": float(s.count),
             "mean": s.mean,
             "stddev": s.stddev,
             "min": s.minimum,
             "max": s.maximum,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -1,0 +1,244 @@
+"""Sampling CPU profiler with phase attribution.
+
+A thread-based wall-clock sampler built on ``sys._current_frames``:
+every *interval* seconds a daemon thread snapshots the target thread's
+stack, folds it into a collapsed-stack tally and attributes the sample
+to one of the framework's known phases by module prefix — *match*
+(request/object matching), *rep aggregation*, *redistribution*,
+*DES dispatch* and *wire*.  No ``sys.setprofile`` hook is installed,
+so the profiled run pays nothing per bytecode or call: overhead is the
+sampler thread alone, which the benchmark suite pins at < 5% of plain
+dispatch (``profiler_overhead`` in ``BENCH_10.json``).
+
+Attach one to a run with ``RunOptions(profile=True)`` (the facade
+starts/stops it and exposes :attr:`RunResult.profile <Profile>`), to a
+whole server with ``repro serve --profile`` (each worker profiles its
+sessions; phase totals surface on ``GET /metrics``), or drive
+:class:`SamplingProfiler` directly around any code block.
+
+Exports: :meth:`Profile.collapsed` (flamegraph.pl collapsed-stack
+text), :meth:`Profile.chrome_trace` (Trace Event JSON accepted by
+``validate_chrome_trace``) and :meth:`Profile.as_dict` (schema
+``repro.profile/v1``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from types import FrameType
+from typing import Any
+
+__all__ = ["PROFILE_SCHEMA", "PHASES", "Profile", "SamplingProfiler", "phase_of"]
+
+#: Schema tag stamped on exported profiles.
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: ``(module prefix, phase)`` — most specific prefix first; the
+#: *innermost* matching frame of a stack decides the sample's phase.
+_PHASE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("repro.match.aggregate", "rep_aggregation"),
+    ("repro.core.rep", "rep_aggregation"),
+    ("repro.match", "match"),
+    ("repro.data.redistribute", "redistribution"),
+    ("repro.data.schedule", "redistribution"),
+    ("repro.des", "des_dispatch"),
+    ("repro.core.wire", "wire"),
+)
+
+#: Every phase a sample can be attributed to.
+PHASES: tuple[str, ...] = (
+    "match", "rep_aggregation", "redistribution", "des_dispatch", "wire", "other",
+)
+
+#: Default sampling period (seconds): ~200 Hz, coarse enough that the
+#: sampler thread never contends with the run.
+DEFAULT_INTERVAL = 0.005
+
+#: Stack depth kept per sample (frames beyond it are truncated at the
+#: root — leaves are what attribution and flamegraphs need).
+_MAX_DEPTH = 64
+
+
+def phase_of(module: str) -> str | None:
+    """The phase a module name belongs to, or None for non-phase code."""
+    for prefix, phase in _PHASE_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return phase
+    return None
+
+
+def _fold(frame: FrameType) -> tuple[tuple[str, ...], str]:
+    """Collapse one stack into (root..leaf frame names, phase)."""
+    names: list[str] = []
+    phase = "other"
+    f: FrameType | None = frame
+    depth = 0
+    while f is not None and depth < _MAX_DEPTH:
+        module = f.f_globals.get("__name__", "?")
+        names.append(f"{module}.{f.f_code.co_name}")
+        if phase == "other":
+            found = phase_of(str(module))
+            if found is not None:
+                phase = found
+        f = f.f_back
+        depth += 1
+    names.reverse()
+    return tuple(names), phase
+
+
+@dataclass(frozen=True)
+class Profile:
+    """The result of one profiling session."""
+
+    #: Total samples taken.
+    samples: int
+    #: Sampling period in seconds.
+    interval: float
+    #: Wall-clock seconds the sampler ran.
+    duration: float
+    #: Collapsed stacks: ``root;...;leaf`` -> sample count.
+    stacks: dict[str, int] = field(default_factory=dict)
+    #: Samples per phase (every sample lands in exactly one phase).
+    phases: dict[str, int] = field(default_factory=dict)
+
+    def phase_fraction(self, phase: str) -> float:
+        """Fraction of samples attributed to *phase* (0.0 when empty)."""
+        return self.phases.get(phase, 0) / self.samples if self.samples else 0.0
+
+    def collapsed(self) -> str:
+        """flamegraph.pl collapsed-stack text (one ``stack count`` line)."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(self.stacks.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """The *n* hottest collapsed stacks, most-sampled first."""
+        ranked = sorted(self.stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def chrome_trace(self, time_scale: float = 1e6) -> dict[str, Any]:
+        """Phase attribution as Chrome ``trace_event`` JSON.
+
+        One synthetic process ("profile") with one thread per phase;
+        each phase's sampled time becomes a complete (``ph: "X"``)
+        event whose duration is ``samples * interval``, laid head to
+        tail so the track reads as a sampled-time breakdown.  Passes
+        :func:`repro.obs.export.validate_chrome_trace`.
+        """
+        events: list[dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "profile"}},
+        ]
+        cursor = 0.0
+        for tid, phase in enumerate(PHASES, start=1):
+            count = self.phases.get(phase, 0)
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "args": {"name": phase}}
+            )
+            if not count:
+                continue
+            dur = count * self.interval
+            events.append(
+                {
+                    "name": f"sampled:{phase}",
+                    "cat": "profile",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": cursor * time_scale,
+                    "dur": dur * time_scale,
+                    "args": {"samples": count},
+                }
+            )
+            cursor += dur
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def as_dict(self, max_stacks: int = 50) -> dict[str, Any]:
+        """JSON-ready form (schema ``repro.profile/v1``).
+
+        *max_stacks* bounds the payload: only the hottest stacks ship
+        (wire payloads from serve workers stay small); pass ``0`` for
+        all of them.
+        """
+        stacks = self.top(max_stacks) if max_stacks else sorted(self.stacks.items())
+        return {
+            "schema": PROFILE_SCHEMA,
+            "samples": self.samples,
+            "interval": self.interval,
+            "duration": self.duration,
+            "phases": {p: self.phases.get(p, 0) for p in PHASES},
+            "stacks": [{"stack": s, "count": c} for s, c in stacks],
+        }
+
+
+class SamplingProfiler:
+    """Samples one thread's stack on a cadence until stopped.
+
+    Usage::
+
+        profiler = SamplingProfiler()
+        profiler.start()          # samples the *calling* thread
+        ...                       # workload
+        profile = profiler.stop()
+
+    ``start``/``stop`` pair exactly once; the sampler thread is a
+    daemon, so a crashed workload never hangs interpreter exit.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError("profiler interval must be > 0")
+        self.interval = interval
+        self._target: int | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._stacks: dict[tuple[str, ...], int] = {}
+        self._phases: dict[str, int] = {}
+        self._samples = 0
+        self._started_at = 0.0
+        self._duration = 0.0
+
+    def start(self, thread_id: int | None = None) -> None:
+        """Begin sampling *thread_id* (default: the calling thread)."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target = thread_id if thread_id is not None else threading.get_ident()
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        assert self._target is not None
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:  # target thread exited
+                continue
+            stack, phase = _fold(frame)
+            self._stacks[stack] = self._stacks.get(stack, 0) + 1
+            self._phases[phase] = self._phases.get(phase, 0) + 1
+            self._samples += 1
+
+    def stop(self) -> Profile:
+        """Stop sampling and return the accumulated :class:`Profile`."""
+        if self._thread is None:
+            raise RuntimeError("profiler was never started")
+        self._stop.set()
+        self._thread.join()
+        self._duration = time.perf_counter() - self._started_at
+        self._thread = None
+        return Profile(
+            samples=self._samples,
+            interval=self.interval,
+            duration=self._duration,
+            stacks={";".join(s): c for s, c in self._stacks.items()},
+            phases=dict(self._phases),
+        )

@@ -31,8 +31,10 @@ __all__ = [
     "TelemetrySink",
     "JsonlSink",
     "OpenMetricsSink",
+    "ExpositionBuilder",
     "build_snapshot",
     "emit_snapshot",
+    "escape_label_value",
     "render_openmetrics",
     "validate_openmetrics",
 ]
@@ -238,50 +240,145 @@ def _fmt(value: Any) -> str:
     return repr(f)
 
 
-def render_openmetrics(record: dict[str, Any]) -> str:
-    """Render one telemetry record as an OpenMetrics text exposition."""
-    lines: list[str] = []
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics text format.
 
-    def family(name: str, mtype: str, help_text: str) -> None:
-        lines.append(f"# TYPE {name} {mtype}")
-        lines.append(f"# HELP {name} {help_text}")
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
-    def sample(name: str, mtype: str, labels: dict[str, str], value: Any) -> None:
+
+class ExpositionBuilder:
+    """Accumulates OpenMetrics families and samples, then renders text.
+
+    Shared by the telemetry sink renderer and the fleet ``/metrics``
+    endpoint so both produce the same dialect: ``# TYPE``/``# HELP``
+    per family, escaped label values, counter samples suffixed
+    ``_total``, and a final ``# EOF`` line.
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        """Open a metric family (emits its TYPE and HELP lines)."""
+        self._lines.append(f"# TYPE {name} {mtype}")
+        self._lines.append(f"# HELP {name} {help_text}")
+
+    def sample(
+        self, name: str, mtype: str, labels: dict[str, str], value: Any
+    ) -> None:
+        """Append one sample line (labels escaped, counters ``_total``)."""
         sname = f"{name}_total" if mtype == "counter" else name
         if labels:
-            body = ",".join(f'{k}="{v}"' for k, v in labels.items())
-            lines.append(f"{sname}{{{body}}} {_fmt(value)}")
+            body = ",".join(
+                f'{k}="{escape_label_value(str(v))}"' for k, v in labels.items()
+            )
+            self._lines.append(f"{sname}{{{body}}} {_fmt(value)}")
         else:
-            lines.append(f"{sname} {_fmt(value)}")
+            self._lines.append(f"{sname} {_fmt(value)}")
 
-    family("repro_telemetry_time_seconds", "gauge", "Run time of this snapshot")
-    sample("repro_telemetry_time_seconds", "gauge", {}, record.get("time", 0.0))
-    family("repro_run_final", "gauge", "1 when this is the run's last snapshot")
-    sample("repro_run_final", "gauge", {}, 1 if record.get("final") else 0)
+    def render(self) -> str:
+        """The complete exposition, terminated by ``# EOF``."""
+        return "\n".join([*self._lines, "# EOF"]) + "\n"
+
+
+def render_openmetrics(record: dict[str, Any]) -> str:
+    """Render one telemetry record as an OpenMetrics text exposition."""
+    out = ExpositionBuilder()
+    out.family("repro_telemetry_time_seconds", "gauge", "Run time of this snapshot")
+    out.sample("repro_telemetry_time_seconds", "gauge", {}, record.get("time", 0.0))
+    out.family("repro_run_final", "gauge", "1 when this is the run's last snapshot")
+    out.sample("repro_run_final", "gauge", {}, 1 if record.get("final") else 0)
 
     totals = record.get("totals", {})
     for name, mtype, help_text, key in _TOTALS_FAMILIES:
-        family(name, mtype, help_text)
-        sample(name, mtype, {}, totals.get(key, 0))
+        out.family(name, mtype, help_text)
+        out.sample(name, mtype, {}, totals.get(key, 0))
 
     programs = record.get("programs", {})
     for name, mtype, help_text, key in _PROGRAM_FAMILIES:
-        family(name, mtype, help_text)
+        out.family(name, mtype, help_text)
         for pname, pdata in programs.items():
-            sample(name, mtype, {"program": str(pname)}, pdata.get(key))
+            out.sample(name, mtype, {"program": str(pname)}, pdata.get(key))
 
-    lines.append("# EOF")
-    return "\n".join(lines) + "\n"
+    return out.render()
 
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
-)
-_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
 _TYPES = ("gauge", "counter", "info", "unknown")
+
+#: Legal escape sequences inside a quoted label value.
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_sample(line: str) -> tuple[str, list[tuple[str, str]], str]:
+    """Parse one sample line into ``(name, labels, value)``.
+
+    A character-scanning parser rather than a regex: quoted label
+    values may legally contain ``,``, ``}`` and escaped quotes, which
+    no single regex over the label block can honor.  Raises
+    :class:`ValueError` with a human-readable reason on malformed
+    input.
+    """
+    m = _NAME_RE.match(line)
+    if m is None or m.start() != 0:
+        raise ValueError("sample must start with a metric name")
+    name = m.group(0)
+    i = m.end()
+    labels: list[tuple[str, str]] = []
+    if i < len(line) and line[i] == "{":
+        i += 1
+        while True:
+            if i >= len(line):
+                raise ValueError("unterminated label block")
+            if line[i] == "}":
+                i += 1
+                break
+            lm = _LABEL_NAME_RE.match(line, i)
+            if lm is None:
+                raise ValueError(f"bad label name at column {i + 1}")
+            lname = lm.group(0)
+            i = lm.end()
+            if not line.startswith('="', i):
+                raise ValueError(f"label {lname!r} must be followed by ='\"'")
+            i += 2
+            buf: list[str] = []
+            while True:
+                if i >= len(line):
+                    raise ValueError(f"unterminated value for label {lname!r}")
+                c = line[i]
+                if c == "\\":
+                    if i + 1 >= len(line) or line[i + 1] not in _ESCAPES:
+                        raise ValueError(
+                            f"invalid escape in label {lname!r} at column {i + 1}"
+                        )
+                    buf.append(_ESCAPES[line[i + 1]])
+                    i += 2
+                elif c == '"':
+                    i += 1
+                    break
+                else:
+                    buf.append(c)
+                    i += 1
+            labels.append((lname, "".join(buf)))
+            if i < len(line) and line[i] == ",":
+                i += 1
+            elif i < len(line) and line[i] == "}":
+                i += 1
+                break
+            else:
+                raise ValueError(f"expected ',' or '}}' after label {lname!r}")
+    if i >= len(line) or line[i] != " ":
+        raise ValueError("expected a space before the sample value")
+    rest = line[i + 1 :].split(" ")
+    if len(rest) not in (1, 2) or not rest[0]:
+        raise ValueError("expected 'value' or 'value timestamp'")
+    return name, labels, rest[0]
 
 
 def validate_openmetrics(text: str) -> list[str]:
@@ -290,7 +387,8 @@ def validate_openmetrics(text: str) -> list[str]:
     Returns a list of human-readable problems (empty when valid).
     Enforced: ``# EOF`` terminator on the last line, ``# TYPE`` before
     any sample of a family, known metric types, legal metric/label
-    names, parseable float values, and the counter ``_total`` sample
+    names, correctly escaped label values (``\\\\``, ``\\"``, ``\\n``
+    only), parseable float values, and the counter ``_total`` sample
     suffix (gauges must use the bare family name).
     """
     problems: list[str] = []
@@ -326,20 +424,18 @@ def validate_openmetrics(text: str) -> list[str]:
         if line.startswith("#"):
             problems.append(f"{where}: unexpected comment {line!r}")
             continue
-        m = _SAMPLE_RE.match(line)
-        if m is None:
-            problems.append(f"{where}: unparseable sample {line!r}")
-            continue
-        name = m.group("name")
-        labels = m.group("labels")
-        if labels:
-            for pair in labels.split(","):
-                if not _LABEL_RE.fullmatch(pair):
-                    problems.append(f"{where}: malformed label {pair!r}")
         try:
-            float(m.group("value"))
+            name, labels, value = _parse_sample(line)
+        except ValueError as exc:
+            problems.append(f"{where}: unparseable sample {line!r} ({exc})")
+            continue
+        seen_label_names = [k for k, _ in labels]
+        if len(set(seen_label_names)) != len(seen_label_names):
+            problems.append(f"{where}: duplicate label name in {line!r}")
+        try:
+            float(value)
         except ValueError:
-            problems.append(f"{where}: non-numeric value {m.group('value')!r}")
+            problems.append(f"{where}: non-numeric value {value!r}")
         family = name[: -len("_total")] if name.endswith("_total") else name
         if family in types and types[family] == "counter":
             if not name.endswith("_total"):

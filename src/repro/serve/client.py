@@ -100,6 +100,22 @@ class ServeClient:
             raise ServeError(resp.status, f"expected a JSON object, got {payload!r}")
         return payload
 
+    def _request_text(self, method: str, path: str) -> str:
+        """A request whose success body is plain text, not JSON."""
+        conn, resp = self._open(method, path, None, self.timeout)
+        try:
+            raw = resp.read()
+        finally:
+            conn.close()
+        if resp.status >= 400:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                message = str(payload.get("error", raw))
+            except (ValueError, AttributeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServeError(resp.status, message)
+        return raw.decode("utf-8")
+
     # -- control surface ---------------------------------------------------
     def healthz(self) -> dict[str, Any]:
         """Liveness probe."""
@@ -108,6 +124,14 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         """Server-wide counters."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The ``GET /metrics`` OpenMetrics text exposition."""
+        return self._request_text("GET", "/metrics")
+
+    def fleet(self) -> dict[str, Any]:
+        """The server's ``repro.fleet/v1`` rollup payload."""
+        return self._request("GET", "/fleet")
 
     def submit(self, spec: SessionSpec | Mapping[str, Any]) -> dict[str, Any]:
         """Submit a session; returns its info (``id``, ``state``, ...)."""

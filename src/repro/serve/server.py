@@ -20,8 +20,18 @@ Wire surface (one request per connection, ``Connection: close``)::
     GET    /sessions/{id}/telemetry stream repro.telemetry/v1 JSONL
     DELETE /sessions/{id}           cancel (optional {"reason": ...})
     GET    /stats                   server-wide counters
+    GET    /metrics                 OpenMetrics text exposition (scrapeable)
+    GET    /fleet                   repro.fleet/v1 rollup payload
     GET    /healthz                 liveness probe
     POST   /shutdown                request graceful drain
+
+``GET /metrics`` is the Prometheus-style scrape surface: per-scenario
+fleet rollups (session counts, error rates, T_ub / resolution-latency
+/ duration quantiles, buddy savings, telemetry drops — see
+:mod:`repro.obs.fleet`) plus server internals (pool size, active
+sessions, subscriber queue depths, drop counters) in one exposition,
+rendered through the shared :class:`~repro.obs.stream.ExpositionBuilder`
+and accepted by :func:`repro.obs.stream.validate_openmetrics`.
 
 Shutdown is a *drain*: the listener closes, queued-but-unstarted
 sessions are cancelled with a recorded reason, running ones get
@@ -69,6 +79,8 @@ class ServeConfig:
     buffer_records: int = 512
     #: Seconds in-flight sessions get to finish during drain.
     drain_timeout: float = 30.0
+    #: Profile every session's worker (phase totals land on /metrics).
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -140,7 +152,7 @@ class SessionServer:
         self._pool = ProcessPoolExecutor(
             max_workers=self.config.workers,
             initializer=init_worker,
-            initargs=(self._queue,),
+            initargs=(self._queue, self.config.profile),
         )
         self._pool_broken = False
 
@@ -365,6 +377,78 @@ class SessionServer:
         with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             await writer.drain()
 
+    async def _respond_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        data = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` exposition: fleet rollups + internals."""
+        from repro.obs.stream import ExpositionBuilder
+
+        out = ExpositionBuilder()
+        registry = self.registry
+        registry.rollup.add_to_exposition(out)
+        out.family("repro_server_workers", "gauge", "Worker pool size")
+        out.sample("repro_server_workers", "gauge", {}, self.config.workers)
+        out.family("repro_server_draining", "gauge", "1 while draining")
+        out.sample("repro_server_draining", "gauge", {}, 1 if self.draining else 0)
+        out.family("repro_server_sessions", "gauge", "Sessions by lifecycle state")
+        by_state: dict[str, int] = {}
+        for session in registry.list():
+            by_state[session.state] = by_state.get(session.state, 0) + 1
+        for state in sorted(by_state):
+            out.sample("repro_server_sessions", "gauge",
+                       {"state": state}, by_state[state])
+        out.family("repro_server_sessions_active", "gauge",
+                   "Sessions not yet terminal")
+        out.sample("repro_server_sessions_active", "gauge", {},
+                   len(registry.active()))
+        out.family("repro_server_telemetry_published", "counter",
+                   "Telemetry records fanned out")
+        out.sample("repro_server_telemetry_published", "counter", {},
+                   registry.published)
+        out.family("repro_server_telemetry_dropped", "counter",
+                   "Telemetry records dropped across all subscribers")
+        out.sample("repro_server_telemetry_dropped", "counter", {},
+                   registry.dropped_total)
+        out.family("repro_server_subscribers", "gauge",
+                   "Attached telemetry subscribers per session")
+        out.family("repro_server_subscriber_queue_depth", "gauge",
+                   "Queued telemetry records per session, summed over "
+                   "its subscribers")
+        for session in registry.active():
+            if not session.subscribers:
+                continue
+            labels = {"session": session.id}
+            out.sample("repro_server_subscribers", "gauge", labels,
+                       len(session.subscribers))
+            out.sample("repro_server_subscriber_queue_depth", "gauge", labels,
+                       sum(q.qsize() for q in session.subscribers))
+        if self.config.profile:
+            out.family("repro_profile_samples", "counter",
+                       "Profiler samples by attributed phase")
+            from repro.obs.profile import PHASES
+
+            for phase in PHASES:
+                out.sample("repro_profile_samples", "counter",
+                           {"phase": phase},
+                           registry.profile_phases.get(phase, 0))
+        return out.render()
+
     async def _route(
         self,
         method: str,
@@ -383,6 +467,18 @@ class SessionServer:
             stats["draining"] = self.draining
             stats["workers"] = self.config.workers
             await self._respond(writer, 200, stats)
+            return
+        if segments == ["metrics"] and method == "GET":
+            await self._respond_text(
+                writer, 200, self.render_metrics(),
+                content_type="application/openmetrics-text; "
+                "version=1.0.0; charset=utf-8",
+            )
+            return
+        if segments == ["fleet"] and method == "GET":
+            payload = self.registry.rollup.as_dict()
+            payload["draining"] = self.draining
+            await self._respond(writer, 200, payload)
             return
         if segments == ["shutdown"] and method == "POST":
             self.shutdown_requested.set()

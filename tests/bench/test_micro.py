@@ -165,7 +165,7 @@ class TestReportShape:
     def test_quick_report_carries_baselines(self):
         payload = run_micro(quick=True)
         assert payload["quick"] is True
-        assert len(payload["results"]) == 8
+        assert len(payload["results"]) == 10
         assert [r["name"] for r in payload["results"]] == [
             "des_dispatch",
             "redistribution",
@@ -175,6 +175,8 @@ class TestReportShape:
             "verify_states_per_sec",
             "serve_sessions_per_sec",
             "match_throughput",
+            "profiler_overhead",
+            "rollup_sessions_per_sec",
         ]
         for r in payload["results"]:
             assert r["baseline"] > 0

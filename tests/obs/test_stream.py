@@ -18,11 +18,13 @@ from repro.core.coupler import RegionDef
 from repro.data.decomposition import BlockDecomposition
 from repro.obs.stream import (
     SCHEMA,
+    ExpositionBuilder,
     JsonlSink,
     OpenMetricsSink,
     TelemetrySink,
     build_snapshot,
     emit_snapshot,
+    escape_label_value,
     render_openmetrics,
     validate_openmetrics,
 )
@@ -294,3 +296,86 @@ class TestOpenMetricsValidator:
     def test_sample_before_type_is_flagged(self):
         bad = "foo_total 1\n# TYPE foo counter\n# EOF\n"
         assert validate_openmetrics(bad) != []
+
+
+class TestLabelEscaping:
+    """PR-10 regression suite: adversarial label values must round-trip."""
+
+    ADVERSARIAL = [
+        'plain',
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        'all\\three" at\nonce',
+        'trailing backslash\\',
+        'comma,brace}equals=',
+        '',
+    ]
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value('a\nb') == 'a\\nb'
+
+    @pytest.mark.parametrize("value", ADVERSARIAL)
+    def test_adversarial_values_render_clean(self, value):
+        out = ExpositionBuilder()
+        out.family("demo_metric", "gauge", "adversarial labels")
+        out.sample("demo_metric", "gauge", {"path": value, "ok": "1"}, 2.5)
+        text = out.render()
+        assert validate_openmetrics(text) == []
+        # Exactly one sample line, whatever the label value contains.
+        samples = [
+            line for line in text.splitlines() if line.startswith("demo_metric{")
+        ]
+        assert len(samples) == 1
+
+    def test_program_name_with_quote_validates(self):
+        # The original bug shape: a program label containing a quote
+        # produced an unparseable exposition.
+        rec = {
+            "schema": SCHEMA,
+            "time": 0.5,
+            "final": True,
+            "programs": {
+                'F"U\\': {
+                    "ranks": 1, "alive": 1, "last_export_ts": None,
+                    "exports": 1, "pending_imports": 0,
+                    "imports_completed": 1, "buddy_skips": 0,
+                    "t_ub": 0.0, "compute_time": 0.0,
+                }
+            },
+            "totals": {
+                "pending_imports": 0, "buddy_skips": 0, "t_ub": 0.0,
+                "ctl_messages": 1, "ctl_bytes": 8,
+                "data_messages": 0, "data_bytes": 0,
+                "retransmissions": 0, "dup_discards": 0,
+            },
+        }
+        text = render_openmetrics(rec)
+        assert validate_openmetrics(text) == []
+        assert '\\"' in text
+
+    def test_invalid_escape_is_flagged(self):
+        bad = '# TYPE foo gauge\nfoo{x="a\\qb"} 1\n# EOF\n'
+        assert any("invalid escape" in p for p in validate_openmetrics(bad))
+
+    def test_unterminated_label_value_is_flagged(self):
+        bad = '# TYPE foo gauge\nfoo{x="a} 1\n# EOF\n'
+        assert validate_openmetrics(bad) != []
+
+    def test_duplicate_label_names_are_flagged(self):
+        bad = '# TYPE foo gauge\nfoo{x="1",x="2"} 1\n# EOF\n'
+        assert any("duplicate" in p for p in validate_openmetrics(bad))
+
+    def test_bad_label_name_is_flagged(self):
+        bad = '# TYPE foo gauge\nfoo{9x="1"} 1\n# EOF\n'
+        assert validate_openmetrics(bad) != []
+
+    def test_counter_sample_via_builder_gets_total_suffix(self):
+        out = ExpositionBuilder()
+        out.family("hits", "counter", "hits")
+        out.sample("hits", "counter", {"q": 'a"b'}, 3)
+        text = out.render()
+        assert validate_openmetrics(text) == []
+        assert "hits_total{" in text

@@ -1,0 +1,208 @@
+"""The SLO watchdog: rule grammar, evaluation semantics against
+``repro.fleet/v1`` payloads, and alert emission through telemetry
+sinks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.fleet import FleetRollup
+from repro.obs.watch import (
+    ALERTS_SCHEMA,
+    Rule,
+    Watchdog,
+    evaluate_rules,
+    metric_value,
+    parse_rule,
+    parse_rules,
+)
+
+from tests.obs.test_fleet import SESSIONS, observe_fleet
+
+
+def fleet_payload() -> dict:
+    fleet = FleetRollup()
+    observe_fleet(fleet, SESSIONS)
+    return fleet.as_dict()
+
+
+class TestParseRule:
+    def test_plain_threshold(self):
+        rule = parse_rule("error_rate < 0.01")
+        assert rule == Rule(
+            text="error_rate < 0.01", scenario=None, metric="error_rate",
+            op="<", threshold=0.01, baseline_factor=None,
+        )
+        assert not rule.needs_baseline
+
+    def test_scenario_pin_and_all_ops(self):
+        for op in ("<", "<=", ">", ">="):
+            rule = parse_rule(f"demo:t_ub_p95 {op} 2")
+            assert rule.scenario == "demo"
+            assert rule.metric == "t_ub_p95"
+            assert rule.op == op
+            assert rule.threshold == 2.0
+
+    @pytest.mark.parametrize(
+        ("limit", "factor"),
+        [("1.2 * baseline", 1.2), ("baseline * 1.2", 1.2), ("baseline", 1.0)],
+    )
+    def test_baseline_relative_limits(self, limit, factor):
+        rule = parse_rule(f"t_ub_p95 <= {limit}")
+        assert rule.threshold is None
+        assert rule.baseline_factor == factor
+        assert rule.needs_baseline
+
+    def test_histogram_metric_suffixes(self):
+        for metric in (
+            "t_ub_p50", "t_ub_p99", "resolution_mean", "duration_count"
+        ):
+            assert parse_rule(f"{metric} < 1").metric == metric
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            parse_rule("latency_p95 < 1")
+        with pytest.raises(ValueError, match="unknown metric"):
+            parse_rule("t_ub_p42 < 1")  # not a known suffix
+
+    def test_unparseable_rule_rejected(self):
+        with pytest.raises(ValueError, match="unparseable rule"):
+            parse_rule("error_rate !!! 1")
+
+    def test_unparseable_limit_rejected(self):
+        with pytest.raises(ValueError, match="unparseable limit"):
+            parse_rule("error_rate < two percent")
+        with pytest.raises(ValueError, match="unparseable limit"):
+            parse_rule("error_rate < 2 * baseline * 2")
+
+    def test_parse_rules_skips_blanks_and_comments(self):
+        rules = parse_rules([
+            "", "  # a comment", "error_rate < 0.5", "   ",
+            "demo:sessions_total >= 1",
+        ])
+        assert [r.text for r in rules] == [
+            "error_rate < 0.5", "demo:sessions_total >= 1",
+        ]
+
+
+class TestMetricValue:
+    def test_scalars(self):
+        demo = fleet_payload()["scenarios"]["demo"]
+        assert metric_value(demo, "error_rate") == pytest.approx(0.25)
+        assert metric_value(demo, "sessions_total") == 4.0
+        assert metric_value(demo, "errors") == 1.0
+        assert metric_value(demo, "buddy_skips") > 0
+
+    def test_histogram_suffixes(self):
+        demo = fleet_payload()["scenarios"]["demo"]
+        assert metric_value(demo, "t_ub_count") == 3.0
+        assert metric_value(demo, "t_ub_mean") == pytest.approx(2.0)
+        assert metric_value(demo, "duration_p50") is not None
+
+    def test_unknown_metric_is_none(self):
+        assert metric_value(fleet_payload()["scenarios"]["demo"], "nope") is None
+
+
+class TestEvaluateRules:
+    def test_healthy_fleet_no_alerts(self):
+        rules = parse_rules([
+            "demo:error_rate <= 0.25",
+            "demo:t_ub_p95 < 100",
+            "sessions_total >= 1",
+        ])
+        assert evaluate_rules(fleet_payload(), rules) == []
+
+    def test_violation_produces_alert_record(self):
+        alerts = evaluate_rules(
+            fleet_payload(), parse_rules(["demo:error_rate <= 0"])
+        )
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert["schema"] == ALERTS_SCHEMA
+        assert alert["scenario"] == "demo"
+        assert alert["metric"] == "error_rate"
+        assert alert["value"] == pytest.approx(0.25)
+        assert alert["limit"] == 0.0
+        assert "violates" in alert["message"]
+
+    def test_unpinned_rule_fans_out_over_scenarios(self):
+        # Both demo and chaos have errors, so both trip.
+        alerts = evaluate_rules(fleet_payload(), parse_rules(["errors <= 0"]))
+        assert [a["scenario"] for a in alerts] == ["chaos", "demo"]
+
+    def test_absent_pinned_scenario_is_an_alert(self):
+        alerts = evaluate_rules(
+            fleet_payload(), parse_rules(["ghost:error_rate <= 1"])
+        )
+        assert len(alerts) == 1
+        assert alerts[0]["scenario"] == "ghost"
+        assert "absent" in alerts[0]["message"]
+
+    def test_baseline_relative_rule(self):
+        payload = fleet_payload()
+        # Against itself: p95 <= 1.0 * baseline holds, < it does not.
+        assert evaluate_rules(
+            payload, parse_rules(["demo:t_ub_p95 <= baseline"]), baseline=payload
+        ) == []
+        worse = parse_rules(["demo:t_ub_p95 <= 0.5 * baseline"])
+        alerts = evaluate_rules(payload, worse, baseline=payload)
+        assert len(alerts) == 1
+        assert alerts[0]["baseline_value"] == alerts[0]["value"]
+        assert alerts[0]["limit"] == pytest.approx(0.5 * alerts[0]["value"])
+
+    def test_baseline_rule_without_baseline_raises(self):
+        with pytest.raises(ValueError, match="baseline-relative"):
+            evaluate_rules(
+                fleet_payload(), parse_rules(["t_ub_p95 < 2 * baseline"])
+            )
+
+    def test_scenario_missing_from_baseline_is_an_alert(self):
+        payload = fleet_payload()
+        baseline = {"schema": payload["schema"], "scenarios": {}}
+        alerts = evaluate_rules(
+            payload, parse_rules(["demo:t_ub_p95 <= baseline"]), baseline=baseline
+        )
+        assert len(alerts) == 1
+        assert "no baseline value" in alerts[0]["message"]
+
+
+class _ListSink:
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class TestWatchdog:
+    def test_run_once_emits_to_sinks_and_counts(self):
+        payload = fleet_payload()
+        sink = _ListSink()
+        dog = Watchdog(
+            lambda: payload,
+            parse_rules(["demo:error_rate <= 0", "demo:sessions_total >= 1"]),
+            sinks=[sink],
+        )
+        alerts = dog.run_once()
+        assert len(alerts) == 1
+        assert sink.records == alerts
+        assert dog.evaluations == 1
+        assert dog.alerts_total == 1
+
+    def test_run_repeats_without_real_sleeping(self):
+        payload = fleet_payload()
+        slept: list[float] = []
+        dog = Watchdog(lambda: payload, parse_rules(["errors <= 0"]))
+        alerts = dog.run(3, 5.0, sleep=slept.append)
+        assert dog.evaluations == 3
+        assert len(alerts) == 3 * 2  # two scenarios trip per pass
+        assert slept == [5.0, 5.0]  # no sleep after the last pass
+
+    def test_clean_fleet_emits_nothing(self):
+        sink = _ListSink()
+        dog = Watchdog(
+            fleet_payload, parse_rules(["error_rate <= 0.5"]), sinks=[sink]
+        )
+        assert dog.run(2, 0.0, sleep=lambda _s: None) == []
+        assert sink.records == []
+        assert dog.alerts_total == 0

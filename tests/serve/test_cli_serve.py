@@ -102,11 +102,114 @@ class TestMonitorAttachCli:
         rc = main(["monitor", "--attach", "http://127.0.0.1:1"])
         assert rc == EXIT_USAGE
         assert "error" in capsys.readouterr().err
-        # Session URL: fails inside the stream, with the timeout wording.
-        rc = main(["monitor", "--attach", "http://127.0.0.1:1/sessions/s-1-x"])
+        # Session URL: fails inside the stream; once the reconnect
+        # budget (here zero) is exhausted the contract is still 2.
+        rc = main([
+            "monitor", "--attach", "http://127.0.0.1:1/sessions/s-1-x",
+            "--retries", "0",
+        ])
         assert rc == EXIT_USAGE
-        assert "timeout/connection error" in capsys.readouterr().err
+        assert "connection error" in capsys.readouterr().err
 
+class TestWatchCli:
+    @pytest.fixture(autouse=True)
+    def _seeded_fleet(self, cli_server, capsys):
+        # One finished demo session so the rollup has a scenario to
+        # evaluate; earlier classes may have added more — every rule
+        # below is pinned to tolerate that.
+        sid = submit(cli_server, capsys, "--label", "watch-seed")
+        main(["sessions", "wait", sid, "--url", cli_server.url])
+        capsys.readouterr()
+
+    def test_clean_fleet_exits_ok(self, cli_server, capsys):
+        rc = main([
+            "watch", cli_server.url,
+            "--rule", "demo:sessions_total >= 1",
+            "--rule", "demo:t_ub_p95 >= 0",
+        ])
+        assert rc == EXIT_OK
+        assert "fleet healthy" in capsys.readouterr().out
+
+    def test_tripped_rule_exits_findings(self, cli_server, capsys):
+        rc = main(
+            ["watch", cli_server.url, "--rule", "demo:sessions_total < 1"]
+        )
+        assert rc == EXIT_FINDINGS
+        captured = capsys.readouterr()
+        assert "ALERT [demo]" in captured.out
+        assert "SLO rule(s) violated" in captured.err
+
+    def test_json_payload_shape(self, cli_server, capsys):
+        rc = main([
+            "watch", cli_server.url, "--json",
+            "--rule", "demo:errors <= 0",
+            "--rule", "demo:sessions_total < 1",
+        ])
+        assert rc == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.alerts/v1"
+        assert payload["rules"] == [
+            "demo:errors <= 0", "demo:sessions_total < 1",
+        ]
+        assert payload["evaluations"] == 1
+        assert [a["rule"] for a in payload["alerts"]] == [
+            "demo:sessions_total < 1"
+        ]
+
+    def test_rules_file_and_alerts_jsonl(self, cli_server, capsys, tmp_path):
+        rules = tmp_path / "slo.rules"
+        rules.write_text(
+            "# fleet SLOs\n\ndemo:sessions_total < 1\ndemo:errors <= 0\n"
+        )
+        alerts_path = tmp_path / "alerts.jsonl"
+        rc = main([
+            "watch", cli_server.url,
+            "--rules-file", str(rules), "--alerts", str(alerts_path),
+        ])
+        assert rc == EXIT_FINDINGS
+        capsys.readouterr()
+        lines = alerts_path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["rule"] == "demo:sessions_total < 1"
+
+    def test_malformed_rule_is_usage_error(self, cli_server, capsys):
+        rc = main(["watch", cli_server.url, "--rule", "bogus_metric < 1"])
+        assert rc == EXIT_USAGE
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_no_rules_is_usage_error(self, cli_server, capsys):
+        rc = main(["watch", cli_server.url])
+        assert rc == EXIT_USAGE
+        assert "at least one --rule" in capsys.readouterr().err
+
+    def test_baseline_relative_rule_without_baseline_is_usage_error(
+        self, cli_server, capsys
+    ):
+        rc = main([
+            "watch", cli_server.url, "--rule", "demo:t_ub_p95 <= 1.2 * baseline"
+        ])
+        assert rc == EXIT_USAGE
+        assert "baseline" in capsys.readouterr().err
+
+    def test_baseline_file_drives_relative_rule(self, cli_server, capsys, tmp_path):
+        baseline = tmp_path / "fleet-baseline.json"
+        baseline.write_text(json.dumps(cli_server.client.fleet()))
+        rc = main([
+            "watch", cli_server.url, "--baseline", str(baseline),
+            "--rule", "demo:t_ub_p95 <= 1.5 * baseline",
+        ])
+        assert rc == EXIT_OK
+        capsys.readouterr()
+
+    def test_unreachable_server_is_usage_error(self, capsys):
+        rc = main([
+            "watch", "http://127.0.0.1:1", "--rule", "error_rate <= 1"
+        ])
+        assert rc == EXIT_USAGE
+        capsys.readouterr()
+
+
+class TestMonitorAttachCrash:
     def test_attach_crashed_session_still_ends_ok_on_final(self, cli_server, capsys):
         # The aborted final snapshot is still a final snapshot: the
         # stream completed, so monitor exits 0; `sessions wait` is the

@@ -227,9 +227,13 @@ class TestBench:
             "verify_states_per_sec",
             "serve_sessions_per_sec",
             "match_throughput",
+            "profiler_overhead",
+            "rollup_sessions_per_sec",
         ]
         for r in payload["results"]:
-            if r["name"] in ("obs_noop_overhead", "prov_record_overhead"):
+            if r["name"] in (
+                "obs_noop_overhead", "prov_record_overhead", "profiler_overhead"
+            ):
                 # A parity check, not an optimization: the no-op
                 # instrumentation should cost ~nothing, so the ratio
                 # hovers around 1.0 and is gated by its own floor.
@@ -362,11 +366,11 @@ class TestBenchHistory:
         }
         (directory / f"BENCH_{n}.json").write_text(json.dumps(payload))
 
-    def test_default_out_is_bench_9(self):
+    def test_default_out_is_bench_10(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_9.json"
+        assert args.out == "BENCH_10.json"
 
     def test_improving_history_passes(self, tmp_path, capsys):
         self.write_report(tmp_path, 1, {"des_dispatch": 3.0})
